@@ -1,0 +1,81 @@
+//! Figure 3 + Tables 1 and 2: TPC-W comparison of load-balancing methods.
+//!
+//! MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix. The paper reports
+//! Single 3 / LeastConnections 37 / LARD 50 / MALB-SC 76 tps (Figure 3),
+//! the per-transaction disk I/O of each method (Table 1), and MALB-SC's
+//! transaction groupings with replica counts (Table 2).
+
+use tashkent_bench::{print_table, run_standalone, save_csv, tpcw_config, window, Row};
+use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_workloads::tpcw::TpcwScale;
+
+fn main() {
+    let (warmup, measured) = window();
+    let mut rows = Vec::new();
+    let mut io_rows = Vec::new();
+
+    // Standalone single database.
+    let (config, workload, mix) =
+        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "ordering");
+    let single = run_standalone(config, workload, mix);
+    rows.push(Row {
+        label: "Single".into(),
+        paper: 3.0,
+        measured: single.tps,
+    });
+
+    let policies = [
+        (PolicySpec::LeastConnections, 37.0, (12.0, 72.0)),
+        (PolicySpec::Lard, 50.0, (12.0, 57.0)),
+        (PolicySpec::malb_sc(), 76.0, (12.0, 20.0)),
+    ];
+    let mut malb_groups = Vec::new();
+    for (policy, paper_tps, (paper_w, paper_r)) in policies {
+        let (config, workload, mix) =
+            tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
+        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        rows.push(Row {
+            label: policy.label(),
+            paper: paper_tps,
+            measured: r.tps,
+        });
+        io_rows.push(Row {
+            label: format!("{} write KB/txn", policy.label()),
+            paper: paper_w,
+            measured: r.write_kb_per_txn,
+        });
+        io_rows.push(Row {
+            label: format!("{} read KB/txn", policy.label()),
+            paper: paper_r,
+            measured: r.read_kb_per_txn,
+        });
+        if matches!(policy, PolicySpec::Malb { .. }) {
+            malb_groups = r.assignments;
+        }
+    }
+
+    let csv = print_table(
+        "Figure 3: TPC-W methods (MidDB 1.8GB, 512MB, 16 replicas, ordering)",
+        "tps",
+        &rows,
+    );
+    save_csv("fig03_tpcw_methods", &csv);
+
+    let speedup = rows[3].measured / rows[0].measured.max(1e-9);
+    println!(
+        "  MALB-SC speedup over Single: {speedup:.1}x (paper: 25x super-linear)"
+    );
+
+    let csv = print_table("Table 1: TPC-W average disk I/O per transaction", "KB", &io_rows);
+    save_csv("table1_tpcw_diskio", &csv);
+
+    println!("\n== Table 2: TPC-W MALB-SC groupings (paper groups in brackets) ==");
+    println!("paper: [BestSeller]x2 [AdminRespo]x4 [BuyConfirm]x7 [BuyRequest,ShopinCart]x1");
+    println!("       [ExecSearch,OrderDispl,OrderInqur,ProducDet]x1 [HomeAction,NewProduct,SearchRequ,AdmiRqust]x1");
+    let mut csv = String::from("types,replicas\n");
+    for g in &malb_groups {
+        println!("ours:  {:?} x{}", g.types, g.replicas);
+        csv.push_str(&format!("{};{}\n", g.types.join("+"), g.replicas));
+    }
+    save_csv("table2_tpcw_groupings", &csv);
+}

@@ -1,0 +1,82 @@
+//! Figure 4 + Tables 3 and 4: RUBiS comparison of load-balancing methods.
+//!
+//! RUBiS 2.2 GB, RAM 512 MB, 16 replicas, bidding mix. The paper reports
+//! Single 3 / LeastConnections 31 / LARD 34 / MALB-SC 43 tps (Figure 4),
+//! per-transaction disk I/O (Table 3), and the MALB-SC groupings with
+//! AboutMe dominating the allocation (Table 4).
+
+use tashkent_bench::{print_table, rubis_config, run_standalone, save_csv, window, Row};
+use tashkent_cluster::{run, Experiment, PolicySpec};
+
+fn main() {
+    let (warmup, measured) = window();
+    let mut rows = Vec::new();
+    let mut io_rows = Vec::new();
+
+    let (config, workload, mix) = rubis_config(PolicySpec::LeastConnections, 512, "bidding");
+    let single = run_standalone(config, workload, mix);
+    rows.push(Row {
+        label: "Single".into(),
+        paper: 3.0,
+        measured: single.tps,
+    });
+
+    let policies = [
+        (PolicySpec::LeastConnections, 31.0, (11.0, 162.0)),
+        (PolicySpec::Lard, 34.0, (11.0, 149.0)),
+        (PolicySpec::malb_sc(), 43.0, (11.0, 111.0)),
+    ];
+    let mut malb_groups = Vec::new();
+    for (policy, paper_tps, (paper_w, paper_r)) in policies {
+        let (config, workload, mix) = rubis_config(policy, 512, "bidding");
+        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        rows.push(Row {
+            label: policy.label(),
+            paper: paper_tps,
+            measured: r.tps,
+        });
+        io_rows.push(Row {
+            label: format!("{} write KB/txn", policy.label()),
+            paper: paper_w,
+            measured: r.write_kb_per_txn,
+        });
+        io_rows.push(Row {
+            label: format!("{} read KB/txn", policy.label()),
+            paper: paper_r,
+            measured: r.read_kb_per_txn,
+        });
+        if matches!(policy, PolicySpec::Malb { .. }) {
+            malb_groups = r.assignments;
+        }
+    }
+
+    let csv = print_table(
+        "Figure 4: RUBiS methods (2.2GB DB, 512MB, 16 replicas, bidding)",
+        "tps",
+        &rows,
+    );
+    save_csv("fig04_rubis_methods", &csv);
+
+    let csv = print_table("Table 3: RUBiS average disk I/O per transaction", "KB", &io_rows);
+    save_csv("table3_rubis_diskio", &csv);
+
+    println!("\n== Table 4: RUBiS MALB-SC groupings ==");
+    println!("paper: [AboutMe]x9 [PutBid,StoreComment,ViewBidHistory,ViewUserInfo]x4");
+    println!("       [Auth,BrowseCategories,BrowseRegions,BuyNow,PutComment,RegisterUser,SearchItemsByRegion,StoreBuyNow]x1");
+    println!("       [RegisterItem,SearchItemsByCategory,StoreBid,ViewItem]x2");
+    let mut csv = String::from("types,replicas\n");
+    let mut aboutme_replicas = 0;
+    let mut max_replicas = 0;
+    for g in &malb_groups {
+        println!("ours:  {:?} x{}", g.types, g.replicas);
+        csv.push_str(&format!("{};{}\n", g.types.join("+"), g.replicas));
+        if g.types.iter().any(|t| t == "AboutMe") {
+            aboutme_replicas = g.replicas;
+        }
+        max_replicas = max_replicas.max(g.replicas);
+    }
+    println!(
+        "  AboutMe group holds {aboutme_replicas} replicas (cluster max per group: {max_replicas}; paper: AboutMe gets the most, 9)"
+    );
+    save_csv("table4_rubis_groupings", &csv);
+}

@@ -1,0 +1,102 @@
+//! Figure 6: dynamic reconfiguration under a workload-mix switch (§5.4).
+//!
+//! The TPC-W mix switches shopping → browsing → shopping (2000 s phases in
+//! the paper; scaled down here). MALB re-allocates replicas after each
+//! switch and throughput converges to each mix's baseline (paper: 76 tps
+//! shopping, 45 browsing). The bottom line is the *static* configuration
+//! baseline: browsing served by the frozen shopping allocation (paper:
+//! 19 tps, worse than LeastConnections' 37).
+
+use tashkent_bench::{save_csv, tpcw_config, window};
+use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_workloads::tpcw::{self, TpcwScale};
+
+fn main() {
+    let (warmup, _) = window();
+    let phase = 150u64; // Scaled-down stand-in for the paper's 2000 s phases.
+
+    // Dynamic MALB through the two switches.
+    let (config, workload, shopping) =
+        tpcw_config(PolicySpec::malb_sc(), 512, TpcwScale::Mid, "shopping");
+    let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Mid, "browsing");
+    let exp = Experiment {
+        config: config.clone(),
+        workload: workload.clone(),
+        phases: vec![
+            (phase + warmup, shopping.clone()),
+            (phase, browsing.clone()),
+            (phase, shopping.clone()),
+        ],
+        warmup_secs: warmup,
+        freeze_at_secs: None,
+    };
+    let dynamic = run(exp);
+
+    // Static baseline: converge on shopping, freeze, then serve browsing.
+    let exp_static = Experiment {
+        config: config.clone(),
+        workload: workload.clone(),
+        phases: vec![(phase + warmup, shopping.clone()), (phase, browsing.clone())],
+        warmup_secs: warmup,
+        freeze_at_secs: Some(warmup + phase / 2),
+    };
+    let frozen = run(exp_static);
+
+    // LeastConnections on browsing (the paper's reference: 37 tps).
+    let (lc_config, lc_workload, lc_browsing) =
+        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "browsing");
+    let lc = run(Experiment::new(lc_config, lc_workload, lc_browsing).with_window(warmup, phase));
+
+    println!("== Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping) ==");
+    println!("paper: shopping plateau 76 tps, browsing plateau 45 tps,");
+    println!("       static-config browsing 19 tps < LeastConnections browsing 37 tps");
+    println!("\n  time series (30 s buckets, tps):");
+    let ts = dynamic.timeseries(30.0);
+    let mut csv = String::from("t_s,tps\n");
+    for (t, tps) in &ts {
+        let bar = "#".repeat((tps / 4.0).round() as usize);
+        println!("  {t:>6.0}s {tps:>7.1} {bar}");
+        csv.push_str(&format!("{t},{tps}\n"));
+    }
+    save_csv("fig06_dynamic_timeseries", &csv);
+
+    // Plateau summary: mean tps in the middle of each phase.
+    let plateau = |ts: &[(f64, f64)], from: f64, to: f64| {
+        let vals: Vec<f64> = ts
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let w = warmup as f64;
+    let p = phase as f64;
+    let shop1 = plateau(&ts, w + p * 0.3, w + p);
+    let browse = plateau(&ts, w + p * 1.3, w + 2.0 * p);
+    let shop2 = plateau(&ts, w + p * 2.3, w + 3.0 * p);
+    let frozen_ts = frozen.timeseries(30.0);
+    let frozen_browse = plateau(&frozen_ts, w + p * 1.3, w + 2.0 * p);
+
+    println!("\n  plateaus (ours):");
+    println!("    shopping #1 {shop1:.1} tps, browsing {browse:.1} tps, shopping #2 {shop2:.1} tps");
+    println!("    static-config browsing {frozen_browse:.1} tps, LeastConnections browsing {:.1} tps", lc.tps);
+    println!(
+        "  shape checks: dynamic adapts (browsing within phases), static < LC: {}",
+        frozen_browse < lc.tps
+    );
+    let mut csv = String::from("metric,value\n");
+    for (k, v) in [
+        ("shopping1", shop1),
+        ("browsing", browse),
+        ("shopping2", shop2),
+        ("static_browsing", frozen_browse),
+        ("lc_browsing", lc.tps),
+    ] {
+        csv.push_str(&format!("{k},{v}\n"));
+    }
+    save_csv("fig06_plateaus", &csv);
+}

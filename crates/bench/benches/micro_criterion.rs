@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks for the core algorithmic components: bin
+//! packing, buffer-pool touches, certification, and dispatch decisions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tashkent_core::{pack_groups, EstimationMode, Lard, LardConfig, WorkingSet, WorkingSetEstimator};
+use tashkent_engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
+use tashkent_sim::SimTime;
+use tashkent_storage::{BufferPool, Catalog, GlobalPageId, RelationId};
+use tashkent_workloads::tpcw::{self, TpcwScale};
+
+fn synth_working_sets(n: u32) -> Vec<WorkingSet> {
+    (0..n)
+        .map(|i| WorkingSet {
+            txn_type: TxnTypeId(i),
+            relations: (0..4)
+                .map(|k| (RelationId((i * 3 + k) % 40), 1_000 + (i as u64 * 37) % 9_000))
+                .collect(),
+            scanned: [(RelationId(i % 40))].into_iter().collect(),
+        })
+        .collect()
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let sets = synth_working_sets(64);
+    c.bench_function("bfd_pack_64_types_sc", |b| {
+        b.iter(|| pack_groups(&sets, EstimationMode::SizeContent, 50_000))
+    });
+    c.bench_function("bfd_pack_64_types_s", |b| {
+        b.iter(|| pack_groups(&sets, EstimationMode::Size, 50_000))
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    c.bench_function("bufferpool_touch_hit", |b| {
+        let mut pool = BufferPool::new(4_096);
+        for p in 0..4_096u32 {
+            pool.touch(GlobalPageId::new(RelationId(0), p));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 4_096;
+            pool.touch(GlobalPageId::new(RelationId(0), i))
+        })
+    });
+    c.bench_function("bufferpool_touch_evict", |b| {
+        let mut pool = BufferPool::new(1_024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            pool.touch(GlobalPageId::new(RelationId(0), i % 100_000))
+        })
+    });
+}
+
+fn bench_certifier(c: &mut Criterion) {
+    c.bench_function("certify_commit", |b| {
+        b.iter_batched(
+            tashkent_certifier::Certifier::default,
+            |mut cert| {
+                for i in 0..100u64 {
+                    let ws = Writeset::new(
+                        TxnId(i),
+                        TxnTypeId(0),
+                        Snapshot::at(Version(i)),
+                        vec![WritesetItem {
+                            rel: RelationId((i % 7) as u32),
+                            row: i * 13,
+                        }],
+                    );
+                    cert.certify(SimTime::from_micros(i), ws);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    c.bench_function("lard_dispatch", |b| {
+        let mut lard = Lard::new(16, LardConfig::default());
+        let conns = [3usize; 16];
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 13;
+            lard.dispatch(TxnTypeId(i), &conns)
+        })
+    });
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let workload = tpcw::workload(TpcwScale::Mid);
+    c.bench_function("estimate_tpcw_working_sets", |b| {
+        b.iter(|| {
+            let est = WorkingSetEstimator::new(&workload.catalog);
+            let sets: Vec<WorkingSet> = workload
+                .types
+                .iter()
+                .map(|t| est.estimate(t.id, &workload.explain(t.id)))
+                .collect();
+            sets
+        })
+    });
+    let mut catalog = Catalog::new();
+    for i in 0..100 {
+        catalog.add_table(&format!("t{i}"), 100 + i, 10_000);
+    }
+    c.bench_function("catalog_relpages_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            catalog.relpages(&format!("t{i}"))
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_packing, bench_buffer_pool, bench_certifier, bench_dispatch, bench_estimation
+);
+criterion_main!(micro);

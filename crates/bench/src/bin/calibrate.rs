@@ -1,0 +1,82 @@
+//! Calibration driver: reproduces the §4.4 client-sizing procedure and
+//! prints the Figure 3 / Figure 7 policy comparison so model constants can
+//! be tuned against the paper's shape.
+//!
+//! Usage: `cargo run --release -p tashkent-bench --bin calibrate [quick]`
+
+use tashkent_bench::{tpcw_config, WARMUP_SECS};
+use tashkent_cluster::{calibrate_standalone, run, Experiment, PolicySpec};
+use tashkent_workloads::tpcw::TpcwScale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let (warmup, measured) = if quick { (60, 120) } else { (WARMUP_SECS, 180) };
+
+    // 1. Standalone sweep (MidDB, 512 MB, ordering).
+    let (base, workload, mix) =
+        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "ordering");
+    println!("standalone sweep (MidDB 1.8GB, 512MB RAM, ordering mix):");
+    let cal = calibrate_standalone(
+        &base,
+        &workload,
+        &mix,
+        &[2, 4, 6, 8, 10, 14, 20, 28],
+        warmup,
+        measured,
+    );
+    for (n, tps) in &cal.sweep {
+        println!("  clients={n:<3} tps={tps:.2}");
+    }
+    println!(
+        "  peak={:.2} tps; 85% point at {} clients (paper: peak 3 tps)",
+        cal.peak_tps, cal.clients_at_85
+    );
+
+    // 2. Policy comparison on 16 replicas.
+    let policies = [
+        PolicySpec::LeastConnections,
+        PolicySpec::Lard,
+        PolicySpec::malb_sc(),
+        PolicySpec::malb_sc_uf(),
+    ];
+    let paper = [37.0, 50.0, 76.0, 113.0];
+    println!("\n16-replica comparison (clients/replica = {}):", cal.clients_at_85);
+    for (policy, paper_tps) in policies.iter().zip(paper) {
+        let (config, workload, mix) =
+            tpcw_config(*policy, 512, TpcwScale::Mid, "ordering");
+        let config = config.with_clients(16 * cal.clients_at_85);
+        let names = workload.clone();
+        let workload = names.clone();
+        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let workload = names;
+        println!(
+            "  {:<18} tps={:>7.1} (paper {paper_tps:>5.1})  resp={:.2}s  read/txn={:.0}KB write/txn={:.0}KB aborts={:.1}% cpu={:.0}% disk={:.0}%",
+            policy.label(),
+            r.tps,
+            r.mean_response_s,
+            r.read_kb_per_txn,
+            r.write_kb_per_txn,
+            100.0 * r.abort_fraction(),
+            100.0 * r.cpu_util,
+            100.0 * r.disk_util,
+        );
+        println!(
+            "      lb: moves={} merges={} splits={} fast={} fallback={} filters={}",
+            r.lb.moves, r.lb.merges, r.lb.splits, r.lb.fast_reallocs, r.lb.fallback,
+            r.lb.filters_installed
+        );
+        for g in &r.assignments {
+            println!("      {:?} x{} load={:.2}", g.types, g.replicas, g.load);
+        }
+        // Slowest transaction types (diagnostics for calibration).
+        let mut typed: Vec<(usize, (u64, f64, f64))> =
+            r.per_type.iter().copied().enumerate().collect();
+        typed.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1));
+        for (tid, (count, mean, max)) in typed.iter().take(4) {
+            println!(
+                "      slow: {:<12} n={count:<6} mean={mean:.2}s max={max:.1}s",
+                workload.type_name(tashkent_engine::TxnTypeId(*tid as u32)),
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every bench target (one per table/figure, `harness = false`) uses these
+//! helpers to build the paper's configurations, run experiments, and print
+//! paper-vs-measured rows. CSV copies land in `bench_results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tashkent_cluster::{run, ClusterConfig, Experiment, PolicySpec, RunResult};
+use tashkent_sim::SimTime;
+use tashkent_workloads::tpcw::TpcwScale;
+use tashkent_workloads::{rubis, tpcw, Mix, Workload};
+
+/// Measurement window used by the bench targets (seconds).
+pub const WARMUP_SECS: u64 = 120;
+/// Measured portion of each run (seconds).
+pub const MEASURED_SECS: u64 = 180;
+
+/// The simulated `(warmup, measured)` window, in seconds.
+///
+/// Controlled by `TASHKENT_BENCH_WINDOW`: `full` (120 s + 180 s, the default
+/// for single-figure runs) or `quick` (60 s + 120 s, used by the wide
+/// parameter sweeps and CI).
+pub fn window() -> (u64, u64) {
+    match std::env::var("TASHKENT_BENCH_WINDOW").as_deref() {
+        Ok("full") => (WARMUP_SECS, MEASURED_SECS),
+        Ok("quick") => (60, 120),
+        _ => (90, 150),
+    }
+}
+
+/// Clients per replica driving ~85 % of standalone peak, per workload
+/// configuration. Derived with `cargo run -p tashkent-bench --bin calibrate`
+/// (the §4.4 procedure); fixed here so every figure uses the same load.
+pub fn clients_per_replica(_workload: &str, _mix: &str) -> usize {
+    7
+}
+
+/// The paper's cluster for a TPC-W configuration.
+pub fn tpcw_config(policy: PolicySpec, ram_mb: u64, scale: TpcwScale, mix: &str) -> (ClusterConfig, Workload, Mix) {
+    let (workload, m) = tpcw::workload_with_mix(scale, mix);
+    let clients = 16 * clients_per_replica("tpcw", mix);
+    let config = ClusterConfig::paper_default()
+        .with_ram_mb(ram_mb)
+        .with_policy(policy)
+        .with_clients(clients);
+    (config, workload, m)
+}
+
+/// The paper's cluster for a RUBiS configuration.
+pub fn rubis_config(policy: PolicySpec, ram_mb: u64, mix: &str) -> (ClusterConfig, Workload, Mix) {
+    let (workload, m) = rubis::workload_with_mix(mix);
+    let clients = 16 * clients_per_replica("rubis", mix);
+    let config = ClusterConfig::paper_default()
+        .with_ram_mb(ram_mb)
+        .with_policy(policy)
+        .with_clients(clients);
+    (config, workload, m)
+}
+
+/// Runs one experiment with the standard window.
+pub fn run_standard(config: ClusterConfig, workload: Workload, mix: Mix) -> RunResult {
+    run(Experiment::new(config, workload, mix).with_window(WARMUP_SECS, MEASURED_SECS))
+}
+
+/// Runs a standalone (single-replica) experiment with the standard window.
+pub fn run_standalone(mut config: ClusterConfig, workload: Workload, mix: Mix) -> RunResult {
+    let per_replica = config.clients / config.replicas.max(1);
+    config = config.standalone(per_replica.max(1));
+    run(Experiment::new(config, workload, mix).with_window(WARMUP_SECS, MEASURED_SECS))
+}
+
+/// A comparison row: label, the paper's value, and ours.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (policy or configuration).
+    pub label: String,
+    /// Value reported in the paper.
+    pub paper: f64,
+    /// Value measured here.
+    pub measured: f64,
+}
+
+/// Prints a `paper vs measured` table and returns the CSV body.
+pub fn print_table(title: &str, unit: &str, rows: &[Row]) -> String {
+    println!("\n== {title} ==");
+    println!("{:<28} {:>12} {:>12} {:>8}", "config", format!("paper ({unit})"), "measured", "ratio");
+    let mut csv = String::from("config,paper,measured\n");
+    for r in rows {
+        let ratio = if r.paper != 0.0 { r.measured / r.paper } else { 0.0 };
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>7.2}x",
+            r.label, r.paper, r.measured, ratio
+        );
+        csv.push_str(&format!("{},{},{}\n", r.label, r.paper, r.measured));
+    }
+    csv
+}
+
+/// Writes CSV results under `bench_results/`.
+pub fn save_csv(name: &str, body: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.csv")), body);
+    }
+}
+
+/// Pretty time for logs.
+pub fn fmt_time(t: SimTime) -> String {
+    format!("{:.0}s", t.as_secs_f64())
+}

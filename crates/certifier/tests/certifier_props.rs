@@ -1,0 +1,118 @@
+//! Property-based tests for GSI certification.
+
+use proptest::prelude::*;
+use tashkent_certifier::{Certifier, CertifyOutcome};
+use tashkent_engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
+use tashkent_sim::SimTime;
+use tashkent_storage::RelationId;
+
+fn ws(txn: u64, snap: u64, items: &[(u32, u64)]) -> Writeset {
+    Writeset::new(
+        TxnId(txn),
+        TxnTypeId(0),
+        Snapshot::at(Version(snap)),
+        items
+            .iter()
+            .map(|(r, row)| WritesetItem {
+                rel: RelationId(*r),
+                row: *row,
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    /// Commit versions are dense and strictly increasing, regardless of the
+    /// conflict pattern.
+    #[test]
+    fn versions_are_dense(writes in proptest::collection::vec(
+        (0u64..5 /* snapshot lag */, proptest::collection::vec((0u32..3, 0u64..30), 1..4)),
+        1..40,
+    )) {
+        let mut cert = Certifier::default();
+        let mut last = 0u64;
+        for (i, (lag, items)) in writes.iter().enumerate() {
+            let head = cert.version().0;
+            let snap = head.saturating_sub(*lag);
+            let outcome = cert.certify(
+                SimTime::from_micros(i as u64),
+                ws(i as u64, snap, items),
+            );
+            if let CertifyOutcome::Committed { version, .. } = outcome {
+                prop_assert_eq!(version.0, last + 1, "versions must be dense");
+                last = version.0;
+            }
+        }
+        prop_assert_eq!(cert.version().0, last);
+    }
+
+    /// The log suffix returned for any `after` version contains exactly the
+    /// versions `(after, head]`.
+    #[test]
+    fn log_suffixes_are_exact(n in 1u64..60, after in 0u64..80) {
+        let mut cert = Certifier::default();
+        for i in 0..n {
+            let head = cert.version().0;
+            cert.certify(SimTime::from_micros(i), ws(i, head, &[(0, i)]));
+        }
+        let suffix = cert.writesets_since(Version(after));
+        let expect_len = cert.version().0.saturating_sub(after) as usize;
+        prop_assert_eq!(suffix.len(), expect_len);
+        for (k, cw) in suffix.iter().enumerate() {
+            prop_assert_eq!(cw.version.0, after + 1 + k as u64);
+        }
+    }
+
+    /// Pruning the conflict index at any horizon at or below every active
+    /// snapshot never changes certification outcomes.
+    #[test]
+    fn pruning_preserves_outcomes(rows in proptest::collection::vec(0u64..20, 5..30),
+                                  horizon_frac in 0.0f64..1.0) {
+        // Build the same history twice; prune one; compare the outcome of a
+        // probe whose snapshot is at or above the prune horizon.
+        let build = || {
+            let mut cert = Certifier::default();
+            for (i, row) in rows.iter().enumerate() {
+                let head = cert.version().0;
+                cert.certify(SimTime::from_micros(i as u64), ws(i as u64, head, &[(0, *row)]));
+            }
+            cert
+        };
+        let mut pruned = build();
+        let mut intact = build();
+        let head = pruned.version().0;
+        let horizon = (head as f64 * horizon_frac) as u64;
+        pruned.prune_index(Version(horizon));
+        // Probe every row with a snapshot at the horizon (a legal snapshot:
+        // nothing older is active).
+        for row in 0..20u64 {
+            let probe = |c: &mut Certifier| {
+                matches!(
+                    c.certify(SimTime::from_secs(1), ws(10_000 + row, horizon, &[(0, row)])),
+                    CertifyOutcome::Conflict
+                )
+            };
+            prop_assert_eq!(probe(&mut pruned), probe(&mut intact), "row {}", row);
+            // Keep the two logs in lockstep: committing in one must commit
+            // in the other (same outcome ⇒ same state evolution).
+        }
+    }
+
+    /// Group-commit durability is monotone in arrival time.
+    #[test]
+    fn durability_is_monotone(times in proptest::collection::vec(0u64..100_000, 2..20)) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut cert = Certifier::default();
+        let mut last_durable = 0u64;
+        for (i, t) in sorted.iter().enumerate() {
+            let head = cert.version().0;
+            let out = cert.certify(SimTime::from_micros(*t), ws(i as u64, head, &[(0, i as u64)]));
+            if let CertifyOutcome::Committed { durable_at, .. } = out {
+                prop_assert!(durable_at.as_micros() >= *t);
+                prop_assert!(durable_at.as_micros() >= last_durable);
+                last_durable = durable_at.as_micros();
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Cluster configuration.
+
+use tashkent_certifier::CertifierParams;
+use tashkent_core::{EstimationMode, LardConfig, MalbConfig};
+use tashkent_replica::ReplicaConfig;
+use tashkent_sim::SimTime;
+use tashkent_storage::{DiskParams, WriterConfig, PAGE_SIZE};
+
+/// Which load-balancing policy the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// Round-robin dispatch.
+    RoundRobin,
+    /// Least outstanding connections (§4.3 baseline).
+    LeastConnections,
+    /// Locality-aware request distribution (§4.3 baseline).
+    Lard,
+    /// Memory-aware load balancing (§2) with the given estimation mode and
+    /// optionally update filtering (§3).
+    Malb {
+        /// Working-set information used for packing.
+        mode: EstimationMode,
+        /// Enable update filtering once allocation stabilizes.
+        update_filtering: bool,
+    },
+}
+
+impl PolicySpec {
+    /// The paper's headline configuration: MALB-SC without filtering.
+    pub fn malb_sc() -> Self {
+        PolicySpec::Malb {
+            mode: EstimationMode::SizeContent,
+            update_filtering: false,
+        }
+    }
+
+    /// MALB-SC plus update filtering.
+    pub fn malb_sc_uf() -> Self {
+        PolicySpec::Malb {
+            mode: EstimationMode::SizeContent,
+            update_filtering: true,
+        }
+    }
+
+    /// Label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::RoundRobin => "RoundRobin".into(),
+            PolicySpec::LeastConnections => "LeastConnections".into(),
+            PolicySpec::Lard => "LARD".into(),
+            PolicySpec::Malb {
+                mode,
+                update_filtering,
+            } => {
+                let base = match mode {
+                    EstimationMode::Size => "MALB-S",
+                    EstimationMode::SizeContent => "MALB-SC",
+                    EstimationMode::SizeContentAccessPattern => "MALB-SCAP",
+                };
+                if *update_filtering {
+                    format!("{base}+UF")
+                } else {
+                    base.into()
+                }
+            }
+        }
+    }
+}
+
+/// Full configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of database replicas (paper default: 16).
+    pub replicas: usize,
+    /// Physical RAM per replica in bytes (256 MB / 512 MB / 1024 MB in the
+    /// evaluation).
+    pub ram_bytes: u64,
+    /// Memory not available to the database: OS, PostgreSQL processes,
+    /// proxy, daemons (paper: 70 MB, §4.4).
+    pub overhead_bytes: u64,
+    /// Load-balancing policy.
+    pub policy: PolicySpec,
+    /// Total number of closed-loop clients.
+    pub clients: usize,
+    /// Mean client think time, in µs.
+    pub think_mean_us: u64,
+    /// One-way LAN latency between any two components, in µs.
+    pub lan_hop_us: u64,
+    /// Disk model parameters.
+    pub disk: DiskParams,
+    /// Gatekeeper multiprogramming limit per replica.
+    pub mpl: usize,
+    /// Background-writer policy.
+    pub writer: WriterConfig,
+    /// Certifier service parameters.
+    pub certifier: CertifierParams,
+    /// LARD thresholds (used when `policy == Lard`).
+    pub lard: LardConfig,
+    /// MALB rebalance period.
+    pub rebalance_period: SimTime,
+    /// Rounds of allocation stability before filters install.
+    pub stable_rounds_for_filter: u32,
+    /// Minimum up-to-date copies per transaction group under filtering.
+    pub min_copies: usize,
+    /// Overrides the allocator's merge threshold (e.g. `Some(0.0)` disables
+    /// group merging — the §5.3 ablation).
+    pub merge_threshold_override: Option<f64>,
+    /// RNG seed (runs are bit-reproducible per seed).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's default testbed shape: 16 replicas, 512 MB RAM, 70 MB
+    /// overhead, 2007-era disk, LeastConnections.
+    pub fn paper_default() -> Self {
+        ClusterConfig {
+            replicas: 16,
+            ram_bytes: 512 * 1024 * 1024,
+            overhead_bytes: 70 * 1024 * 1024,
+            policy: PolicySpec::LeastConnections,
+            clients: 112,
+            think_mean_us: 500_000,
+            lan_hop_us: 150,
+            disk: DiskParams::default(),
+            mpl: 8,
+            writer: WriterConfig::default(),
+            certifier: CertifierParams::default(),
+            lard: LardConfig::default(),
+            rebalance_period: SimTime::from_secs(5),
+            stable_rounds_for_filter: 10,
+            min_copies: 2,
+            merge_threshold_override: None,
+            seed: 42,
+        }
+    }
+
+    /// Memory available to the buffer pool per replica.
+    pub fn pool_bytes(&self) -> u64 {
+        self.ram_bytes.saturating_sub(self.overhead_bytes).max(PAGE_SIZE)
+    }
+
+    /// The capacity the bin-packing algorithm sees, in pages (§4.4: RAM
+    /// minus 70 MB).
+    pub fn capacity_pages(&self) -> u64 {
+        self.pool_bytes() / PAGE_SIZE
+    }
+
+    /// Replica-level configuration derived from the cluster config.
+    pub fn replica_config(&self) -> ReplicaConfig {
+        ReplicaConfig {
+            mem_bytes: self.pool_bytes(),
+            disk: self.disk,
+            cpu_quantum_us: 5_000,
+            mpl: self.mpl,
+            writer: self.writer,
+            apply_item_us: 600,
+            apply_base_us: 100,
+        }
+    }
+
+    /// MALB configuration derived from the cluster config (when the policy
+    /// is a MALB variant).
+    pub fn malb_config(&self) -> Option<MalbConfig> {
+        match self.policy {
+            PolicySpec::Malb {
+                mode,
+                update_filtering,
+            } => {
+                let mut cfg = MalbConfig::paper_default(mode, self.capacity_pages());
+                cfg.rebalance_period = self.rebalance_period;
+                cfg.update_filtering = update_filtering;
+                cfg.stable_rounds_for_filter = self.stable_rounds_for_filter;
+                cfg.min_copies = self.min_copies.min(self.replicas);
+                if let Some(t) = self.merge_threshold_override {
+                    cfg.allocation.merge_threshold = t;
+                }
+                Some(cfg)
+            }
+            _ => None,
+        }
+    }
+
+    /// Convenience: set RAM in megabytes.
+    pub fn with_ram_mb(mut self, mb: u64) -> Self {
+        self.ram_bytes = mb * 1024 * 1024;
+        self
+    }
+
+    /// Convenience: set the policy.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Convenience: set total clients.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Convenience: single-replica (standalone) variant with proportionally
+    /// fewer clients.
+    pub fn standalone(mut self, clients: usize) -> Self {
+        self.replicas = 1;
+        self.clients = clients;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_testbed() {
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.replicas, 16);
+        assert_eq!(c.ram_bytes, 512 * 1024 * 1024);
+        assert_eq!(c.overhead_bytes, 70 * 1024 * 1024);
+    }
+
+    #[test]
+    fn capacity_subtracts_overhead() {
+        let c = ClusterConfig::paper_default();
+        // (512 − 70) MB in 8 KB pages = 56,576.
+        assert_eq!(c.capacity_pages(), 56_576);
+    }
+
+    #[test]
+    fn tiny_ram_keeps_one_page() {
+        let c = ClusterConfig::paper_default().with_ram_mb(1);
+        assert!(c.pool_bytes() >= PAGE_SIZE);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PolicySpec::malb_sc().label(), "MALB-SC");
+        assert_eq!(PolicySpec::malb_sc_uf().label(), "MALB-SC+UF");
+        assert_eq!(PolicySpec::Lard.label(), "LARD");
+    }
+
+    #[test]
+    fn malb_config_only_for_malb() {
+        let c = ClusterConfig::paper_default();
+        assert!(c.malb_config().is_none());
+        let m = c.with_policy(PolicySpec::malb_sc());
+        let cfg = m.malb_config().unwrap();
+        assert_eq!(cfg.capacity_pages, 56_576);
+        assert!(!cfg.update_filtering);
+    }
+
+    #[test]
+    fn standalone_shrinks_cluster() {
+        let c = ClusterConfig::paper_default().standalone(10);
+        assert_eq!(c.replicas, 1);
+        assert_eq!(c.clients, 10);
+    }
+}

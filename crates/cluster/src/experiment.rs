@@ -1,0 +1,177 @@
+//! Experiment descriptions, the runner, and standalone calibration.
+
+use tashkent_sim::SimTime;
+use tashkent_workloads::{Mix, Workload};
+
+use crate::config::ClusterConfig;
+use crate::metrics::RunResult;
+use crate::world::{Ev, World};
+
+/// One experiment: a cluster configuration plus one or more workload-mix
+/// phases (multiple phases reproduce the Figure 6 mix switches).
+#[derive(Clone)]
+pub struct Experiment {
+    /// Cluster configuration.
+    pub config: ClusterConfig,
+    /// The workload.
+    pub workload: Workload,
+    /// Phases: `(duration in seconds, mix)`. The first phase's mix also
+    /// seeds MALB's grouping.
+    pub phases: Vec<(u64, Mix)>,
+    /// Warm-up excluded from measurement, in seconds.
+    pub warmup_secs: u64,
+    /// Freeze the balancer at this offset (static-configuration baseline),
+    /// if set.
+    pub freeze_at_secs: Option<u64>,
+}
+
+impl Experiment {
+    /// Single-phase experiment with the paper-shaped default measurement
+    /// window (90 s warm-up + 180 s measured).
+    pub fn new(config: ClusterConfig, workload: Workload, mix: Mix) -> Self {
+        Experiment {
+            config,
+            workload,
+            phases: vec![(270, mix)],
+            warmup_secs: 90,
+            freeze_at_secs: None,
+        }
+    }
+
+    /// Overrides warm-up and measured duration.
+    pub fn with_window(mut self, warmup_secs: u64, measured_secs: u64) -> Self {
+        self.warmup_secs = warmup_secs;
+        if let Some(first) = self.phases.first_mut() {
+            first.0 = warmup_secs + measured_secs;
+        }
+        self
+    }
+
+    /// Total simulated duration.
+    pub fn total_secs(&self) -> u64 {
+        self.phases.iter().map(|(d, _)| d).sum()
+    }
+}
+
+/// Runs an experiment to completion and returns its result.
+pub fn run(exp: Experiment) -> RunResult {
+    let mixes: Vec<Mix> = exp.phases.iter().map(|(_, m)| m.clone()).collect();
+    let mut world = World::new(exp.config, exp.workload, mixes);
+    world.prime();
+    // Phase switches.
+    let mut t = 0u64;
+    for (i, (dur, _)) in exp.phases.iter().enumerate() {
+        if i > 0 {
+            world.schedule(SimTime::from_secs(t), Ev::MixSwitch { mix: i });
+        }
+        t += dur;
+    }
+    if let Some(f) = exp.freeze_at_secs {
+        world.schedule(SimTime::from_secs(f), Ev::FreezeLb);
+    }
+    world.schedule(SimTime::from_secs(exp.warmup_secs), Ev::EndWarmup);
+    world.schedule(SimTime::from_secs(t), Ev::End);
+    world.run_to_end();
+    world.finish_result()
+}
+
+/// Result of the §4.4 client-sizing procedure.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Peak standalone throughput observed.
+    pub peak_tps: f64,
+    /// Client count per replica that produced ~85 % of the peak.
+    pub clients_at_85: usize,
+    /// The sweep: `(clients, tps)` pairs.
+    pub sweep: Vec<(usize, f64)>,
+}
+
+/// Measures a standalone (single-replica) database across client counts and
+/// returns the count that yields 85 % of peak throughput — the paper's
+/// method for sizing the client population (§4.4).
+pub fn calibrate_standalone(
+    base: &ClusterConfig,
+    workload: &Workload,
+    mix: &Mix,
+    candidates: &[usize],
+    warmup_secs: u64,
+    measured_secs: u64,
+) -> Calibration {
+    let mut sweep = Vec::new();
+    for &n in candidates {
+        let config = base.clone().standalone(n);
+        let exp = Experiment::new(config, workload.clone(), mix.clone())
+            .with_window(warmup_secs, measured_secs);
+        let result = run(exp);
+        sweep.push((n, result.tps));
+    }
+    let peak_tps = sweep.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+    let target = 0.85 * peak_tps;
+    let clients_at_85 = sweep
+        .iter()
+        .find(|(_, t)| *t >= target)
+        .map(|(n, _)| *n)
+        .unwrap_or_else(|| sweep.last().map(|(n, _)| *n).unwrap_or(1));
+    Calibration {
+        peak_tps,
+        clients_at_85,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicySpec;
+    use tashkent_workloads::tpcw::{self, TpcwScale};
+
+    #[test]
+    fn run_produces_throughput() {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "shopping");
+        let config = ClusterConfig {
+            replicas: 2,
+            clients: 8,
+            think_mean_us: 300_000,
+            ..ClusterConfig::paper_default()
+        };
+        let r = run(Experiment::new(config, workload, mix).with_window(5, 20));
+        assert!(r.tps > 0.5, "tps {}", r.tps);
+        assert!((r.window_s - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn phases_switch_mixes() {
+        let (workload, ordering) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Small, "browsing");
+        let config = ClusterConfig {
+            replicas: 2,
+            clients: 6,
+            think_mean_us: 300_000,
+            ..ClusterConfig::paper_default()
+        }
+        .with_policy(PolicySpec::malb_sc());
+        let exp = Experiment {
+            config,
+            workload,
+            phases: vec![(15, ordering), (15, browsing)],
+            warmup_secs: 5,
+            freeze_at_secs: None,
+        };
+        assert_eq!(exp.total_secs(), 30);
+        let r = run(exp);
+        assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn calibration_finds_85_percent_point() {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "browsing");
+        let base = ClusterConfig {
+            think_mean_us: 300_000,
+            ..ClusterConfig::paper_default()
+        };
+        let cal = calibrate_standalone(&base, &workload, &mix, &[2, 8], 3, 12);
+        assert_eq!(cal.sweep.len(), 2);
+        assert!(cal.peak_tps > 0.0);
+        assert!(cal.clients_at_85 == 2 || cal.clients_at_85 == 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! Whole-system simulation of a Tashkent+ cluster.
+//!
+//! This crate assembles the pieces — clients, the load balancer
+//! (`tashkent-core`), replica nodes (`tashkent-replica`), and the certifier
+//! (`tashkent-certifier`) — into one deterministic discrete-event
+//! simulation, mirroring the paper's testbed of 16 replica machines, a
+//! replicated certifier, and a client farm on a switched 1 Gb/s LAN (§4.4).
+//!
+//! * [`config`] — cluster configuration (replica count, RAM, policy, …);
+//! * [`metrics`] — throughput / response-time / disk-I/O accounting and the
+//!   [`metrics::RunResult`] every experiment produces;
+//! * [`world`] — the event loop;
+//! * [`experiment`] — experiment descriptions (phases of workload mixes),
+//!   the runner, and standalone calibration (§4.4's "85 % of peak" client
+//!   sizing).
+
+pub mod config;
+pub mod experiment;
+pub mod metrics;
+pub mod world;
+
+pub use config::{ClusterConfig, PolicySpec};
+pub use experiment::{calibrate_standalone, run, Calibration, Experiment};
+pub use metrics::{GroupSnapshot, Metrics, RunResult};
+pub use world::World;

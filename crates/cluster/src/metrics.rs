@@ -1,0 +1,340 @@
+//! Run metrics: throughput, response times, disk I/O per transaction.
+
+use tashkent_sim::{Histogram, OnlineStats, SimTime};
+
+/// One group → replica-count line, for the paper's Tables 2 and 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSnapshot {
+    /// Names of the transaction types in the group.
+    pub types: Vec<String>,
+    /// Number of replicas allocated.
+    pub replicas: usize,
+    /// Mean bottleneck load over the group's replicas at run end.
+    pub load: f64,
+}
+
+/// Live accounting during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    window_start: SimTime,
+    committed: u64,
+    updates: u64,
+    aborts: u64,
+    retries_exhausted: u64,
+    resp: OnlineStats,
+    resp_hist: Histogram,
+    /// Completion timestamps (for time-series output).
+    completions: Vec<SimTime>,
+    /// Per-transaction-type response statistics, indexed by type id.
+    per_type: Vec<OnlineStats>,
+    /// Disk byte counters at the start of the measurement window.
+    read_bytes0: u64,
+    write_bytes0: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates empty metrics with the window starting at time zero.
+    pub fn new() -> Self {
+        Metrics {
+            window_start: SimTime::ZERO,
+            committed: 0,
+            updates: 0,
+            aborts: 0,
+            retries_exhausted: 0,
+            resp: OnlineStats::new(),
+            resp_hist: Histogram::new(0.050, 400), // 50 ms buckets to 20 s
+            completions: Vec::new(),
+            per_type: Vec::new(),
+            read_bytes0: 0,
+            write_bytes0: 0,
+        }
+    }
+
+    /// Restarts the measurement window (end of warm-up): clears counters and
+    /// snapshots the cluster-wide disk byte counters.
+    pub fn start_window(&mut self, now: SimTime, read_bytes: u64, write_bytes: u64) {
+        *self = Metrics::new();
+        self.window_start = now;
+        self.read_bytes0 = read_bytes;
+        self.write_bytes0 = write_bytes;
+    }
+
+    /// Records a committed (or read-only completed) transaction.
+    pub fn record_completion(&mut self, now: SimTime, started: SimTime, is_update: bool) {
+        self.record_completion_typed(now, started, is_update, 0);
+    }
+
+    /// Records a committed transaction with its type id (for per-type
+    /// response breakdowns).
+    pub fn record_completion_typed(
+        &mut self,
+        now: SimTime,
+        started: SimTime,
+        is_update: bool,
+        txn_type: u32,
+    ) {
+        self.committed += 1;
+        if is_update {
+            self.updates += 1;
+        }
+        let resp_s = (now.saturating_since(started)) as f64 / 1e6;
+        self.resp.observe(resp_s);
+        self.resp_hist.observe(resp_s);
+        self.completions.push(now);
+        let idx = txn_type as usize;
+        if self.per_type.len() <= idx {
+            self.per_type.resize_with(idx + 1, OnlineStats::new);
+        }
+        self.per_type[idx].observe(resp_s);
+    }
+
+    /// Records a certification abort (the client will retry).
+    pub fn record_abort(&mut self) {
+        self.aborts += 1;
+    }
+
+    /// Records a transaction whose retries were exhausted.
+    pub fn record_gave_up(&mut self) {
+        self.retries_exhausted += 1;
+    }
+
+    /// Committed transactions so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Aborts so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Finalizes the run into a [`RunResult`].
+    pub fn finish(
+        &self,
+        now: SimTime,
+        read_bytes: u64,
+        write_bytes: u64,
+        assignments: Vec<GroupSnapshot>,
+    ) -> RunResult {
+        let window_s = (now.saturating_since(self.window_start) as f64 / 1e6).max(1e-9);
+        let committed = self.committed;
+        let per_txn = |bytes: u64| {
+            if committed == 0 {
+                0.0
+            } else {
+                bytes as f64 / 1024.0 / committed as f64
+            }
+        };
+        RunResult {
+            tps: committed as f64 / window_s,
+            committed,
+            updates: self.updates,
+            aborts: self.aborts,
+            retries_exhausted: self.retries_exhausted,
+            mean_response_s: self.resp.mean(),
+            p95_response_s: self.resp_hist.percentile(95.0),
+            read_kb_per_txn: per_txn(read_bytes.saturating_sub(self.read_bytes0)),
+            write_kb_per_txn: per_txn(write_bytes.saturating_sub(self.write_bytes0)),
+            window_s,
+            window_start: self.window_start,
+            completions: self.completions.clone(),
+            assignments,
+            cpu_util: 0.0,
+            disk_util: 0.0,
+            lb: LbSummary::default(),
+            per_type: self
+                .per_type
+                .iter()
+                .map(|s| (s.count(), s.mean(), s.max()))
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Committed transactions per second over the measurement window — the
+    /// paper's primary metric.
+    pub tps: f64,
+    /// Committed transactions in the window.
+    pub committed: u64,
+    /// Committed update transactions.
+    pub updates: u64,
+    /// Certification aborts.
+    pub aborts: u64,
+    /// Transactions abandoned after exhausting retries.
+    pub retries_exhausted: u64,
+    /// Mean client-perceived response time, in seconds.
+    pub mean_response_s: f64,
+    /// 95th-percentile response time, in seconds.
+    pub p95_response_s: f64,
+    /// Cluster-wide disk read KB per committed transaction (Tables 1/3/5).
+    pub read_kb_per_txn: f64,
+    /// Cluster-wide disk write KB per committed transaction (Tables 1/3/5).
+    pub write_kb_per_txn: f64,
+    /// Measurement window length, in seconds.
+    pub window_s: f64,
+    /// Window start (for time-series bucketing).
+    pub window_start: SimTime,
+    /// Completion timestamps within the window.
+    pub completions: Vec<SimTime>,
+    /// Final MALB groupings (empty for other policies).
+    pub assignments: Vec<GroupSnapshot>,
+    /// Mean CPU utilization across replicas over the window (filled by
+    /// `World::finish_result`).
+    pub cpu_util: f64,
+    /// Mean disk utilization across replicas over the window.
+    pub disk_util: f64,
+    /// Load-balancer activity over the whole run (filled by
+    /// `World::finish_result`).
+    pub lb: LbSummary,
+    /// Per-type `(count, mean response s, max response s)` indexed by type
+    /// id (types never completed may be missing from the tail).
+    pub per_type: Vec<(u64, f64, f64)>,
+}
+
+/// Summary of load-balancer reconfiguration activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LbSummary {
+    /// Replica moves performed by MALB.
+    pub moves: u64,
+    /// Group merges.
+    pub merges: u64,
+    /// Group splits.
+    pub splits: u64,
+    /// Wholesale fast re-allocations.
+    pub fast_reallocs: u64,
+    /// Dispatches that fell back outside the type's group.
+    pub fallback: u64,
+    /// Whether update filters were installed.
+    pub filters_installed: bool,
+}
+
+impl RunResult {
+    /// Buckets completions into `bucket_s`-second intervals and returns
+    /// `(bucket_start_s, tps)` pairs — the Figure 6 time series.
+    pub fn timeseries(&self, bucket_s: f64) -> Vec<(f64, f64)> {
+        if self.completions.is_empty() {
+            return Vec::new();
+        }
+        let start = self.window_start.as_secs_f64();
+        let end = start + self.window_s;
+        let nbuckets = ((end - start) / bucket_s).ceil() as usize;
+        let mut counts = vec![0u64; nbuckets.max(1)];
+        for t in &self.completions {
+            let idx = (((t.as_secs_f64() - start) / bucket_s) as usize).min(counts.len() - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (start + i as f64 * bucket_s, *c as f64 / bucket_s))
+            .collect()
+    }
+
+    /// Abort rate relative to commit attempts.
+    pub fn abort_fraction(&self) -> f64 {
+        let attempts = self.committed + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tps_is_committed_over_window() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::from_secs(10), 0, 0);
+        for i in 0..50 {
+            m.record_completion(
+                SimTime::from_secs(10 + i % 20),
+                SimTime::from_secs(9),
+                false,
+            );
+        }
+        let r = m.finish(SimTime::from_secs(35), 0, 0, Vec::new());
+        assert_eq!(r.committed, 50);
+        assert!((r.tps - 2.0).abs() < 1e-9, "tps {}", r.tps);
+    }
+
+    #[test]
+    fn disk_kb_per_txn_uses_window_delta() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 1024 * 100, 1024 * 10);
+        for _ in 0..10 {
+            m.record_completion(SimTime::from_secs(1), SimTime::ZERO, true);
+        }
+        let r = m.finish(SimTime::from_secs(10), 1024 * 820, 1024 * 130, Vec::new());
+        assert!((r.read_kb_per_txn - 72.0).abs() < 1e-9);
+        assert!((r.write_kb_per_txn - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_stats_accumulate() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 0, 0);
+        m.record_completion(SimTime::from_millis(1500), SimTime::from_millis(500), false);
+        m.record_completion(SimTime::from_millis(2500), SimTime::from_millis(500), false);
+        let r = m.finish(SimTime::from_secs(10), 0, 0, Vec::new());
+        assert!((r.mean_response_s - 1.5).abs() < 1e-9);
+        assert!(r.p95_response_s >= 1.9);
+    }
+
+    #[test]
+    fn start_window_resets_counts() {
+        let mut m = Metrics::new();
+        m.record_completion(SimTime::from_secs(1), SimTime::ZERO, false);
+        m.record_abort();
+        m.start_window(SimTime::from_secs(60), 0, 0);
+        assert_eq!(m.committed(), 0);
+        assert_eq!(m.aborts(), 0);
+    }
+
+    #[test]
+    fn timeseries_buckets_completions() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 0, 0);
+        // 30 completions in the first 30 s, none after.
+        for i in 0..30 {
+            m.record_completion(SimTime::from_secs(i), SimTime::ZERO, false);
+        }
+        let r = m.finish(SimTime::from_secs(60), 0, 0, Vec::new());
+        let ts = r.timeseries(30.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts[0].1 - 1.0).abs() < 1e-9, "first bucket {:?}", ts[0]);
+        assert_eq!(ts[1].1, 0.0);
+    }
+
+    #[test]
+    fn abort_fraction_bounds() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 0, 0);
+        m.record_completion(SimTime::from_secs(1), SimTime::ZERO, true);
+        m.record_abort();
+        let r = m.finish(SimTime::from_secs(2), 0, 0, Vec::new());
+        assert!((r.abort_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let m = Metrics::new();
+        let r = m.finish(SimTime::from_secs(1), 100, 100, Vec::new());
+        assert_eq!(r.tps, 0.0);
+        assert_eq!(r.read_kb_per_txn, 0.0);
+        assert!(r.timeseries(10.0).is_empty());
+        assert_eq!(r.abort_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,681 @@
+//! The cluster event loop.
+//!
+//! All components live in one [`World`]; timestamped [`Ev`] events drive
+//! them. The transaction lifecycle:
+//!
+//! 1. `ClientArrive` — a client finishes thinking, the balancer picks a
+//!    replica, the proxy (Gatekeeper) admits or queues the transaction;
+//! 2. `StepTxn` — the replica advances the transaction by a CPU quantum or
+//!    one disk read;
+//! 3. read-only transactions complete locally (`TxnComplete`); update
+//!    transactions send their writeset to the certifier (`CertifySend`),
+//!    whose response (`CertifyReturn`) carries the remote writesets the
+//!    replica must apply before committing — or a conflict, aborting the
+//!    transaction for the client to retry;
+//! 4. `Maintenance` — per replica: background writes, propagation pulls
+//!    (500 ms), load-daemon samples (1 s);
+//! 5. `LbTick` — MALB rebalancing and (eventually) filter installation.
+
+use std::collections::HashMap;
+
+use tashkent_certifier::{Certifier, CertifyOutcome, CommittedWriteset, PropagationAction, PropagationPolicy};
+use tashkent_core::{LoadBalancer, ReconfigAction, ReplicaId, ResourceLoad, WorkingSetEstimator};
+use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version, Writeset};
+use tashkent_replica::{ReplicaNode, StepOutcome, UpdateFilter};
+use tashkent_sim::{EventQueue, SimRng, SimTime};
+use tashkent_workloads::{ClientPool, Mix, Workload};
+
+use crate::config::{ClusterConfig, PolicySpec};
+use crate::metrics::{GroupSnapshot, Metrics};
+
+/// Events driving the simulation.
+#[derive(Debug)]
+pub enum Ev {
+    /// A client submits its next transaction.
+    ClientArrive {
+        /// Client index.
+        client: usize,
+    },
+    /// Continue executing a transaction on a replica.
+    StepTxn {
+        /// Replica index.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// A writeset reaches the certifier.
+    CertifySend {
+        /// Origin replica.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// The writeset.
+        ws: Writeset,
+    },
+    /// The certifier's response reaches the replica.
+    CertifyReturn {
+        /// Origin replica.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// Commit version, or `None` on conflict.
+        version: Option<Version>,
+    },
+    /// A transaction finished on its replica (response travels to client).
+    TxnComplete {
+        /// Replica index.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// Whether it committed (vs aborted).
+        committed: bool,
+    },
+    /// Per-replica periodic work: background writer, propagation, daemon.
+    Maintenance {
+        /// Replica index.
+        replica: usize,
+        /// Round counter (daemon samples every other round).
+        round: u64,
+    },
+    /// Load-balancer rebalance tick.
+    LbTick,
+    /// Switch the workload mix (dynamic-reconfiguration experiments).
+    MixSwitch {
+        /// Index into the experiment's mix list.
+        mix: usize,
+    },
+    /// Freeze the balancer (static-configuration baseline).
+    FreezeLb,
+    /// End of warm-up: reset the measurement window.
+    EndWarmup,
+    /// End of run.
+    End,
+}
+
+/// Bookkeeping for one in-flight transaction.
+struct TxnMeta {
+    client: usize,
+    txn_type: TxnTypeId,
+    /// First submission time (retries keep the original arrival).
+    arrived: SimTime,
+    retries: u32,
+    is_update: bool,
+}
+
+/// The assembled cluster.
+pub struct World {
+    /// Configuration.
+    pub config: ClusterConfig,
+    /// The workload (schema + transaction types).
+    pub workload: Workload,
+    /// Mixes selectable via `MixSwitch` (index 0 active initially).
+    pub mixes: Vec<Mix>,
+    active_mix: usize,
+    queue: EventQueue<Ev>,
+    lb: LoadBalancer,
+    replicas: Vec<ReplicaNode>,
+    certifier: Certifier,
+    propagation: PropagationPolicy,
+    last_contact: Vec<SimTime>,
+    clients: ClientPool,
+    rng: SimRng,
+    next_txn: u64,
+    txns: HashMap<TxnId, TxnMeta>,
+    /// Metrics accumulator.
+    pub metrics: Metrics,
+    /// CPU/disk busy totals at the start of the measurement window.
+    busy0: (u64, u64),
+    window_started: SimTime,
+    ended: bool,
+}
+
+impl World {
+    /// Builds a world from a configuration, workload, and mixes (the first
+    /// mix is active at start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mixes` is empty.
+    pub fn new(config: ClusterConfig, workload: Workload, mixes: Vec<Mix>) -> Self {
+        assert!(!mixes.is_empty(), "world needs at least one mix");
+        let mut rng = SimRng::seed_from(config.seed);
+        let lb = build_balancer(&config, &workload, &mixes[0]);
+        let replicas: Vec<ReplicaNode> = (0..config.replicas)
+            .map(|_| {
+                ReplicaNode::new(
+                    workload.catalog.clone(),
+                    config.replica_config(),
+                    rng.fork(),
+                )
+            })
+            .collect();
+        let clients = ClientPool::new(config.clients, config.think_mean_us);
+        World {
+            queue: EventQueue::new(),
+            lb,
+            replicas,
+            certifier: Certifier::new(config.certifier),
+            propagation: PropagationPolicy::default(),
+            last_contact: vec![SimTime::ZERO; config.replicas],
+            clients,
+            rng,
+            next_txn: 0,
+            txns: HashMap::new(),
+            metrics: Metrics::new(),
+            active_mix: 0,
+            config,
+            workload,
+            mixes,
+            busy0: (0, 0),
+            window_started: SimTime::ZERO,
+            ended: false,
+        }
+    }
+
+    /// Schedules the initial events: staggered client arrivals, per-replica
+    /// maintenance, and balancer ticks.
+    pub fn prime(&mut self) {
+        for client in 0..self.config.clients {
+            let delay = self.rng.exp_micros(self.config.think_mean_us.max(1));
+            self.queue.schedule(SimTime::from_micros(delay), Ev::ClientArrive { client });
+        }
+        for replica in 0..self.config.replicas {
+            self.queue
+                .schedule(SimTime::from_millis(250), Ev::Maintenance { replica, round: 0 });
+        }
+        self.queue
+            .schedule(SimTime::from_secs(1), Ev::LbTick);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules an event (used by the experiment driver for phase switches
+    /// and run boundaries).
+    pub fn schedule(&mut self, at: SimTime, ev: Ev) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Cluster-wide disk byte counters `(read, write)`.
+    pub fn disk_bytes(&self) -> (u64, u64) {
+        let mut read = 0;
+        let mut write = 0;
+        for r in &self.replicas {
+            let s = r.disk_stats();
+            read += s.read_bytes();
+            write += s.write_bytes();
+        }
+        (read, write)
+    }
+
+    /// Access a replica (tests and metrics).
+    pub fn replica(&self, idx: usize) -> &ReplicaNode {
+        &self.replicas[idx]
+    }
+
+    /// The balancer (tests and metrics).
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.lb
+    }
+
+    /// The certifier (tests and metrics).
+    pub fn certifier(&self) -> &Certifier {
+        &self.certifier
+    }
+
+    /// Total CPU and disk busy microseconds across replicas.
+    fn busy_totals(&self) -> (u64, u64) {
+        let mut cpu = 0;
+        let mut disk = 0;
+        for r in &self.replicas {
+            cpu += r.cpu_busy_us();
+            disk += r.disk_stats().busy_us;
+        }
+        (cpu, disk)
+    }
+
+    /// Finalizes the run into a [`crate::metrics::RunResult`], including
+    /// mean CPU/disk utilizations over the measurement window.
+    pub fn finish_result(&self) -> crate::metrics::RunResult {
+        let (read, write) = self.disk_bytes();
+        let snaps = self.group_snapshots();
+        let mut result = self.metrics.finish(self.now(), read, write, snaps);
+        let (cpu, disk) = self.busy_totals();
+        let window_us =
+            (self.now().saturating_since(self.window_started) as f64).max(1.0) * self.config.replicas as f64;
+        result.cpu_util = (cpu.saturating_sub(self.busy0.0)) as f64 / window_us;
+        result.disk_util = (disk.saturating_sub(self.busy0.1)) as f64 / window_us;
+        let stats = self.lb.stats();
+        result.lb = crate::metrics::LbSummary {
+            moves: stats.moves,
+            merges: stats.merges,
+            splits: stats.splits,
+            fast_reallocs: stats.fast_reallocs,
+            fallback: stats.fallback,
+            filters_installed: self.lb.filters_installed(),
+        };
+        result
+    }
+
+    /// Current group → replica assignments with type names resolved.
+    pub fn group_snapshots(&self) -> Vec<GroupSnapshot> {
+        let loads = self.lb.loads();
+        self.lb
+            .assignments()
+            .into_iter()
+            .map(|(types, replicas)| GroupSnapshot {
+                types: types
+                    .iter()
+                    .map(|t| self.workload.type_name(*t).to_string())
+                    .collect(),
+                replicas: replicas.len(),
+                load: if replicas.is_empty() {
+                    0.0
+                } else {
+                    replicas
+                        .iter()
+                        .map(|r| loads[r.0].bottleneck())
+                        .sum::<f64>()
+                        / replicas.len() as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Runs until the `End` event fires.
+    pub fn run_to_end(&mut self) {
+        while !self.ended {
+            let Some((now, ev)) = self.queue.pop() else {
+                panic!("event queue drained before End event");
+            };
+            self.handle(now, ev);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ClientArrive { client } => self.on_client_arrive(now, client),
+            Ev::StepTxn { replica, txn } => self.on_step(now, replica, txn),
+            Ev::CertifySend { replica, txn, ws } => self.on_certify_send(now, replica, txn, ws),
+            Ev::CertifyReturn {
+                replica,
+                txn,
+                version,
+            } => self.on_certify_return(now, replica, txn, version),
+            Ev::TxnComplete {
+                replica,
+                txn,
+                committed,
+            } => self.on_txn_complete(now, replica, txn, committed),
+            Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round),
+            Ev::LbTick => self.on_lb_tick(now),
+            Ev::MixSwitch { mix } => {
+                self.active_mix = mix.min(self.mixes.len() - 1);
+            }
+            Ev::FreezeLb => self.lb.freeze(),
+            Ev::EndWarmup => {
+                let (read, write) = self.disk_bytes();
+                self.metrics.start_window(now, read, write);
+                self.busy0 = self.busy_totals();
+                self.window_started = now;
+            }
+            Ev::End => self.ended = true,
+        }
+    }
+
+    fn submit_txn(&mut self, now: SimTime, client: usize, txn_type: TxnTypeId, arrived: SimTime, retries: u32) {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let replica_id = self.lb.dispatch(txn_type);
+        let replica = replica_id.0;
+        let node = &mut self.replicas[replica];
+        let plan = self.workload.types[txn_type.0 as usize].plan.clone();
+        let is_update = plan.is_update();
+        let executor = TxnExecutor::new(txn, txn_type, plan, node.snapshot());
+        self.txns.insert(
+            txn,
+            TxnMeta {
+                client,
+                txn_type,
+                arrived,
+                retries,
+                is_update,
+            },
+        );
+        let admitted = node.submit(executor);
+        if admitted {
+            // Client → balancer → replica: two LAN hops.
+            self.queue
+                .schedule(now + 2 * self.config.lan_hop_us, Ev::StepTxn { replica, txn });
+        }
+        // If queued, the Gatekeeper will admit it when a slot frees.
+    }
+
+    fn on_client_arrive(&mut self, now: SimTime, client: usize) {
+        let txn_type = self.clients.next_type(&self.mixes[self.active_mix], &mut self.rng);
+        self.submit_txn(now, client, txn_type, now, 0);
+    }
+
+    fn on_step(&mut self, now: SimTime, replica: usize, txn: TxnId) {
+        match self.replicas[replica].step(txn, now) {
+            StepOutcome::Busy(t) => {
+                self.queue.schedule(t, Ev::StepTxn { replica, txn });
+            }
+            StepOutcome::Done(t) => {
+                self.queue.schedule(
+                    t,
+                    Ev::TxnComplete {
+                        replica,
+                        txn,
+                        committed: true,
+                    },
+                );
+            }
+            StepOutcome::ReadyToCommit(t, ws) => {
+                self.queue.schedule(
+                    t + self.config.lan_hop_us,
+                    Ev::CertifySend { replica, txn, ws },
+                );
+            }
+        }
+    }
+
+    fn on_certify_send(&mut self, now: SimTime, replica: usize, txn: TxnId, ws: Writeset) {
+        match self.certifier.certify(now, ws) {
+            CertifyOutcome::Committed {
+                version,
+                durable_at,
+            } => {
+                self.queue.schedule(
+                    durable_at + self.config.lan_hop_us,
+                    Ev::CertifyReturn {
+                        replica,
+                        txn,
+                        version: Some(version),
+                    },
+                );
+            }
+            CertifyOutcome::Conflict => {
+                self.queue.schedule(
+                    now + self.config.lan_hop_us,
+                    Ev::CertifyReturn {
+                        replica,
+                        txn,
+                        version: None,
+                    },
+                );
+            }
+        }
+        self.last_contact[replica] = now;
+    }
+
+    fn on_certify_return(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        txn: TxnId,
+        version: Option<Version>,
+    ) {
+        match version {
+            Some(version) => {
+                // Apply intervening remote writesets, then commit locally.
+                // A propagation pull may already have advanced the replica
+                // past this version (applying our own writeset as if remote
+                // — harmless, the pages are identical); only commit when the
+                // version is still ahead.
+                let node = &mut self.replicas[replica];
+                let t_applied = if node.applied() < version {
+                    let pending: Vec<CommittedWriteset> = self
+                        .certifier
+                        .writesets_since(node.applied())
+                        .iter()
+                        .filter(|cw| cw.version < version)
+                        .cloned()
+                        .collect();
+                    let t = node.apply_writesets(now, &pending);
+                    node.commit_local(version);
+                    t
+                } else {
+                    now
+                };
+                self.queue.schedule(
+                    t_applied,
+                    Ev::TxnComplete {
+                        replica,
+                        txn,
+                        committed: true,
+                    },
+                );
+            }
+            None => {
+                self.metrics.record_abort();
+                self.queue.schedule(
+                    now,
+                    Ev::TxnComplete {
+                        replica,
+                        txn,
+                        committed: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_txn_complete(&mut self, now: SimTime, replica: usize, txn: TxnId, committed: bool) {
+        // Free the Gatekeeper slot; a queued transaction may start.
+        if let Some(next) = self.replicas[replica].finish(committed) {
+            self.queue.schedule(now, Ev::StepTxn { replica, txn: next });
+        }
+        self.lb.complete(ReplicaId(replica));
+        let meta = self.txns.remove(&txn).expect("transaction metadata");
+        if committed {
+            let response_at = now + 2 * self.config.lan_hop_us;
+            self.metrics.record_completion_typed(
+                response_at,
+                meta.arrived,
+                meta.is_update,
+                meta.txn_type.0,
+            );
+            let think = self.clients.think(&mut self.rng);
+            self.queue.schedule(
+                response_at + think,
+                Ev::ClientArrive {
+                    client: meta.client,
+                },
+            );
+        } else if meta.retries < self.clients.max_retries {
+            // Retry immediately with a fresh snapshot (possibly elsewhere).
+            self.submit_txn(now, meta.client, meta.txn_type, meta.arrived, meta.retries + 1);
+        } else {
+            self.metrics.record_gave_up();
+            let think = self.clients.think(&mut self.rng);
+            self.queue.schedule(
+                now + think,
+                Ev::ClientArrive {
+                    client: meta.client,
+                },
+            );
+        }
+    }
+
+    fn on_maintenance(&mut self, now: SimTime, replica: usize, round: u64) {
+        self.replicas[replica].maintenance(now);
+
+        // Propagation: pull or prod per the paper's 500 ms / 25-commit rules.
+        let node = &mut self.replicas[replica];
+        let action = self.propagation.decide(
+            now,
+            self.last_contact[replica],
+            node.applied(),
+            self.certifier.version(),
+        );
+        if action != PropagationAction::None {
+            let pending: Vec<CommittedWriteset> =
+                self.certifier.writesets_since(node.applied()).to_vec();
+            if !pending.is_empty() {
+                node.apply_writesets(now, &pending);
+                self.last_contact[replica] = now;
+            }
+        }
+
+        // Load daemon samples every second (every fourth 250 ms round).
+        if round % 4 == 3 {
+            let report = self.replicas[replica].sample_load(now);
+            self.lb.report(
+                ReplicaId(replica),
+                ResourceLoad {
+                    cpu: report.cpu,
+                    disk: report.disk,
+                },
+            );
+        }
+        self.queue.schedule(
+            now + 250_000,
+            Ev::Maintenance {
+                replica,
+                round: round + 1,
+            },
+        );
+    }
+
+    fn on_lb_tick(&mut self, now: SimTime) {
+        for action in self.lb.tick(now) {
+            match action {
+                ReconfigAction::SetFilter { replica, tables } => {
+                    let filter = match tables {
+                        Some(t) => UpdateFilter::only(t),
+                        None => UpdateFilter::all(),
+                    };
+                    self.replicas[replica.0].set_filter(filter);
+                }
+                ReconfigAction::Moved { .. } => {}
+            }
+        }
+        self.queue.schedule(now + 1_000_000, Ev::LbTick);
+    }
+}
+
+/// Builds the balancer for a config, estimating working sets for MALB from
+/// the active mix's transaction types via `EXPLAIN` + catalog metadata —
+/// exactly the paper's information channel (§4.2.2).
+fn build_balancer(config: &ClusterConfig, workload: &Workload, mix: &Mix) -> LoadBalancer {
+    match config.policy {
+        PolicySpec::RoundRobin => LoadBalancer::round_robin(config.replicas),
+        PolicySpec::LeastConnections => LoadBalancer::least_connections(config.replicas),
+        PolicySpec::Lard => LoadBalancer::lard(config.replicas, config.lard),
+        PolicySpec::Malb { .. } => {
+            let estimator = WorkingSetEstimator::new(&workload.catalog);
+            let sets = mix
+                .active_types()
+                .iter()
+                .map(|t| estimator.estimate(*t, &workload.explain(*t)))
+                .collect();
+            let malb_cfg = config.malb_config().expect("policy is MALB");
+            LoadBalancer::malb(config.replicas, sets, malb_cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tashkent_workloads::tpcw::{self, TpcwScale};
+
+    fn tiny_world(policy: PolicySpec) -> World {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let config = ClusterConfig {
+            replicas: 2,
+            clients: 6,
+            think_mean_us: 200_000,
+            ..ClusterConfig::paper_default()
+        }
+        .with_policy(policy);
+        World::new(config, workload, vec![mix])
+    }
+
+    fn run_secs(world: &mut World, warmup: u64, total: u64) {
+        world.prime();
+        world.schedule(SimTime::from_secs(warmup), Ev::EndWarmup);
+        world.schedule(SimTime::from_secs(total), Ev::End);
+        world.run_to_end();
+    }
+
+    #[test]
+    fn transactions_flow_end_to_end() {
+        let mut w = tiny_world(PolicySpec::LeastConnections);
+        run_secs(&mut w, 2, 20);
+        let (read, write) = w.disk_bytes();
+        let r = w.metrics.finish(w.now(), read, write, Vec::new());
+        assert!(r.committed > 10, "committed {}", r.committed);
+        assert!(r.tps > 0.5, "tps {}", r.tps);
+        assert!(r.mean_response_s > 0.0);
+    }
+
+    #[test]
+    fn updates_propagate_to_all_replicas() {
+        let mut w = tiny_world(PolicySpec::LeastConnections);
+        run_secs(&mut w, 2, 30);
+        let head = w.certifier().version();
+        assert!(head.0 > 0, "some updates committed");
+        for i in 0..2 {
+            let lag = head.0 - w.replica(i).applied().0;
+            assert!(lag <= 30, "replica {i} lags {lag} commits");
+        }
+    }
+
+    #[test]
+    fn malb_world_assigns_groups() {
+        let mut w = tiny_world(PolicySpec::malb_sc());
+        run_secs(&mut w, 2, 20);
+        let snaps = w.group_snapshots();
+        assert!(!snaps.is_empty());
+        let types: usize = snaps.iter().map(|g| g.types.len()).sum();
+        assert_eq!(types, 13, "all 13 TPC-W types grouped");
+        let (read, write) = w.disk_bytes();
+        let r = w.metrics.finish(w.now(), read, write, w.group_snapshots());
+        assert!(r.committed > 10);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut w = tiny_world(PolicySpec::LeastConnections);
+            run_secs(&mut w, 2, 15);
+            let (read, write) = w.disk_bytes();
+            let r = w.metrics.finish(w.now(), read, write, Vec::new());
+            (r.committed, r.aborts, read, write)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mix_switch_changes_distribution() {
+        let (workload, ordering) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Small, "browsing");
+        let config = ClusterConfig {
+            replicas: 2,
+            clients: 6,
+            think_mean_us: 200_000,
+            ..ClusterConfig::paper_default()
+        };
+        let mut w = World::new(config, workload, vec![ordering, browsing]);
+        w.prime();
+        w.schedule(SimTime::from_secs(1), Ev::EndWarmup);
+        w.schedule(SimTime::from_secs(10), Ev::MixSwitch { mix: 1 });
+        w.schedule(SimTime::from_secs(30), Ev::End);
+        w.run_to_end();
+        // After the switch to read-only-ish browsing, update volume is low:
+        // the certifier version grows far slower than completions.
+        let (read, write) = w.disk_bytes();
+        let r = w.metrics.finish(w.now(), read, write, Vec::new());
+        assert!(r.committed > 0);
+        assert!(
+            (r.updates as f64) < 0.45 * r.committed as f64,
+            "updates {} of {}",
+            r.updates,
+            r.committed
+        );
+    }
+}

@@ -1,0 +1,1127 @@
+//! The load balancer: dispatch policies and the MALB composite.
+//!
+//! The balancer fronts the replica cluster (it is a JDBC driver in the
+//! paper, §4.2.1): clients request a connection per transaction, supplying
+//! the transaction type; the balancer picks a replica. It tracks outstanding
+//! connections per replica (the only signal LeastConnections and LARD get)
+//! and consumes smoothed load reports from the replica daemons (the signal
+//! MALB's allocation uses).
+
+use std::collections::{BTreeSet, HashMap};
+
+use tashkent_engine::TxnTypeId;
+use tashkent_sim::SimTime;
+use tashkent_storage::RelationId;
+
+use crate::allocation::{AllocationConfig, Allocator, GroupLoads};
+use crate::estimator::{EstimationMode, WorkingSet};
+use crate::filtering::filter_lists;
+use crate::grouping::{pack_groups, GroupId, TxnGroup};
+use crate::lard::{Lard, LardConfig};
+use crate::types::ReplicaId;
+
+/// A replica load report as seen by the balancer (mirrors the daemon's
+/// CPU/disk utilizations; kept separate so the balancer layer does not
+/// depend on the replica implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceLoad {
+    /// Smoothed CPU utilization in `[0, 1]`.
+    pub cpu: f64,
+    /// Smoothed disk utilization in `[0, 1]`.
+    pub disk: f64,
+}
+
+impl ResourceLoad {
+    /// The paper's load function, `MAX(cpu, disk)` (§2.4).
+    pub fn bottleneck(&self) -> f64 {
+        self.cpu.max(self.disk)
+    }
+}
+
+/// Which dispatch policy a balancer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Cycle through replicas.
+    RoundRobin,
+    /// Fewest outstanding connections (§4.3).
+    LeastConnections,
+    /// Locality-aware request distribution (§4.3).
+    Lard,
+    /// MALB with size-only packing (§2.3).
+    MalbS,
+    /// MALB with size + content packing (§2.3) — the headline technique.
+    MalbSc,
+    /// MALB with size + content + access-pattern packing (§2.3).
+    MalbScap,
+}
+
+impl PolicyKind {
+    /// The estimation mode behind a MALB variant, if any.
+    pub fn estimation_mode(&self) -> Option<EstimationMode> {
+        match self {
+            PolicyKind::MalbS => Some(EstimationMode::Size),
+            PolicyKind::MalbSc => Some(EstimationMode::SizeContent),
+            PolicyKind::MalbScap => Some(EstimationMode::SizeContentAccessPattern),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RoundRobin",
+            PolicyKind::LeastConnections => "LeastConnections",
+            PolicyKind::Lard => "LARD",
+            PolicyKind::MalbS => "MALB-S",
+            PolicyKind::MalbSc => "MALB-SC",
+            PolicyKind::MalbScap => "MALB-SCAP",
+        }
+    }
+}
+
+/// MALB configuration.
+#[derive(Debug, Clone)]
+pub struct MalbConfig {
+    /// Which working-set information the packing uses.
+    pub mode: EstimationMode,
+    /// Per-replica memory available for working sets, in pages (already net
+    /// of the paper's 70 MB system overhead).
+    pub capacity_pages: u64,
+    /// Allocation knobs (hysteresis, merging, fast re-allocation).
+    pub allocation: AllocationConfig,
+    /// How often allocation decisions run.
+    pub rebalance_period: SimTime,
+    /// Whether replica allocation adapts at runtime (the Figure 6 "static
+    /// configuration" baseline sets this to `false` after convergence).
+    pub dynamic: bool,
+    /// Whether update filtering is enabled (§3).
+    pub update_filtering: bool,
+    /// Availability: minimum up-to-date replicas per transaction group when
+    /// filtering.
+    pub min_copies: usize,
+    /// Rebalance rounds without movement before filters are installed
+    /// ("after the system stabilizes", §5.5).
+    pub stable_rounds_for_filter: u32,
+}
+
+impl MalbConfig {
+    /// A paper-shaped configuration for the given estimation mode and
+    /// per-replica capacity.
+    pub fn paper_default(mode: EstimationMode, capacity_pages: u64) -> Self {
+        MalbConfig {
+            mode,
+            capacity_pages,
+            allocation: AllocationConfig::default(),
+            rebalance_period: SimTime::from_secs(5),
+            dynamic: true,
+            update_filtering: false,
+            min_copies: 2,
+            stable_rounds_for_filter: 10,
+        }
+    }
+}
+
+/// Reconfiguration produced by a rebalance round, applied by the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigAction {
+    /// Install an update filter at a replica. `None` disables filtering.
+    SetFilter {
+        /// Target replica.
+        replica: ReplicaId,
+        /// Tables to keep current; `None` = all.
+        tables: Option<BTreeSet<RelationId>>,
+    },
+    /// A replica changed groups (informational; caches migrate implicitly).
+    Moved {
+        /// The replica that changed assignment.
+        replica: ReplicaId,
+    },
+}
+
+/// Dispatch counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchStats {
+    /// Total dispatches.
+    pub dispatched: u64,
+    /// Dispatches that fell back to least-connections because the type had
+    /// no group (should stay zero in configured experiments).
+    pub fallback: u64,
+    /// Replica moves performed by MALB allocation.
+    pub moves: u64,
+    /// Group merges performed.
+    pub merges: u64,
+    /// Group splits performed.
+    pub splits: u64,
+    /// Fast re-allocations performed.
+    pub fast_reallocs: u64,
+}
+
+/// An allocation unit: one or more groups sharing a replica set.
+///
+/// Units usually hold a single group; merging two under-utilized groups
+/// (§2.4) yields a unit with two groups on one replica.
+#[derive(Debug, Clone)]
+struct Unit {
+    groups: Vec<usize>,
+    replicas: Vec<ReplicaId>,
+}
+
+/// MALB dispatcher state.
+#[derive(Debug, Clone)]
+struct MalbState {
+    config: MalbConfig,
+    working_sets: Vec<WorkingSet>,
+    groups: Vec<TxnGroup>,
+    group_of_type: HashMap<TxnTypeId, usize>,
+    units: Vec<Unit>,
+    allocator: Allocator,
+    next_rebalance: SimTime,
+    stable_rounds: u32,
+    filters_installed: bool,
+    /// Rebalance round counter.
+    round: u32,
+    /// No merges before this round (set after a split to damp
+    /// merge/split oscillation).
+    merge_cooldown_until: u32,
+}
+
+/// The policy state machine.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Round-robin cursor.
+    RoundRobin {
+        /// Next replica index.
+        next: usize,
+    },
+    /// Least outstanding connections.
+    LeastConnections,
+    /// LARD state.
+    Lard(Lard),
+    /// MALB state.
+    Malb(Box<MalbStateOpaque>),
+}
+
+/// Opaque wrapper keeping `MalbState` private while allowing `Policy` to be
+/// public.
+#[derive(Debug, Clone)]
+pub struct MalbStateOpaque(MalbState);
+
+/// The load balancer fronting the cluster.
+pub struct LoadBalancer {
+    n: usize,
+    conns: Vec<usize>,
+    loads: Vec<ResourceLoad>,
+    alive: Vec<bool>,
+    policy: Policy,
+    stats: DispatchStats,
+}
+
+impl LoadBalancer {
+    /// Creates a round-robin balancer.
+    pub fn round_robin(n_replicas: usize) -> Self {
+        Self::with_policy(n_replicas, Policy::RoundRobin { next: 0 })
+    }
+
+    /// Creates a least-connections balancer (§4.3).
+    pub fn least_connections(n_replicas: usize) -> Self {
+        Self::with_policy(n_replicas, Policy::LeastConnections)
+    }
+
+    /// Creates a LARD balancer (§4.3).
+    pub fn lard(n_replicas: usize, config: LardConfig) -> Self {
+        Self::with_policy(n_replicas, Policy::Lard(Lard::new(n_replicas, config)))
+    }
+
+    /// Creates a MALB balancer: packs `working_sets` into groups under
+    /// `config.mode` and spreads replicas over the groups; allocation then
+    /// adapts from load reports.
+    pub fn malb(n_replicas: usize, working_sets: Vec<WorkingSet>, config: MalbConfig) -> Self {
+        let groups = pack_groups(&working_sets, config.mode, config.capacity_pages);
+        let mut group_of_type = HashMap::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for t in &g.types {
+                group_of_type.insert(*t, gi);
+            }
+        }
+        // Seed units: one per group, merging the smallest groups if there
+        // are more groups than replicas.
+        let mut units: Vec<Unit> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, _)| Unit {
+                groups: vec![gi],
+                replicas: Vec::new(),
+            })
+            .collect();
+        while units.len() > n_replicas {
+            // Merge the two units with the smallest combined estimates.
+            units.sort_by_key(|u| {
+                u.groups
+                    .iter()
+                    .map(|g| groups[*g].estimate_pages)
+                    .sum::<u64>()
+            });
+            let mut absorbed = units.remove(0);
+            units[0].groups.append(&mut absorbed.groups);
+            units.sort_by_key(|u| u.groups.iter().min().copied().unwrap_or(usize::MAX));
+        }
+        // Spread replicas over units: overflow groups get two replicas
+        // first when the cluster is big enough (they are both the heaviest
+        // candidates and the ones §3's availability constraint wants at two
+        // copies), then round-robin.
+        let mut rid = 0;
+        if n_replicas >= 2 * units.len() {
+            for unit in units.iter_mut() {
+                let is_overflow = unit.groups.iter().any(|g| groups[*g].overflow);
+                if is_overflow && rid < n_replicas {
+                    unit.replicas.push(ReplicaId(rid));
+                    rid += 1;
+                }
+            }
+        }
+        let mut cursor = 0;
+        while rid < n_replicas {
+            let ulen = units.len();
+            units[cursor % ulen].replicas.push(ReplicaId(rid));
+            rid += 1;
+            cursor += 1;
+        }
+        let allocator = Allocator::new(config.allocation);
+        let next_rebalance = config.rebalance_period;
+        let state = MalbState {
+            config,
+            working_sets,
+            groups,
+            group_of_type,
+            units,
+            allocator,
+            next_rebalance,
+            stable_rounds: 0,
+            filters_installed: false,
+            round: 0,
+            merge_cooldown_until: 0,
+        };
+        Self::with_policy(n_replicas, Policy::Malb(Box::new(MalbStateOpaque(state))))
+    }
+
+    fn with_policy(n: usize, policy: Policy) -> Self {
+        assert!(n > 0, "balancer needs at least one replica");
+        LoadBalancer {
+            n,
+            conns: vec![0; n],
+            loads: vec![ResourceLoad::default(); n],
+            alive: vec![true; n],
+            policy,
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.n
+    }
+
+    /// Dispatch counters.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Balancer-side outstanding connections per replica.
+    pub fn connections(&self) -> &[usize] {
+        &self.conns
+    }
+
+    /// Latest load reports per replica.
+    pub fn loads(&self) -> &[ResourceLoad] {
+        &self.loads
+    }
+
+    /// Records a load report from a replica daemon.
+    pub fn report(&mut self, replica: ReplicaId, load: ResourceLoad) {
+        self.loads[replica.0] = load;
+    }
+
+    /// Chooses a replica for a transaction of `txn_type` and opens a
+    /// connection to it.
+    pub fn dispatch(&mut self, txn_type: TxnTypeId) -> ReplicaId {
+        self.stats.dispatched += 1;
+        let choice = match &mut self.policy {
+            Policy::RoundRobin { next } => {
+                let mut r = *next;
+                // Skip dead replicas.
+                for _ in 0..self.n {
+                    if self.alive[r] {
+                        break;
+                    }
+                    r = (r + 1) % self.n;
+                }
+                *next = (r + 1) % self.n;
+                ReplicaId(r)
+            }
+            Policy::LeastConnections => least_conn_alive(&self.conns, &self.alive),
+            Policy::Lard(lard) => {
+                // LARD sees live replicas' connection counts; dead replicas
+                // are masked with a saturating count.
+                let mut masked = self.conns.clone();
+                for (i, alive) in self.alive.iter().enumerate() {
+                    if !alive {
+                        masked[i] = usize::MAX;
+                    }
+                }
+                lard.dispatch(txn_type, &masked)
+            }
+            Policy::Malb(state) => {
+                let state = &mut state.0;
+                match state.group_of_type.get(&txn_type) {
+                    Some(gi) => {
+                        let unit = state
+                            .units
+                            .iter()
+                            .find(|u| u.groups.contains(gi))
+                            .expect("every group belongs to a unit");
+                        let live: Vec<ReplicaId> = unit
+                            .replicas
+                            .iter()
+                            .copied()
+                            .filter(|r| self.alive[r.0])
+                            .collect();
+                        match live
+                            .iter()
+                            .min_by_key(|r| (self.conns[r.0], r.0))
+                            .copied()
+                        {
+                            Some(r) => r,
+                            None => {
+                                self.stats.fallback += 1;
+                                least_conn_alive(&self.conns, &self.alive)
+                            }
+                        }
+                    }
+                    None => {
+                        self.stats.fallback += 1;
+                        least_conn_alive(&self.conns, &self.alive)
+                    }
+                }
+            }
+        };
+        self.conns[choice.0] += 1;
+        choice
+    }
+
+    /// Closes the connection a transaction held on `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica had no open connections (caller bookkeeping
+    /// bug).
+    pub fn complete(&mut self, replica: ReplicaId) {
+        assert!(self.conns[replica.0] > 0, "no open connection on {replica}");
+        self.conns[replica.0] -= 1;
+    }
+
+    /// Marks a replica dead (failure injection); MALB units and LARD sets
+    /// drop it.
+    pub fn replica_failed(&mut self, replica: ReplicaId) {
+        self.alive[replica.0] = false;
+        match &mut self.policy {
+            Policy::Lard(l) => l.remove_replica(replica),
+            Policy::Malb(state) => {
+                for unit in &mut state.0.units {
+                    unit.replicas.retain(|r| *r != replica);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Marks a replica alive again after recovery. For MALB the replica
+    /// joins the least-replicated unit.
+    pub fn replica_recovered(&mut self, replica: ReplicaId) {
+        self.alive[replica.0] = true;
+        if let Policy::Malb(state) = &mut self.policy {
+            if let Some(unit) = state
+                .0
+                .units
+                .iter_mut()
+                .min_by_key(|u| u.replicas.len())
+            {
+                if !unit.replicas.contains(&replica) {
+                    unit.replicas.push(replica);
+                }
+            }
+        }
+    }
+
+    /// Stops MALB's dynamic re-allocation (Figure 6's static baseline; also
+    /// used when freezing before enabling filters manually).
+    pub fn freeze(&mut self) {
+        if let Policy::Malb(state) = &mut self.policy {
+            state.0.config.dynamic = false;
+        }
+    }
+
+    /// Current MALB assignment: for each unit, its member types and its
+    /// replicas (Table 2 / Table 4 output). Empty for non-MALB policies.
+    pub fn assignments(&self) -> Vec<(Vec<TxnTypeId>, Vec<ReplicaId>)> {
+        match &self.policy {
+            Policy::Malb(state) => {
+                let s = &state.0;
+                s.units
+                    .iter()
+                    .map(|u| {
+                        let mut types: Vec<TxnTypeId> = u
+                            .groups
+                            .iter()
+                            .flat_map(|g| s.groups[*g].types.iter().copied())
+                            .collect();
+                        types.sort();
+                        (types, u.replicas.clone())
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether MALB has installed update filters (always `false` for other
+    /// policies).
+    pub fn filters_installed(&self) -> bool {
+        match &self.policy {
+            Policy::Malb(state) => state.0.filters_installed,
+            _ => false,
+        }
+    }
+
+    /// The packed groups (for inspection/benches). Empty for non-MALB.
+    pub fn groups(&self) -> Vec<TxnGroup> {
+        match &self.policy {
+            Policy::Malb(state) => state.0.groups.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Runs one balancer tick at `now`: MALB rebalances (moves, merges,
+    /// splits, fast re-allocation) and, once stable, installs update
+    /// filters. Other policies do nothing.
+    pub fn tick(&mut self, now: SimTime) -> Vec<ReconfigAction> {
+        let loads = self.loads.clone();
+        let alive = self.alive.clone();
+        let stats = &mut self.stats;
+        match &mut self.policy {
+            Policy::Malb(state) => state.0.tick(now, &loads, &alive, stats),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Least-connections choice over live replicas.
+fn least_conn_alive(conns: &[usize], alive: &[bool]) -> ReplicaId {
+    conns
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| alive[*i])
+        .min_by_key(|(i, c)| (**c, *i))
+        .map(|(i, _)| ReplicaId(i))
+        .expect("at least one live replica")
+}
+
+impl MalbState {
+    fn tick(
+        &mut self,
+        now: SimTime,
+        loads: &[ResourceLoad],
+        alive: &[bool],
+        stats: &mut DispatchStats,
+    ) -> Vec<ReconfigAction> {
+        let mut actions = Vec::new();
+        if now < self.next_rebalance {
+            return actions;
+        }
+        self.next_rebalance = now + self.config.rebalance_period.as_micros();
+        if !self.config.dynamic && self.filters_installed {
+            return actions;
+        }
+
+        let mut changed = false;
+        if self.config.dynamic {
+            changed = self.rebalance(loads, alive, stats, &mut actions);
+        }
+
+        if changed {
+            self.stable_rounds = 0;
+        } else {
+            self.stable_rounds += 1;
+        }
+
+        // Install filters once the configuration has been stable long
+        // enough; dynamic allocation is disabled from then on (§4.2.3).
+        if self.config.update_filtering
+            && !self.filters_installed
+            && self.stable_rounds >= self.config.stable_rounds_for_filter
+        {
+            self.filters_installed = true;
+            self.config.dynamic = false;
+            let assignment: Vec<Vec<ReplicaId>> = {
+                // Per *group* replica lists, in group order.
+                let mut per_group: Vec<Vec<ReplicaId>> = vec![Vec::new(); self.groups.len()];
+                for unit in &self.units {
+                    for g in &unit.groups {
+                        per_group[*g] = unit.replicas.clone();
+                    }
+                }
+                per_group
+            };
+            let all: Vec<ReplicaId> = (0..loads.len()).map(ReplicaId).collect();
+            let plans = filter_lists(
+                &self.groups,
+                &self.working_sets,
+                &assignment,
+                &all,
+                self.config.min_copies.min(all.len()),
+            );
+            for p in plans {
+                actions.push(ReconfigAction::SetFilter {
+                    replica: p.replica,
+                    tables: p.tables,
+                });
+            }
+        }
+        actions
+    }
+
+    /// One allocation round: merge, split, then move or fast-realloc.
+    /// Returns whether anything changed.
+    fn rebalance(
+        &mut self,
+        loads: &[ResourceLoad],
+        alive: &[bool],
+        stats: &mut DispatchStats,
+        actions: &mut Vec<ReconfigAction>,
+    ) -> bool {
+        let unit_loads = self.unit_loads(loads, alive);
+        if unit_loads.is_empty() {
+            return false;
+        }
+
+        self.round += 1;
+
+        // 1. Split a merged unit that became the hottest (§2.4: undo merging
+        //    before allocating more replicas). A split starts a merge
+        //    cooldown so the pair is not immediately re-merged while its
+        //    load estimate is still settling.
+        for (ui, unit) in self.units.iter().enumerate() {
+            if unit.groups.len() > 1 && self.allocator.should_split(GroupId(ui), &unit_loads) {
+                self.merge_cooldown_until = self.round + 12;
+                return self.split_unit(ui, loads, alive, stats, actions);
+            }
+        }
+
+        // 2. Merge two substantially under-utilized singleton units.
+        //    Pairs whose combined working sets fit one replica merge freely;
+        //    a non-fitting pair merges only when both are nearly idle (the
+        //    paper accepts that merged groups may contend — the split above
+        //    undoes it in a controlled fashion).
+        if self.round >= self.merge_cooldown_until {
+            let candidates = self.allocator.merge_candidates(&unit_loads);
+            let idle = self.allocator.config().merge_threshold / 2.0;
+            let load_of = |g: GroupId| {
+                unit_loads
+                    .iter()
+                    .find(|l| l.group == g)
+                    .map(|l| l.load)
+                    .unwrap_or(0.0)
+            };
+            let mut choice: Option<(usize, usize)> = None;
+            'pairs: for (i, a) in candidates.iter().enumerate() {
+                for b in candidates.iter().skip(i + 1) {
+                    let fits = self.units_fit_together(a.0, b.0);
+                    let both_idle = load_of(*a) < idle && load_of(*b) < idle;
+                    if fits || both_idle {
+                        choice = Some((a.0, b.0));
+                        break 'pairs;
+                    }
+                }
+            }
+            if let Some((a, b)) = choice {
+                self.merge_units(a, b, loads, alive, stats, actions);
+                return true;
+            }
+        }
+
+        // 3. Fast re-allocation on drastic imbalance, else a single move.
+        if self.allocator.needs_fast_realloc(&unit_loads) {
+            let total: usize = self.units.iter().map(|u| u.replicas.len()).sum();
+            if total >= self.units.len() {
+                let target = self.allocator.solve_balance(&unit_loads, total);
+                let changed = self.apply_target(&target, actions);
+                if changed {
+                    stats.fast_reallocs += 1;
+                    return true;
+                }
+            }
+        }
+        if let Some(mv) = self.allocator.decide_move(&unit_loads) {
+            let moved = self.move_one(mv.from.0, mv.to.0, actions);
+            if moved {
+                stats.moves += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether two units' combined working-set estimate fits one replica.
+    fn units_fit_together(&self, a: usize, b: usize) -> bool {
+        let mut union: std::collections::BTreeMap<tashkent_storage::RelationId, u64> =
+            std::collections::BTreeMap::new();
+        for ui in [a, b] {
+            for gi in &self.units[ui].groups {
+                for (r, p) in &self.groups[*gi].relations {
+                    union.insert(*r, *p);
+                }
+            }
+        }
+        union.values().sum::<u64>() <= self.config.capacity_pages
+    }
+
+    fn unit_loads(&self, loads: &[ResourceLoad], alive: &[bool]) -> Vec<GroupLoads> {
+        self.units
+            .iter()
+            .enumerate()
+            .map(|(ui, unit)| {
+                let live: Vec<&ReplicaId> = unit
+                    .replicas
+                    .iter()
+                    .filter(|r| alive[r.0])
+                    .collect();
+                let load = if live.is_empty() {
+                    0.0
+                } else {
+                    live.iter().map(|r| loads[r.0].bottleneck()).sum::<f64>() / live.len() as f64
+                };
+                GroupLoads {
+                    group: GroupId(ui),
+                    load,
+                    replicas: live.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Moves one replica from unit `from` to unit `to`; picks the donor's
+    /// least-loaded replica. Returns whether a move happened.
+    fn move_one(&mut self, from: usize, to: usize, actions: &mut Vec<ReconfigAction>) -> bool {
+        if from == to || self.units[from].replicas.len() <= 1 {
+            return false;
+        }
+        let rid = *self.units[from]
+            .replicas
+            .iter()
+            .min_by_key(|r| r.0)
+            .expect("donor has replicas");
+        self.units[from].replicas.retain(|r| *r != rid);
+        self.units[to].replicas.push(rid);
+        actions.push(ReconfigAction::Moved { replica: rid });
+        true
+    }
+
+    /// Applies a wholesale target allocation, minimizing replica movement.
+    fn apply_target(
+        &mut self,
+        target: &[(GroupId, usize)],
+        actions: &mut Vec<ReconfigAction>,
+    ) -> bool {
+        let mut changed = false;
+        // Shrink donors first, collecting spares.
+        let mut spares: Vec<ReplicaId> = Vec::new();
+        for (g, want) in target {
+            let unit = &mut self.units[g.0];
+            while unit.replicas.len() > *want {
+                let rid = unit.replicas.pop().expect("non-empty");
+                spares.push(rid);
+                changed = true;
+            }
+        }
+        spares.sort_unstable();
+        // Then grow receivers.
+        for (g, want) in target {
+            let unit = &mut self.units[g.0];
+            while unit.replicas.len() < *want {
+                match spares.pop() {
+                    Some(rid) => {
+                        unit.replicas.push(rid);
+                        actions.push(ReconfigAction::Moved { replica: rid });
+                    }
+                    None => break,
+                }
+            }
+        }
+        changed
+    }
+
+    /// Merges unit `b` into unit `a`: the pair shares `a`'s single replica;
+    /// `b`'s replica goes to the most loaded other unit.
+    fn merge_units(
+        &mut self,
+        a: usize,
+        b: usize,
+        loads: &[ResourceLoad],
+        alive: &[bool],
+        stats: &mut DispatchStats,
+        actions: &mut Vec<ReconfigAction>,
+    ) {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let mut unit_b = self.units.remove(b);
+        let freed: Vec<ReplicaId> = std::mem::take(&mut unit_b.replicas);
+        self.units[a].groups.append(&mut unit_b.groups);
+        stats.merges += 1;
+        // Freed replica(s) go to the currently most loaded unit.
+        let unit_loads = self.unit_loads(loads, alive);
+        if let Some(most) = unit_loads
+            .iter()
+            .max_by(|x, y| x.load.total_cmp(&y.load).then(y.group.cmp(&x.group)))
+        {
+            for rid in freed {
+                self.units[most.group.0].replicas.push(rid);
+                actions.push(ReconfigAction::Moved { replica: rid });
+            }
+        }
+    }
+
+    /// Splits a merged unit into its first group and the rest; the new unit
+    /// takes one replica from the least future-loaded other unit.
+    fn split_unit(
+        &mut self,
+        ui: usize,
+        loads: &[ResourceLoad],
+        alive: &[bool],
+        stats: &mut DispatchStats,
+        actions: &mut Vec<ReconfigAction>,
+    ) -> bool {
+        let unit_loads = self.unit_loads(loads, alive);
+        let donor = unit_loads
+            .iter()
+            .filter(|g| g.group.0 != ui && g.replicas > 1)
+            .min_by(|x, y| {
+                x.future_load()
+                    .total_cmp(&y.future_load())
+                    .then(x.group.cmp(&y.group))
+            });
+        let Some(donor) = donor else {
+            return false;
+        };
+        let donor_idx = donor.group.0;
+        let rid = *self.units[donor_idx]
+            .replicas
+            .iter()
+            .min_by_key(|r| r.0)
+            .expect("donor has replicas");
+        self.units[donor_idx].replicas.retain(|r| *r != rid);
+        let moved_group = self.units[ui].groups.pop().expect("merged unit");
+        self.units.push(Unit {
+            groups: vec![moved_group],
+            replicas: vec![rid],
+        });
+        stats.splits += 1;
+        actions.push(ReconfigAction::Moved { replica: rid });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ws(id: u32, rels: &[(u32, u64)]) -> WorkingSet {
+        WorkingSet {
+            txn_type: TxnTypeId(id),
+            relations: rels
+                .iter()
+                .map(|(r, p)| (RelationId(*r), *p))
+                .collect::<BTreeMap<_, _>>(),
+            scanned: rels.iter().map(|(r, _)| RelationId(*r)).collect(),
+        }
+    }
+
+    fn malb_config(capacity: u64) -> MalbConfig {
+        MalbConfig::paper_default(EstimationMode::SizeContent, capacity)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut lb = LoadBalancer::round_robin(3);
+        let seq: Vec<usize> = (0..6).map(|_| lb.dispatch(TxnTypeId(0)).0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_connections_picks_min() {
+        let mut lb = LoadBalancer::least_connections(3);
+        let a = lb.dispatch(TxnTypeId(0));
+        let b = lb.dispatch(TxnTypeId(1));
+        let c = lb.dispatch(TxnTypeId(2));
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        lb.complete(ReplicaId(1));
+        assert_eq!(lb.dispatch(TxnTypeId(3)).0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open connection")]
+    fn complete_without_dispatch_panics() {
+        LoadBalancer::least_connections(2).complete(ReplicaId(0));
+    }
+
+    #[test]
+    fn malb_routes_types_to_their_groups() {
+        // Two disjoint 80-page types on a 100-page capacity → 2 groups.
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut lb = LoadBalancer::malb(4, sets, malb_config(100));
+        let r0 = lb.dispatch(TxnTypeId(0));
+        let r1 = lb.dispatch(TxnTypeId(1));
+        // Same type always lands in the same unit's replica set.
+        let a = lb.assignments();
+        assert_eq!(a.len(), 2);
+        let unit_of = |t: TxnTypeId| {
+            a.iter()
+                .find(|(types, _)| types.contains(&t))
+                .unwrap()
+                .1
+                .clone()
+        };
+        assert!(unit_of(TxnTypeId(0)).contains(&r0));
+        assert!(unit_of(TxnTypeId(1)).contains(&r1));
+        // The two groups' replica sets are disjoint.
+        assert!(unit_of(TxnTypeId(0))
+            .iter()
+            .all(|r| !unit_of(TxnTypeId(1)).contains(r)));
+    }
+
+    #[test]
+    fn malb_all_replicas_assigned() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)]), ws(2, &[(2, 30)])];
+        let lb = LoadBalancer::malb(16, sets, malb_config(100));
+        let total: usize = lb.assignments().iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn malb_more_groups_than_replicas_merges_seeds() {
+        let sets: Vec<WorkingSet> = (0..6).map(|i| ws(i, &[(i, 90)])).collect();
+        let lb = LoadBalancer::malb(3, sets, malb_config(100));
+        let a = lb.assignments();
+        assert!(a.len() <= 3, "units bounded by replicas: {}", a.len());
+        let types: usize = a.iter().map(|(t, _)| t.len()).sum();
+        assert_eq!(types, 6, "every type served");
+        assert!(a.iter().all(|(_, r)| !r.is_empty()));
+    }
+
+    #[test]
+    fn malb_rebalances_toward_loaded_group() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(8, sets, cfg);
+        // Unit of type 0 is hot; unit of type 1 idle.
+        let hot: Vec<ReplicaId> = lb.assignments()[0].1.clone();
+        for r in 0..8 {
+            let load = if hot.contains(&ReplicaId(r)) {
+                ResourceLoad { cpu: 0.95, disk: 0.2 }
+            } else {
+                ResourceLoad { cpu: 0.05, disk: 0.01 }
+            };
+            lb.report(ReplicaId(r), load);
+        }
+        let mut moved = 0;
+        for s in 1..20 {
+            let actions = lb.tick(SimTime::from_secs(s));
+            moved += actions
+                .iter()
+                .filter(|a| matches!(a, ReconfigAction::Moved { .. }))
+                .count();
+        }
+        assert!(moved > 0, "allocation must shift replicas to the hot group");
+        let a = lb.assignments();
+        let hot_now = a.iter().find(|(t, _)| t.contains(&TxnTypeId(0))).unwrap();
+        let cold_now = a.iter().find(|(t, _)| t.contains(&TxnTypeId(1))).unwrap();
+        assert!(hot_now.1.len() > cold_now.1.len());
+        assert!(!cold_now.1.is_empty(), "donor keeps at least one replica");
+    }
+
+    #[test]
+    fn malb_merges_underutilized_singletons() {
+        // Three disjoint 80-page types: none pack together at 100 pages, so
+        // all start as singleton units. Units 0 and 1 are nearly idle (below
+        // the both-idle bar), so they merge even though their union exceeds
+        // memory — the paper accepts that risk and undoes it by splitting.
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)]), ws(2, &[(2, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(3, sets, cfg);
+        // All three units singleton; two are nearly idle, one moderately hot.
+        let a = lb.assignments();
+        let unit_replica = |t: u32| a.iter().find(|(ts, _)| ts.contains(&TxnTypeId(t))).unwrap().1[0];
+        lb.report(unit_replica(0), ResourceLoad { cpu: 0.05, disk: 0.0 });
+        lb.report(unit_replica(1), ResourceLoad { cpu: 0.08, disk: 0.0 });
+        lb.report(unit_replica(2), ResourceLoad { cpu: 0.70, disk: 0.1 });
+        lb.tick(SimTime::from_secs(1));
+        assert_eq!(lb.stats().merges, 1);
+        let after = lb.assignments();
+        // Two units remain; the merged one serves two types on one replica.
+        assert_eq!(after.len(), 2);
+        let merged = after.iter().find(|(t, _)| t.len() == 2).unwrap();
+        assert_eq!(merged.1.len(), 1);
+        // The freed replica reinforced the hot unit.
+        let hot = after.iter().find(|(t, _)| t.contains(&TxnTypeId(2))).unwrap();
+        assert_eq!(hot.1.len(), 2);
+    }
+
+    #[test]
+    fn malb_splits_contended_merge() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)]), ws(2, &[(2, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(3, sets, cfg);
+        let a = lb.assignments();
+        let unit_replica = |t: u32| a.iter().find(|(ts, _)| ts.contains(&TxnTypeId(t))).unwrap().1[0];
+        let merged_replica = unit_replica(0);
+        lb.report(unit_replica(0), ResourceLoad { cpu: 0.05, disk: 0.0 });
+        lb.report(unit_replica(1), ResourceLoad { cpu: 0.08, disk: 0.0 });
+        lb.report(unit_replica(2), ResourceLoad { cpu: 0.70, disk: 0.1 });
+        lb.tick(SimTime::from_secs(1));
+        assert_eq!(lb.stats().merges, 1);
+        // Now the merged replica becomes the hottest: memory contention.
+        lb.report(merged_replica, ResourceLoad { cpu: 0.2, disk: 0.98 });
+        lb.report(unit_replica(2), ResourceLoad { cpu: 0.3, disk: 0.1 });
+        lb.tick(SimTime::from_secs(2));
+        assert_eq!(lb.stats().splits, 1, "contended merge must split");
+        let after = lb.assignments();
+        assert!(after.iter().all(|(t, _)| t.len() == 1));
+    }
+
+    #[test]
+    fn malb_fast_realloc_on_drastic_change() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(10, sets, cfg);
+        // 5/5 split; group 0 at 70%, group 1 at 10%: needs 3.5 vs 0.5 →
+        // ideal 8.75 / 1.25 → 9 / 1 after rounding.
+        let a = lb.assignments();
+        for (types, replicas) in &a {
+            let load = if types.contains(&TxnTypeId(0)) {
+                ResourceLoad { cpu: 0.70, disk: 0.0 }
+            } else {
+                ResourceLoad { cpu: 0.10, disk: 0.0 }
+            };
+            for r in replicas {
+                lb.report(*r, load);
+            }
+        }
+        lb.tick(SimTime::from_secs(1));
+        assert!(lb.stats().fast_reallocs >= 1);
+        let after = lb.assignments();
+        let hot = after.iter().find(|(t, _)| t.contains(&TxnTypeId(0))).unwrap();
+        assert_eq!(hot.1.len(), 9, "balance equations give the hot group 9");
+    }
+
+    #[test]
+    fn filters_install_after_stability() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        cfg.update_filtering = true;
+        cfg.stable_rounds_for_filter = 3;
+        cfg.min_copies = 1;
+        let mut lb = LoadBalancer::malb(4, sets, cfg);
+        // Balanced loads → no moves → stability accrues.
+        for r in 0..4 {
+            lb.report(ReplicaId(r), ResourceLoad { cpu: 0.5, disk: 0.4 });
+        }
+        let mut filter_actions = Vec::new();
+        for s in 1..10 {
+            for act in lb.tick(SimTime::from_secs(s)) {
+                if matches!(act, ReconfigAction::SetFilter { .. }) {
+                    filter_actions.push(act);
+                }
+            }
+        }
+        assert_eq!(filter_actions.len(), 4, "one filter per replica");
+        // Filters partition tables: replicas of group 0 keep table 0 only.
+        let a = lb.assignments();
+        let g0_replicas = &a.iter().find(|(t, _)| t.contains(&TxnTypeId(0))).unwrap().1;
+        for act in &filter_actions {
+            if let ReconfigAction::SetFilter { replica, tables } = act {
+                let tables = tables.as_ref().unwrap();
+                if g0_replicas.contains(replica) {
+                    assert!(tables.contains(&RelationId(0)));
+                    assert!(!tables.contains(&RelationId(1)));
+                }
+            }
+        }
+        // Once filtered, allocation is frozen: further ticks do nothing.
+        for r in 0..4 {
+            lb.report(ReplicaId(r), ResourceLoad { cpu: 0.9, disk: 0.1 });
+        }
+        let acts = lb.tick(SimTime::from_secs(30));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn failed_replica_excluded_from_dispatch() {
+        let mut lb = LoadBalancer::least_connections(3);
+        lb.replica_failed(ReplicaId(0));
+        for _ in 0..10 {
+            assert_ne!(lb.dispatch(TxnTypeId(0)).0, 0);
+        }
+        lb.replica_recovered(ReplicaId(0));
+        let hits = (0..10).filter(|_| lb.dispatch(TxnTypeId(0)).0 == 0).count();
+        assert!(hits > 0, "recovered replica serves again");
+    }
+
+    #[test]
+    fn malb_survives_replica_failure() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut lb = LoadBalancer::malb(2, sets, malb_config(100));
+        // Kill the replica of type 0's unit; dispatch falls back.
+        let a = lb.assignments();
+        let victim = a.iter().find(|(t, _)| t.contains(&TxnTypeId(0))).unwrap().1[0];
+        lb.replica_failed(victim);
+        let r = lb.dispatch(TxnTypeId(0));
+        assert_ne!(r, victim);
+        assert_eq!(lb.stats().fallback, 1);
+    }
+
+    #[test]
+    fn freeze_stops_rebalancing() {
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(8, sets, cfg);
+        lb.freeze();
+        let hot: Vec<ReplicaId> = lb.assignments()[0].1.clone();
+        for r in 0..8 {
+            let load = if hot.contains(&ReplicaId(r)) {
+                ResourceLoad { cpu: 0.95, disk: 0.2 }
+            } else {
+                ResourceLoad { cpu: 0.05, disk: 0.01 }
+            };
+            lb.report(ReplicaId(r), load);
+        }
+        for s in 1..10 {
+            assert!(lb.tick(SimTime::from_secs(s)).is_empty());
+        }
+        assert_eq!(lb.stats().moves, 0);
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(PolicyKind::MalbSc.label(), "MALB-SC");
+        assert_eq!(PolicyKind::LeastConnections.label(), "LeastConnections");
+        assert_eq!(
+            PolicyKind::MalbScap.estimation_mode(),
+            Some(EstimationMode::SizeContentAccessPattern)
+        );
+        assert_eq!(PolicyKind::Lard.estimation_mode(), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the transaction executor.
+
+use proptest::prelude::*;
+use tashkent_engine::{
+    Access, PlanStep, Snapshot, TxnExecutor, TxnId, TxnPlan, TxnTypeId, Version, WriteKind,
+    WriteSpec,
+};
+use tashkent_sim::SimRng;
+use tashkent_storage::Catalog;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let t0 = c.add_table("t0", 64, 6_400);
+    c.add_index("t0_pk", t0, 8, 6_400);
+    let t1 = c.add_table("t1", 32, 1_600);
+    c.add_index("t1_pk", t1, 4, 1_600);
+    c
+}
+
+/// An arbitrary plan step over the two-table catalog.
+fn step_strategy() -> impl Strategy<Value = PlanStep> {
+    let rel = 0u32..4; // ids 0..4 cover both tables and their indices
+    prop_oneof![
+        rel.clone().prop_map(|r| PlanStep::Read {
+            rel: tashkent_storage::RelationId(r),
+            access: Access::SeqScan,
+        }),
+        (rel.clone(), 0.05f64..1.0, any::<bool>()).prop_map(|(r, f, recent)| PlanStep::Read {
+            rel: tashkent_storage::RelationId(r),
+            access: Access::RangeScan {
+                fraction: f,
+                recent
+            },
+        }),
+        (rel.clone(), 1u32..10, 0.0f64..0.9).prop_map(|(r, n, theta)| PlanStep::Read {
+            rel: tashkent_storage::RelationId(r),
+            access: Access::IndexLookup { lookups: n, theta },
+        }),
+        // Writes only against the tables (ids 0 and 2).
+        (prop_oneof![Just(0u32), Just(2u32)], 1u32..5).prop_map(|(r, rows)| PlanStep::Write(
+            WriteSpec {
+                rel: tashkent_storage::RelationId(r),
+                rows,
+                kind: WriteKind::Insert,
+                theta: 0.0,
+            }
+        )),
+        (prop_oneof![Just(0u32), Just(2u32)], 1u32..5, 0.0f64..0.9).prop_map(
+            |(r, rows, theta)| PlanStep::Write(WriteSpec {
+                rel: tashkent_storage::RelationId(r),
+                rows,
+                kind: WriteKind::Update,
+                theta,
+            })
+        ),
+    ]
+}
+
+fn run_plan(plan: &TxnPlan, seed: u64) -> (Vec<tashkent_storage::GlobalPageId>, usize, u64) {
+    let c = catalog();
+    let mut rng = SimRng::seed_from(seed);
+    let mut ex = TxnExecutor::new(TxnId(1), TxnTypeId(0), plan.clone(), Snapshot::at(Version(0)));
+    let mut pages = Vec::new();
+    let mut cpu = 0u64;
+    while let Some(t) = ex.next_touch(&c, &mut rng) {
+        pages.push(t.page);
+        cpu += t.cpu_us;
+    }
+    let ws_len = ex.into_writeset().items.len();
+    (pages, ws_len, cpu)
+}
+
+proptest! {
+    /// Every touched page lies within its relation's bounds.
+    #[test]
+    fn touches_stay_in_bounds(steps in proptest::collection::vec(step_strategy(), 1..6),
+                              seed in 0u64..1_000) {
+        let plan = TxnPlan::new(steps);
+        let c = catalog();
+        let (pages, _, _) = run_plan(&plan, seed);
+        for p in pages {
+            let rel = c.get(p.rel);
+            prop_assert!(p.page < rel.pages.max(1), "{p} beyond {} pages", rel.pages);
+        }
+    }
+
+    /// The executor is deterministic for a given seed and differs across
+    /// seeds only through its random draws.
+    #[test]
+    fn deterministic_per_seed(steps in proptest::collection::vec(step_strategy(), 1..6),
+                              seed in 0u64..1_000) {
+        let plan = TxnPlan::new(steps);
+        prop_assert_eq!(run_plan(&plan, seed), run_plan(&plan, seed));
+    }
+
+    /// Read-only plans never produce writeset items; write plans always do.
+    #[test]
+    fn writeset_presence_matches_plan(steps in proptest::collection::vec(step_strategy(), 1..6),
+                                      seed in 0u64..1_000) {
+        let plan = TxnPlan::new(steps);
+        let (_, ws_len, _) = run_plan(&plan, seed);
+        if plan.is_update() {
+            prop_assert!(ws_len > 0, "update plan with empty writeset");
+        } else {
+            prop_assert_eq!(ws_len, 0, "read-only plan wrote");
+        }
+    }
+
+    /// CPU cost is at least the base cost plus one unit of work per touch.
+    #[test]
+    fn cpu_accounting_is_monotone(steps in proptest::collection::vec(step_strategy(), 1..4),
+                                  seed in 0u64..1_000) {
+        let plan = TxnPlan::new(steps);
+        let (pages, _, cpu) = run_plan(&plan, seed);
+        if !pages.is_empty() {
+            prop_assert!(cpu >= plan.cpu.base_us, "base cost missing");
+            prop_assert!(
+                cpu >= pages.len() as u64 * plan.cpu.per_page_us.min(plan.cpu.per_write_us),
+                "per-touch cost missing"
+            );
+        }
+    }
+
+    /// Sequential scans touch exactly the relation's pages, in order.
+    #[test]
+    fn seq_scan_is_exact(rel in prop_oneof![Just(0u32), Just(2u32)], seed in 0u64..100) {
+        let c = catalog();
+        let rid = tashkent_storage::RelationId(rel);
+        let plan = TxnPlan::new(vec![PlanStep::Read { rel: rid, access: Access::SeqScan }]);
+        let (pages, _, _) = run_plan(&plan, seed);
+        let n = c.get(rid).pages;
+        prop_assert_eq!(pages.len() as u32, n);
+        for (i, p) in pages.iter().enumerate() {
+            prop_assert_eq!(p.page, i as u32);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for buffer-pool invariants.
+
+use proptest::prelude::*;
+use tashkent_storage::{BufferPool, GlobalPageId, RelationId, Touch};
+
+/// An abstract operation against the pool.
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u32, u32),
+    MarkDirty(u32, u32),
+    CollectDirty(usize),
+    EvictRelation(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..4, 0u32..64).prop_map(|(r, p)| Op::Touch(r, p)),
+        2 => (0u32..4, 0u32..64).prop_map(|(r, p)| Op::MarkDirty(r, p)),
+        1 => (0usize..16).prop_map(Op::CollectDirty),
+        1 => (0u32..4).prop_map(Op::EvictRelation),
+    ]
+}
+
+fn page(r: u32, p: u32) -> GlobalPageId {
+    GlobalPageId::new(RelationId(r), p)
+}
+
+proptest! {
+    /// Residency never exceeds capacity, and dirty pages are always a subset
+    /// of resident pages, across arbitrary operation sequences.
+    #[test]
+    fn pool_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..400),
+                            cap in 1usize..32) {
+        let mut pool = BufferPool::new(cap);
+        let mut flushed_total = 0u64;
+        for op in ops {
+            match op {
+                Op::Touch(r, p) => { pool.touch(page(r, p)); }
+                Op::MarkDirty(r, p) => { pool.mark_dirty(page(r, p)); }
+                Op::CollectDirty(n) => { flushed_total += pool.collect_dirty(n).len() as u64; }
+                Op::EvictRelation(r) => { pool.evict_relation(RelationId(r)); }
+            }
+            prop_assert!(pool.resident() <= cap);
+            prop_assert!(pool.dirty_count() <= pool.resident());
+        }
+        prop_assert_eq!(pool.stats().flushed, flushed_total);
+    }
+
+    /// After touching a page it is resident, and touching it again is a hit.
+    #[test]
+    fn touch_installs_and_hits(r in 0u32..8, p in 0u32..1000, cap in 1usize..64) {
+        let mut pool = BufferPool::new(cap);
+        pool.touch(page(r, p));
+        prop_assert!(pool.is_resident(page(r, p)));
+        prop_assert_eq!(pool.touch(page(r, p)), Touch::Hit);
+    }
+
+    /// Hits plus misses equals total touches; evictions only happen at
+    /// capacity.
+    #[test]
+    fn accounting_balances(pages in proptest::collection::vec((0u32..2, 0u32..128), 1..300),
+                           cap in 1usize..64) {
+        let mut pool = BufferPool::new(cap);
+        for (r, p) in &pages {
+            pool.touch(page(*r, *p));
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, pages.len() as u64);
+        // Installed = misses; installed - evicted = resident.
+        prop_assert_eq!(s.misses - s.evictions, pool.resident() as u64);
+    }
+
+    /// A working set no larger than capacity never evicts after warm-up.
+    #[test]
+    fn fitting_working_set_stops_missing(cap in 4usize..64) {
+        let mut pool = BufferPool::new(cap);
+        let ws: Vec<GlobalPageId> = (0..cap as u32).map(|p| page(0, p)).collect();
+        // Two warm-up passes, then measure.
+        for _ in 0..2 {
+            for p in &ws { pool.touch(*p); }
+        }
+        let before = pool.stats();
+        for _ in 0..3 {
+            for p in &ws { pool.touch(*p); }
+        }
+        let after = pool.stats();
+        prop_assert_eq!(before.misses, after.misses);
+        prop_assert_eq!(after.hits - before.hits, 3 * cap as u64);
+    }
+
+    /// A working set larger than capacity keeps missing under cyclic access
+    /// (clock-sweep degrades like LRU on sequential floods).
+    #[test]
+    fn oversized_working_set_keeps_missing(cap in 4usize..32) {
+        let mut pool = BufferPool::new(cap);
+        let n = (cap * 2) as u32;
+        for _ in 0..3 {
+            for p in 0..n { pool.touch(page(0, p)); }
+        }
+        let before = pool.stats().misses;
+        for p in 0..n { pool.touch(page(0, p)); }
+        let after = pool.stats().misses;
+        prop_assert!(after > before, "cyclic overflow must keep missing");
+    }
+
+    /// collect_dirty returns each dirty page at most once and leaves the
+    /// pool clean when unbounded.
+    #[test]
+    fn collect_dirty_is_exact(dirt in proptest::collection::btree_set((0u32..4, 0u32..32), 0..40)) {
+        let mut pool = BufferPool::new(256);
+        for (r, p) in &dirt {
+            pool.touch(page(*r, *p));
+            pool.mark_dirty(page(*r, *p));
+        }
+        let mut got = pool.collect_dirty(usize::MAX);
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got.len(), dirt.len());
+        prop_assert_eq!(pool.dirty_count(), 0);
+    }
+
+    /// Evicting a relation removes exactly its pages.
+    #[test]
+    fn evict_relation_is_selective(pages in proptest::collection::btree_set((0u32..3, 0u32..32), 1..60)) {
+        let mut pool = BufferPool::new(256);
+        for (r, p) in &pages {
+            pool.touch(page(*r, *p));
+        }
+        let target = RelationId(1);
+        let of_target = pages.iter().filter(|(r, _)| *r == 1).count();
+        let (clean, dirty) = pool.evict_relation(target);
+        prop_assert_eq!(clean + dirty, of_target);
+        prop_assert_eq!(pool.resident(), pages.len() - of_target);
+        for (r, p) in &pages {
+            prop_assert_eq!(pool.is_resident(page(*r, *p)), *r != 1);
+        }
+    }
+}

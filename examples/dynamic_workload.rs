@@ -1,0 +1,49 @@
+//! Dynamic reconfiguration: switch the workload mix mid-run and watch MALB
+//! re-allocate replicas (the Figure 6 experiment at example scale).
+//!
+//! ```sh
+//! cargo run --release --example dynamic_workload
+//! ```
+
+use tashkent::cluster::{run, ClusterConfig, Experiment, PolicySpec};
+use tashkent::workloads::tpcw::{self, TpcwScale};
+
+fn main() {
+    let (workload, shopping) = tpcw::workload_with_mix(TpcwScale::Small, "shopping");
+    let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Small, "browsing");
+
+    let config = ClusterConfig {
+        replicas: 8,
+        clients: 56,
+        ..ClusterConfig::paper_default()
+    }
+    .with_policy(PolicySpec::malb_sc());
+
+    // Three phases: shopping → browsing → shopping.
+    let exp = Experiment {
+        config,
+        workload,
+        phases: vec![
+            (100, shopping.clone()),
+            (80, browsing),
+            (80, shopping),
+        ],
+        warmup_secs: 20,
+        freeze_at_secs: None,
+    };
+    let result = run(exp);
+
+    println!("throughput over time (10 s buckets):");
+    for (t, tps) in result.timeseries(10.0) {
+        let bar = "#".repeat(tps.round() as usize / 2);
+        println!("{t:>6.0}s {tps:>7.1} {bar}");
+    }
+    println!("\nfinal groups:");
+    for g in &result.assignments {
+        println!("  {:?} x{} (load {:.2})", g.types, g.replicas, g.load);
+    }
+    println!(
+        "\nlb activity: {} moves, {} merges, {} splits, {} fast re-allocations",
+        result.lb.moves, result.lb.merges, result.lb.splits, result.lb.fast_reallocs
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run a small replicated cluster under each load-balancing
+//! policy and compare throughput.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tashkent::prelude::*;
+
+fn main() {
+    // An 8-replica cluster at 512 MB per replica, on a small TPC-W database
+    // with the ordering mix (50 % updates).
+    let (workload, mix) = tpcw::workload_with_mix(tpcw::TpcwScale::Small, "ordering");
+    println!(
+        "workload: {} ({:.2} GB, {} transaction types), mix: {} ({:.0}% updates)\n",
+        workload.name,
+        workload.db_bytes() as f64 / (1 << 30) as f64,
+        workload.types.len(),
+        mix.name,
+        100.0 * mix.update_fraction(&workload),
+    );
+
+    for policy in [
+        PolicySpec::RoundRobin,
+        PolicySpec::LeastConnections,
+        PolicySpec::Lard,
+        PolicySpec::malb_sc(),
+        PolicySpec::malb_sc_uf(),
+    ] {
+        let config = ClusterConfig {
+            replicas: 8,
+            clients: 64,
+            ..ClusterConfig::paper_default()
+        }
+        .with_policy(policy);
+        let result = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(20, 60));
+        println!(
+            "{:<18} {:>7.1} tps  {:>6.0} ms mean response  {:>5.1} KB read/txn",
+            policy.label(),
+            result.tps,
+            result.mean_response_s * 1e3,
+            result.read_kb_per_txn,
+        );
+        for g in &result.assignments {
+            println!("    group {:?} on {} replica(s)", g.types, g.replicas);
+        }
+    }
+}

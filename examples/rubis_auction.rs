@@ -1,0 +1,49 @@
+//! RUBiS auction-site scenario: the bidding mix with the `AboutMe` whale.
+//!
+//! RUBiS's `AboutMe` transaction reads from almost every table; this
+//! example shows how MALB isolates it onto its own replicas while the
+//! connection-counting baseline lets it pollute every cache.
+//!
+//! ```sh
+//! cargo run --release --example rubis_auction
+//! ```
+
+use tashkent::cluster::{run, ClusterConfig, Experiment, PolicySpec};
+use tashkent::workloads::rubis;
+
+fn main() {
+    let (workload, mix) = rubis::workload_with_mix("bidding");
+    println!(
+        "RUBiS: {:.2} GB, {} types; bidding mix {:.0}% updates\n",
+        workload.db_bytes() as f64 / (1 << 30) as f64,
+        workload.types.len(),
+        100.0 * mix.update_fraction(&workload)
+    );
+
+    for policy in [PolicySpec::LeastConnections, PolicySpec::malb_sc()] {
+        let config = ClusterConfig {
+            replicas: 8,
+            clients: 56,
+            ..ClusterConfig::paper_default()
+        }
+        .with_policy(policy);
+        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(30, 90));
+        println!(
+            "{:<18} {:>7.1} tps  read/txn {:>5.0} KB  mean resp {:>5.0} ms",
+            policy.label(),
+            r.tps,
+            r.read_kb_per_txn,
+            r.mean_response_s * 1e3
+        );
+        if let Some(aboutme) = r
+            .assignments
+            .iter()
+            .find(|g| g.types.iter().any(|t| t == "AboutMe"))
+        {
+            println!(
+                "    AboutMe group: {:?} on {} replicas",
+                aboutme.types, aboutme.replicas
+            );
+        }
+    }
+}
