@@ -21,8 +21,7 @@ fn main() {
             update_filtering: false,
         };
         for (merging, paper) in [(true, paper_on), (false, paper_off)] {
-            let (mut config, workload, mix) =
-                tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
+            let (mut config, workload, mix) = tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
             if !merging {
                 // A zero threshold disqualifies every merge candidate.
                 config.merge_threshold_override = Some(0.0);
@@ -31,13 +30,21 @@ fn main() {
             rows.push(Row {
                 label: format!(
                     "{label} {}",
-                    if merging { "with merging" } else { "without merging" }
+                    if merging {
+                        "with merging"
+                    } else {
+                        "without merging"
+                    }
                 ),
                 paper,
                 measured: r.tps,
             });
         }
     }
-    let csv = print_table("§5.3 ablation: merging of under-utilized groups", "tps", &rows);
+    let csv = print_table(
+        "§5.3 ablation: merging of under-utilized groups",
+        "tps",
+        &rows,
+    );
     save_csv("ablation_merging", &csv);
 }

@@ -4,20 +4,23 @@
 //! Single 3 / LeastConnections 37 / LARD 50 / MALB-SC 76 tps (Figure 3),
 //! the per-transaction disk I/O of each method (Table 1), and MALB-SC's
 //! transaction groupings with replica counts (Table 2).
+//!
+//! Runs through the `tpcw-steady-state` scenario from the shared harness.
 
-use tashkent_bench::{print_table, run_standalone, save_csv, tpcw_config, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{paper_knobs, print_table, save_csv, standalone_knobs, Row};
+use tashkent_cluster::{PolicySpec, Scenario, TpcwSteadyState};
 use tashkent_workloads::tpcw::TpcwScale;
 
 fn main() {
-    let (warmup, measured) = window();
+    let scenario = TpcwSteadyState {
+        scale: TpcwScale::Mid,
+        mix: "ordering",
+    };
     let mut rows = Vec::new();
     let mut io_rows = Vec::new();
 
     // Standalone single database.
-    let (config, workload, mix) =
-        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "ordering");
-    let single = run_standalone(config, workload, mix);
+    let single = scenario.run(&standalone_knobs(PolicySpec::LeastConnections, 512));
     rows.push(Row {
         label: "Single".into(),
         paper: 3.0,
@@ -31,9 +34,7 @@ fn main() {
     ];
     let mut malb_groups = Vec::new();
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
-        let (config, workload, mix) =
-            tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
-        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let r = scenario.run(&paper_knobs(policy, 512));
         rows.push(Row {
             label: policy.label(),
             paper: paper_tps,
@@ -62,11 +63,13 @@ fn main() {
     save_csv("fig03_tpcw_methods", &csv);
 
     let speedup = rows[3].measured / rows[0].measured.max(1e-9);
-    println!(
-        "  MALB-SC speedup over Single: {speedup:.1}x (paper: 25x super-linear)"
-    );
+    println!("  MALB-SC speedup over Single: {speedup:.1}x (paper: 25x super-linear)");
 
-    let csv = print_table("Table 1: TPC-W average disk I/O per transaction", "KB", &io_rows);
+    let csv = print_table(
+        "Table 1: TPC-W average disk I/O per transaction",
+        "KB",
+        &io_rows,
+    );
     save_csv("table1_tpcw_diskio", &csv);
 
     println!("\n== Table 2: TPC-W MALB-SC groupings (paper groups in brackets) ==");

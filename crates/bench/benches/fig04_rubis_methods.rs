@@ -4,17 +4,18 @@
 //! Single 3 / LeastConnections 31 / LARD 34 / MALB-SC 43 tps (Figure 4),
 //! per-transaction disk I/O (Table 3), and the MALB-SC groupings with
 //! AboutMe dominating the allocation (Table 4).
+//!
+//! Runs through the `rubis-auction` scenario from the shared harness.
 
-use tashkent_bench::{print_table, rubis_config, run_standalone, save_csv, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{paper_knobs, print_table, save_csv, standalone_knobs, Row};
+use tashkent_cluster::{PolicySpec, RubisAuctionMix, Scenario};
 
 fn main() {
-    let (warmup, measured) = window();
+    let scenario = RubisAuctionMix { mix: "bidding" };
     let mut rows = Vec::new();
     let mut io_rows = Vec::new();
 
-    let (config, workload, mix) = rubis_config(PolicySpec::LeastConnections, 512, "bidding");
-    let single = run_standalone(config, workload, mix);
+    let single = scenario.run(&standalone_knobs(PolicySpec::LeastConnections, 512));
     rows.push(Row {
         label: "Single".into(),
         paper: 3.0,
@@ -28,8 +29,7 @@ fn main() {
     ];
     let mut malb_groups = Vec::new();
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
-        let (config, workload, mix) = rubis_config(policy, 512, "bidding");
-        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let r = scenario.run(&paper_knobs(policy, 512));
         rows.push(Row {
             label: policy.label(),
             paper: paper_tps,
@@ -57,7 +57,11 @@ fn main() {
     );
     save_csv("fig04_rubis_methods", &csv);
 
-    let csv = print_table("Table 3: RUBiS average disk I/O per transaction", "KB", &io_rows);
+    let csv = print_table(
+        "Table 3: RUBiS average disk I/O per transaction",
+        "KB",
+        &io_rows,
+    );
     save_csv("table3_rubis_diskio", &csv);
 
     println!("\n== Table 4: RUBiS MALB-SC groupings ==");

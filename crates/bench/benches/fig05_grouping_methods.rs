@@ -33,8 +33,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (policy, paper_tps) in policies {
-        let (config, workload, mix) =
-            tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
+        let (config, workload, mix) = tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
         let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
         println!(
             "  {:<12} groups={} read/txn={:.0}KB",

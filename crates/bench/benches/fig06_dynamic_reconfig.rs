@@ -6,46 +6,50 @@
 //! shopping, 45 browsing). The bottom line is the *static* configuration
 //! baseline: browsing served by the frozen shopping allocation (paper:
 //! 19 tps, worse than LeastConnections' 37).
+//!
+//! Runs through the `dynamic-reconfig` and `tpcw-steady-state` scenarios
+//! from the shared harness.
 
-use tashkent_bench::{save_csv, tpcw_config, window};
-use tashkent_cluster::{run, Experiment, PolicySpec};
-use tashkent_workloads::tpcw::{self, TpcwScale};
+use tashkent_bench::{paper_knobs, save_csv, window, ScenarioKnobs};
+use tashkent_cluster::{run, DynamicReconfig, PolicySpec, Scenario, TpcwSteadyState};
+use tashkent_workloads::tpcw::TpcwScale;
 
 fn main() {
     let (warmup, _) = window();
     let phase = 150u64; // Scaled-down stand-in for the paper's 2000 s phases.
+    let knobs = ScenarioKnobs {
+        warmup_secs: warmup,
+        measured_secs: 3 * phase,
+        ..paper_knobs(PolicySpec::malb_sc(), 512)
+    };
 
     // Dynamic MALB through the two switches.
-    let (config, workload, shopping) =
-        tpcw_config(PolicySpec::malb_sc(), 512, TpcwScale::Mid, "shopping");
-    let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Mid, "browsing");
-    let exp = Experiment {
-        config: config.clone(),
-        workload: workload.clone(),
-        phases: vec![
-            (phase + warmup, shopping.clone()),
-            (phase, browsing.clone()),
-            (phase, shopping.clone()),
-        ],
-        warmup_secs: warmup,
-        freeze_at_secs: None,
-    };
-    let dynamic = run(exp);
+    let dynamic = DynamicReconfig {
+        scale: TpcwScale::Mid,
+        freeze: false,
+    }
+    .run(&knobs);
 
     // Static baseline: converge on shopping, freeze, then serve browsing.
-    let exp_static = Experiment {
-        config: config.clone(),
-        workload: workload.clone(),
-        phases: vec![(phase + warmup, shopping.clone()), (phase, browsing.clone())],
-        warmup_secs: warmup,
-        freeze_at_secs: Some(warmup + phase / 2),
-    };
-    let frozen = run(exp_static);
+    // Only the browsing plateau is read, so drop the return-to-shopping
+    // phase instead of simulating 150 s that would be discarded.
+    let mut frozen_exp = DynamicReconfig {
+        scale: TpcwScale::Mid,
+        freeze: true,
+    }
+    .experiment(&knobs);
+    frozen_exp.phases.truncate(2);
+    let frozen = run(frozen_exp);
 
     // LeastConnections on browsing (the paper's reference: 37 tps).
-    let (lc_config, lc_workload, lc_browsing) =
-        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "browsing");
-    let lc = run(Experiment::new(lc_config, lc_workload, lc_browsing).with_window(warmup, phase));
+    let lc = TpcwSteadyState {
+        scale: TpcwScale::Mid,
+        mix: "browsing",
+    }
+    .run(&ScenarioKnobs {
+        measured_secs: phase,
+        ..paper_knobs(PolicySpec::LeastConnections, 512)
+    });
 
     println!("== Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping) ==");
     println!("paper: shopping plateau 76 tps, browsing plateau 45 tps,");
@@ -82,8 +86,13 @@ fn main() {
     let frozen_browse = plateau(&frozen_ts, w + p * 1.3, w + 2.0 * p);
 
     println!("\n  plateaus (ours):");
-    println!("    shopping #1 {shop1:.1} tps, browsing {browse:.1} tps, shopping #2 {shop2:.1} tps");
-    println!("    static-config browsing {frozen_browse:.1} tps, LeastConnections browsing {:.1} tps", lc.tps);
+    println!(
+        "    shopping #1 {shop1:.1} tps, browsing {browse:.1} tps, shopping #2 {shop2:.1} tps"
+    );
+    println!(
+        "    static-config browsing {frozen_browse:.1} tps, LeastConnections browsing {:.1} tps",
+        lc.tps
+    );
     println!(
         "  shape checks: dynamic adapts (browsing within phases), static < LC: {}",
         frozen_browse < lc.tps

@@ -14,8 +14,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut io_rows = Vec::new();
 
-    let (config, workload, mix) =
-        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "ordering");
+    let (config, workload, mix) = tpcw_config(
+        PolicySpec::LeastConnections,
+        512,
+        TpcwScale::Mid,
+        "ordering",
+    );
     let single = run_standalone(config, workload, mix);
     rows.push(Row {
         label: "Single".into(),
@@ -31,8 +35,7 @@ fn main() {
     ];
     let mut uf_tps = 0.0;
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
-        let (config, workload, mix) =
-            tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
+        let (config, workload, mix) = tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
         let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
         if matches!(
             policy,

@@ -58,7 +58,13 @@ fn main() {
                 format!("{g:.2}({tag})")
             })
             .collect();
-        println!("{:<9} {:>10} {:>10} {:>10}", scale.label(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:<9} {:>10} {:>10} {:>10}",
+            scale.label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
     println!(
         "paper's band: gains where group working sets fit but the sum does not;\n\

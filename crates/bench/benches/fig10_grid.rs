@@ -14,7 +14,7 @@ use tashkent_cluster::{run, Experiment, PolicySpec};
 use tashkent_workloads::tpcw::TpcwScale;
 
 /// Paper values: [db][mix][ram][policy] with policies LC / MALB-SC / +UF.
-const PAPER: [[[ [f64; 3]; 3]; 3]; 3] = [
+const PAPER: [[[[f64; 3]; 3]; 3]; 3] = [
     // LargeDB: ordering, shopping, browsing × (256, 512, 1024).
     [
         [[17., 19., 21.], [24., 42., 56.], [39., 110., 147.]],
@@ -60,20 +60,14 @@ fn main() {
                 let mut line = format!("{:<6}", format!("{ram}MB"));
                 let mut cell = [0.0f64; 3];
                 for (pi, policy) in policies.iter().enumerate() {
-                    let (config, workload, mix) =
-                        tpcw_config(*policy, *ram, *scale, mix_name);
+                    let (config, workload, mix) = tpcw_config(*policy, *ram, *scale, mix_name);
                     // The grid is 81 runs; trim each a little to keep the
                     // sweep tractable.
-                    let r = run(
-                        Experiment::new(config, workload, mix)
-                            .with_window(warmup.min(60), measured.min(120)),
-                    );
+                    let r = run(Experiment::new(config, workload, mix)
+                        .with_window(warmup.min(60), measured.min(120)));
                     cell[pi] = r.tps;
                     let paper = PAPER[di][mi][ri][pi];
-                    line.push_str(&format!(
-                        " {:>10.1} (p {:>5.0})",
-                        r.tps, paper
-                    ));
+                    line.push_str(&format!(" {:>10.1} (p {:>5.0})", r.tps, paper));
                     csv.push_str(&format!(
                         "{},{},{},{},{},{:.2}\n",
                         scale.label(),

@@ -2,7 +2,9 @@
 //! packing, buffer-pool touches, certification, and dispatch decisions.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use tashkent_core::{pack_groups, EstimationMode, Lard, LardConfig, WorkingSet, WorkingSetEstimator};
+use tashkent_core::{
+    pack_groups, EstimationMode, Lard, LardConfig, WorkingSet, WorkingSetEstimator,
+};
 use tashkent_engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent_sim::SimTime;
 use tashkent_storage::{BufferPool, Catalog, GlobalPageId, RelationId};
@@ -13,7 +15,12 @@ fn synth_working_sets(n: u32) -> Vec<WorkingSet> {
         .map(|i| WorkingSet {
             txn_type: TxnTypeId(i),
             relations: (0..4)
-                .map(|k| (RelationId((i * 3 + k) % 40), 1_000 + (i as u64 * 37) % 9_000))
+                .map(|k| {
+                    (
+                        RelationId((i * 3 + k) % 40),
+                        1_000 + (i as u64 * 37) % 9_000,
+                    )
+                })
                 .collect(),
             scanned: [(RelationId(i % 40))].into_iter().collect(),
         })

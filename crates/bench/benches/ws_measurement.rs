@@ -17,7 +17,13 @@ use tashkent_workloads::{Mix, Workload};
 
 /// Dedicates one transaction type to a standalone replica at the given RAM
 /// and reports the read I/O per transaction.
-fn dedicated_read_kb(workload: &Workload, type_name: &str, ram_mb: u64, warmup: u64, measured: u64) -> f64 {
+fn dedicated_read_kb(
+    workload: &Workload,
+    type_name: &str,
+    ram_mb: u64,
+    warmup: u64,
+    measured: u64,
+) -> f64 {
     let mut weights = vec![0.0; workload.types.len()];
     let t = workload.type_by_name(type_name).unwrap();
     weights[t.id.0 as usize] = 1.0;

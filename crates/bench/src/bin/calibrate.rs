@@ -13,8 +13,12 @@ fn main() {
     let (warmup, measured) = if quick { (60, 120) } else { (WARMUP_SECS, 180) };
 
     // 1. Standalone sweep (MidDB, 512 MB, ordering).
-    let (base, workload, mix) =
-        tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, "ordering");
+    let (base, workload, mix) = tpcw_config(
+        PolicySpec::LeastConnections,
+        512,
+        TpcwScale::Mid,
+        "ordering",
+    );
     println!("standalone sweep (MidDB 1.8GB, 512MB RAM, ordering mix):");
     let cal = calibrate_standalone(
         &base,
@@ -40,10 +44,12 @@ fn main() {
         PolicySpec::malb_sc_uf(),
     ];
     let paper = [37.0, 50.0, 76.0, 113.0];
-    println!("\n16-replica comparison (clients/replica = {}):", cal.clients_at_85);
+    println!(
+        "\n16-replica comparison (clients/replica = {}):",
+        cal.clients_at_85
+    );
     for (policy, paper_tps) in policies.iter().zip(paper) {
-        let (config, workload, mix) =
-            tpcw_config(*policy, 512, TpcwScale::Mid, "ordering");
+        let (config, workload, mix) = tpcw_config(*policy, 512, TpcwScale::Mid, "ordering");
         let config = config.with_clients(16 * cal.clients_at_85);
         let names = workload.clone();
         let workload = names.clone();
@@ -62,7 +68,11 @@ fn main() {
         );
         println!(
             "      lb: moves={} merges={} splits={} fast={} fallback={} filters={}",
-            r.lb.moves, r.lb.merges, r.lb.splits, r.lb.fast_reallocs, r.lb.fallback,
+            r.lb.moves,
+            r.lb.merges,
+            r.lb.splits,
+            r.lb.fast_reallocs,
+            r.lb.fallback,
             r.lb.filters_installed
         );
         for g in &r.assignments {

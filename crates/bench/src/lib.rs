@@ -7,6 +7,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+pub use tashkent_cluster::ScenarioKnobs;
 use tashkent_cluster::{run, ClusterConfig, Experiment, PolicySpec, RunResult};
 use tashkent_sim::SimTime;
 use tashkent_workloads::tpcw::TpcwScale;
@@ -37,8 +38,38 @@ pub fn clients_per_replica(_workload: &str, _mix: &str) -> usize {
     7
 }
 
+/// Paper-scale scenario knobs for a figure run: 16 replicas, the calibrated
+/// client load, and the window from [`window`]. Figures hand these to a
+/// [`tashkent_cluster::Scenario`] from the shared registry.
+pub fn paper_knobs(policy: PolicySpec, ram_mb: u64) -> ScenarioKnobs {
+    let (warmup, measured) = window();
+    ScenarioKnobs {
+        replicas: 16,
+        clients_per_replica: clients_per_replica("tpcw", "ordering"),
+        ram_mb,
+        warmup_secs: warmup,
+        measured_secs: measured,
+        ..ScenarioKnobs::default()
+    }
+    .with_policy(policy)
+}
+
+/// Standalone (single-replica) variant of [`paper_knobs`] — the paper's
+/// `Single` reference bar.
+pub fn standalone_knobs(policy: PolicySpec, ram_mb: u64) -> ScenarioKnobs {
+    ScenarioKnobs {
+        replicas: 1,
+        ..paper_knobs(policy, ram_mb)
+    }
+}
+
 /// The paper's cluster for a TPC-W configuration.
-pub fn tpcw_config(policy: PolicySpec, ram_mb: u64, scale: TpcwScale, mix: &str) -> (ClusterConfig, Workload, Mix) {
+pub fn tpcw_config(
+    policy: PolicySpec,
+    ram_mb: u64,
+    scale: TpcwScale,
+    mix: &str,
+) -> (ClusterConfig, Workload, Mix) {
     let (workload, m) = tpcw::workload_with_mix(scale, mix);
     let clients = 16 * clients_per_replica("tpcw", mix);
     let config = ClusterConfig::paper_default()
@@ -85,10 +116,20 @@ pub struct Row {
 /// Prints a `paper vs measured` table and returns the CSV body.
 pub fn print_table(title: &str, unit: &str, rows: &[Row]) -> String {
     println!("\n== {title} ==");
-    println!("{:<28} {:>12} {:>12} {:>8}", "config", format!("paper ({unit})"), "measured", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "config",
+        format!("paper ({unit})"),
+        "measured",
+        "ratio"
+    );
     let mut csv = String::from("config,paper,measured\n");
     for r in rows {
-        let ratio = if r.paper != 0.0 { r.measured / r.paper } else { 0.0 };
+        let ratio = if r.paper != 0.0 {
+            r.measured / r.paper
+        } else {
+            0.0
+        };
         println!(
             "{:<28} {:>12.1} {:>12.1} {:>7.2}x",
             r.label, r.paper, r.measured, ratio

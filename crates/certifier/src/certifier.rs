@@ -309,7 +309,13 @@ mod tests {
     fn empty_writeset_commits_without_version() {
         let mut c = Certifier::default();
         let out = c.certify(SimTime::ZERO, ws(1, 0, &[]));
-        assert!(matches!(out, CertifyOutcome::Committed { version: Version(0), .. }));
+        assert!(matches!(
+            out,
+            CertifyOutcome::Committed {
+                version: Version(0),
+                ..
+            }
+        ));
         assert_eq!(c.version(), Version(0));
     }
 

@@ -55,7 +55,11 @@ impl CertifierGroup {
 
     /// Index of the current leader, if any member is alive.
     pub fn leader(&self) -> Option<usize> {
-        self.alive.get(self.leader).copied().unwrap_or(false).then_some(self.leader)
+        self.alive
+            .get(self.leader)
+            .copied()
+            .unwrap_or(false)
+            .then_some(self.leader)
     }
 
     /// Number of live members.

@@ -20,6 +20,8 @@ pub mod certifier;
 pub mod group;
 pub mod propagation;
 
-pub use certifier::{Certifier, CertifierParams, CertifierStats, CertifyOutcome, CommittedWriteset};
+pub use certifier::{
+    Certifier, CertifierParams, CertifierStats, CertifyOutcome, CommittedWriteset,
+};
 pub use group::{CertifierGroup, GroupEvent};
 pub use propagation::{PropagationAction, PropagationPolicy};

@@ -1,0 +1,88 @@
+//! Dispatch and the `LbTick` reconfiguration loop.
+
+use tashkent_core::{LoadBalancer, ReconfigAction, ReplicaId, ResourceLoad, WorkingSetEstimator};
+use tashkent_engine::TxnTypeId;
+use tashkent_replica::UpdateFilter;
+use tashkent_sim::{EventQueue, SimTime};
+use tashkent_workloads::{Mix, Workload};
+
+use crate::components::ClusterNode;
+use crate::config::{ClusterConfig, PolicySpec};
+use crate::events::Ev;
+
+/// Interval between balancer rebalance ticks.
+const LB_TICK_US: u64 = 1_000_000;
+
+/// Wraps the [`LoadBalancer`]: dispatch decisions, load reports, and the
+/// periodic reconfiguration tick that applies replica moves and installs
+/// update filters on the affected nodes.
+pub struct BalancerCtl {
+    lb: LoadBalancer,
+}
+
+impl BalancerCtl {
+    /// Builds the balancer for a config, estimating working sets for MALB
+    /// from the active mix's transaction types via `EXPLAIN` + catalog
+    /// metadata — exactly the paper's information channel (§4.2.2).
+    pub fn build(config: &ClusterConfig, workload: &Workload, mix: &Mix) -> Self {
+        let lb = match config.policy {
+            PolicySpec::RoundRobin => LoadBalancer::round_robin(config.replicas),
+            PolicySpec::LeastConnections => LoadBalancer::least_connections(config.replicas),
+            PolicySpec::Lard => LoadBalancer::lard(config.replicas, config.lard),
+            PolicySpec::Malb { .. } => {
+                let estimator = WorkingSetEstimator::new(&workload.catalog);
+                let sets = mix
+                    .active_types()
+                    .iter()
+                    .map(|t| estimator.estimate(*t, &workload.explain(*t)))
+                    .collect();
+                let malb_cfg = config.malb_config().expect("policy is MALB");
+                LoadBalancer::malb(config.replicas, sets, malb_cfg)
+            }
+        };
+        BalancerCtl { lb }
+    }
+
+    /// The wrapped balancer (tests and metrics).
+    pub fn inner(&self) -> &LoadBalancer {
+        &self.lb
+    }
+
+    /// Picks the replica for a new transaction of `txn_type`.
+    pub fn dispatch(&mut self, txn_type: TxnTypeId) -> ReplicaId {
+        self.lb.dispatch(txn_type)
+    }
+
+    /// Notes a completion on `replica` (connection counting).
+    pub fn complete(&mut self, replica: ReplicaId) {
+        self.lb.complete(replica)
+    }
+
+    /// Feeds a load-daemon sample into the balancer.
+    pub fn report(&mut self, replica: ReplicaId, load: ResourceLoad) {
+        self.lb.report(replica, load)
+    }
+
+    /// Freezes the allocation (static-configuration baseline).
+    pub fn freeze(&mut self) {
+        self.lb.freeze()
+    }
+
+    /// Runs one rebalance tick: applies the resulting reconfiguration
+    /// actions to the nodes and schedules the next tick.
+    pub fn on_tick(&mut self, now: SimTime, nodes: &mut [ClusterNode], queue: &mut EventQueue<Ev>) {
+        for action in self.lb.tick(now) {
+            match action {
+                ReconfigAction::SetFilter { replica, tables } => {
+                    let filter = match tables {
+                        Some(t) => UpdateFilter::only(t),
+                        None => UpdateFilter::all(),
+                    };
+                    nodes[replica.0].set_filter(filter);
+                }
+                ReconfigAction::Moved { .. } => {}
+            }
+        }
+        queue.schedule(now + LB_TICK_US, Ev::LbTick);
+    }
+}

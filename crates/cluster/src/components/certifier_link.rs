@@ -1,0 +1,130 @@
+//! The replicas' round-trip to the certifier.
+
+use tashkent_certifier::{
+    Certifier, CertifierParams, CertifyOutcome, CommittedWriteset, PropagationAction,
+    PropagationPolicy,
+};
+use tashkent_engine::{TxnId, Version, Writeset};
+use tashkent_sim::{EventQueue, SimTime};
+
+use crate::components::ClusterNode;
+use crate::events::Ev;
+
+/// Wraps the [`Certifier`] together with the propagation policy and the
+/// per-replica contact bookkeeping it needs, handling both halves of the
+/// certification round-trip plus the periodic propagation pulls.
+pub struct CertifierLink {
+    certifier: Certifier,
+    propagation: PropagationPolicy,
+    last_contact: Vec<SimTime>,
+    lan_hop_us: u64,
+}
+
+impl CertifierLink {
+    /// Builds the link for `replicas` nodes, `lan_hop_us` away.
+    pub fn new(params: CertifierParams, replicas: usize, lan_hop_us: u64) -> Self {
+        CertifierLink {
+            certifier: Certifier::new(params),
+            propagation: PropagationPolicy::default(),
+            last_contact: vec![SimTime::ZERO; replicas],
+            lan_hop_us,
+        }
+    }
+
+    /// The wrapped certifier (tests and metrics).
+    pub fn inner(&self) -> &Certifier {
+        &self.certifier
+    }
+
+    /// Head of the global commit order.
+    pub fn version(&self) -> Version {
+        self.certifier.version()
+    }
+
+    /// Certifies an arriving writeset and schedules the response back to the
+    /// origin replica: the commit version once durable, or an immediate
+    /// conflict.
+    pub fn on_send(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        match self.certifier.certify(now, ws) {
+            CertifyOutcome::Committed {
+                version,
+                durable_at,
+            } => {
+                queue.schedule(
+                    durable_at + self.lan_hop_us,
+                    Ev::CertifyReturn {
+                        replica,
+                        txn,
+                        version: Some(version),
+                    },
+                );
+            }
+            CertifyOutcome::Conflict => {
+                queue.schedule(
+                    now + self.lan_hop_us,
+                    Ev::CertifyReturn {
+                        replica,
+                        txn,
+                        version: None,
+                    },
+                );
+            }
+        }
+        self.last_contact[replica] = now;
+    }
+
+    /// The commit half of the response path: applies the intervening remote
+    /// writesets on the origin replica, commits locally, and returns when
+    /// the replica is done.
+    ///
+    /// A propagation pull may already have advanced the replica past this
+    /// version (applying our own writeset as if remote — harmless, the pages
+    /// are identical); the local commit only happens when the version is
+    /// still ahead.
+    pub fn on_return_commit(
+        &mut self,
+        now: SimTime,
+        node: &mut ClusterNode,
+        version: Version,
+    ) -> SimTime {
+        if node.applied() >= version {
+            return now;
+        }
+        let pending: Vec<CommittedWriteset> = self
+            .certifier
+            .writesets_since(node.applied())
+            .iter()
+            .filter(|cw| cw.version < version)
+            .cloned()
+            .collect();
+        let t = node.apply_writesets(now, &pending);
+        node.commit_local(version);
+        t
+    }
+
+    /// Periodic propagation: pulls (or prods) pending writesets onto a
+    /// replica per the paper's 500 ms / 25-commit rules.
+    pub fn maintenance_pull(&mut self, now: SimTime, node: &mut ClusterNode) {
+        let action = self.propagation.decide(
+            now,
+            self.last_contact[node.id()],
+            node.applied(),
+            self.certifier.version(),
+        );
+        if action != PropagationAction::None {
+            let pending: Vec<CommittedWriteset> =
+                self.certifier.writesets_since(node.applied()).to_vec();
+            if !pending.is_empty() {
+                node.apply_writesets(now, &pending);
+                self.last_contact[node.id()] = now;
+            }
+        }
+    }
+}

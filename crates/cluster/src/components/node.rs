@@ -1,0 +1,140 @@
+//! A replica node wired into the cluster event loop.
+
+use tashkent_engine::{Snapshot, TxnExecutor, TxnId, Version};
+use tashkent_replica::{LoadReport, ReplicaNode, StepOutcome, UpdateFilter};
+use tashkent_sim::{EventQueue, SimTime};
+
+use crate::events::Ev;
+
+/// Wraps a [`ReplicaNode`] with its cluster identity and network position,
+/// translating execution outcomes into scheduled events.
+pub struct ClusterNode {
+    id: usize,
+    node: ReplicaNode,
+    lan_hop_us: u64,
+}
+
+impl ClusterNode {
+    /// Wraps `node` as replica `id`, `lan_hop_us` away from every other
+    /// component.
+    pub fn new(id: usize, node: ReplicaNode, lan_hop_us: u64) -> Self {
+        ClusterNode {
+            id,
+            node,
+            lan_hop_us,
+        }
+    }
+
+    /// Replica index within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The wrapped replica (tests and metrics).
+    pub fn replica(&self) -> &ReplicaNode {
+        &self.node
+    }
+
+    /// Mutable access for failure injection and recovery drivers.
+    pub fn replica_mut(&mut self) -> &mut ReplicaNode {
+        &mut self.node
+    }
+
+    /// A fresh transaction snapshot at the replica's applied version.
+    pub fn snapshot(&self) -> Snapshot {
+        self.node.snapshot()
+    }
+
+    /// Latest version applied on this replica.
+    pub fn applied(&self) -> Version {
+        self.node.applied()
+    }
+
+    /// Applies remote writesets; returns the completion time.
+    pub fn apply_writesets(
+        &mut self,
+        now: SimTime,
+        writesets: &[tashkent_certifier::CommittedWriteset],
+    ) -> SimTime {
+        self.node.apply_writesets(now, writesets)
+    }
+
+    /// Commits a locally-executed update at `version`.
+    pub fn commit_local(&mut self, version: Version) {
+        self.node.commit_local(version)
+    }
+
+    /// Installs an update filter (from the balancer's reconfiguration).
+    pub fn set_filter(&mut self, filter: UpdateFilter) {
+        self.node.set_filter(filter)
+    }
+
+    /// Offers a transaction to the Gatekeeper; when admitted, schedules its
+    /// first execution step two LAN hops out (client → balancer → replica).
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        executor: TxnExecutor,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        if self.node.submit(executor) {
+            queue.schedule(
+                now + 2 * self.lan_hop_us,
+                Ev::StepTxn {
+                    replica: self.id,
+                    txn,
+                },
+            );
+        }
+        // If queued, the Gatekeeper will admit it when a slot frees.
+    }
+
+    /// Advances a transaction by one quantum and schedules what follows:
+    /// another step, local completion, or the certifier round-trip.
+    pub fn on_step(&mut self, now: SimTime, txn: TxnId, queue: &mut EventQueue<Ev>) {
+        let replica = self.id;
+        match self.node.step(txn, now) {
+            StepOutcome::Busy(t) => {
+                queue.schedule(t, Ev::StepTxn { replica, txn });
+            }
+            StepOutcome::Done(t) => {
+                queue.schedule(
+                    t,
+                    Ev::TxnComplete {
+                        replica,
+                        txn,
+                        committed: true,
+                    },
+                );
+            }
+            StepOutcome::ReadyToCommit(t, ws) => {
+                queue.schedule(t + self.lan_hop_us, Ev::CertifySend { replica, txn, ws });
+            }
+        }
+    }
+
+    /// Frees the Gatekeeper slot after a completion; a queued transaction
+    /// may start immediately.
+    pub fn on_finish(&mut self, now: SimTime, committed: bool, queue: &mut EventQueue<Ev>) {
+        if let Some(next) = self.node.finish(committed) {
+            queue.schedule(
+                now,
+                Ev::StepTxn {
+                    replica: self.id,
+                    txn: next,
+                },
+            );
+        }
+    }
+
+    /// Runs the background writer and other periodic replica work.
+    pub fn on_maintenance(&mut self, now: SimTime) {
+        self.node.maintenance(now);
+    }
+
+    /// Samples the load daemon (smoothed CPU/disk utilization).
+    pub fn sample_load(&mut self, now: SimTime) -> LoadReport {
+        self.node.sample_load(now)
+    }
+}

@@ -136,7 +136,9 @@ impl ClusterConfig {
 
     /// Memory available to the buffer pool per replica.
     pub fn pool_bytes(&self) -> u64 {
-        self.ram_bytes.saturating_sub(self.overhead_bytes).max(PAGE_SIZE)
+        self.ram_bytes
+            .saturating_sub(self.overhead_bytes)
+            .max(PAGE_SIZE)
     }
 
     /// The capacity the bin-packing algorithm sees, in pages (§4.4: RAM

@@ -1,0 +1,83 @@
+//! Events driving the cluster simulation.
+//!
+//! Every component interaction travels through a timestamped [`Ev`] in the
+//! [`crate::world::World`] event queue. The transaction lifecycle:
+//!
+//! 1. `ClientArrive` — a client finishes thinking, the balancer picks a
+//!    replica, the proxy (Gatekeeper) admits or queues the transaction;
+//! 2. `StepTxn` — the replica advances the transaction by a CPU quantum or
+//!    one disk read;
+//! 3. read-only transactions complete locally (`TxnComplete`); update
+//!    transactions send their writeset to the certifier (`CertifySend`),
+//!    whose response (`CertifyReturn`) carries the remote writesets the
+//!    replica must apply before committing — or a conflict, aborting the
+//!    transaction for the client to retry;
+//! 4. `Maintenance` — per replica: background writes, propagation pulls
+//!    (500 ms), load-daemon samples (1 s);
+//! 5. `LbTick` — MALB rebalancing and (eventually) filter installation.
+
+use tashkent_engine::{TxnId, Version, Writeset};
+
+/// Events driving the simulation.
+#[derive(Debug)]
+pub enum Ev {
+    /// A client submits its next transaction.
+    ClientArrive {
+        /// Client index.
+        client: usize,
+    },
+    /// Continue executing a transaction on a replica.
+    StepTxn {
+        /// Replica index.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// A writeset reaches the certifier.
+    CertifySend {
+        /// Origin replica.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// The writeset.
+        ws: Writeset,
+    },
+    /// The certifier's response reaches the replica.
+    CertifyReturn {
+        /// Origin replica.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// Commit version, or `None` on conflict.
+        version: Option<Version>,
+    },
+    /// A transaction finished on its replica (response travels to client).
+    TxnComplete {
+        /// Replica index.
+        replica: usize,
+        /// Transaction.
+        txn: TxnId,
+        /// Whether it committed (vs aborted).
+        committed: bool,
+    },
+    /// Per-replica periodic work: background writer, propagation, daemon.
+    Maintenance {
+        /// Replica index.
+        replica: usize,
+        /// Round counter (daemon samples every other round).
+        round: u64,
+    },
+    /// Load-balancer rebalance tick.
+    LbTick,
+    /// Switch the workload mix (dynamic-reconfiguration experiments).
+    MixSwitch {
+        /// Index into the experiment's mix list.
+        mix: usize,
+    },
+    /// Freeze the balancer (static-configuration baseline).
+    FreezeLb,
+    /// End of warm-up: reset the measurement window.
+    EndWarmup,
+    /// End of run.
+    End,
+}

@@ -1,9 +1,20 @@
-//! Experiment descriptions, the runner, and standalone calibration.
+//! Experiment descriptions, scenarios, the runner, and standalone
+//! calibration.
+//!
+//! An [`Experiment`] is the raw unit of execution: a cluster configuration
+//! plus workload-mix phases. A [`Scenario`] is a named, reusable recipe that
+//! *builds* experiments — workload mix + cluster config + phase schedule —
+//! parameterized by [`ScenarioKnobs`] so the same scenario serves paper-scale
+//! figure runs, example walkthroughs, and fast smoke tests. The
+//! [`registry`] lists every built-in scenario; examples, integration tests,
+//! and the bench figures all pull their setups from it instead of
+//! hand-rolling configuration.
 
 use tashkent_sim::SimTime;
-use tashkent_workloads::{Mix, Workload};
+use tashkent_workloads::tpcw::TpcwScale;
+use tashkent_workloads::{rubis, tpcw, Mix, Workload};
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, PolicySpec};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
 
@@ -73,6 +84,247 @@ pub fn run(exp: Experiment) -> RunResult {
     world.schedule(SimTime::from_secs(t), Ev::End);
     world.run_to_end();
     world.finish_result()
+}
+
+/// Scale and tuning knobs a [`Scenario`] combines with its own recipe.
+///
+/// Every knob has a sensible paper-shaped default; [`ScenarioKnobs::smoke`]
+/// shrinks the cluster and window for fast deterministic tests.
+#[derive(Debug, Clone)]
+pub struct ScenarioKnobs {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Closed-loop clients per replica.
+    pub clients_per_replica: usize,
+    /// Mean client think time, µs.
+    pub think_mean_us: u64,
+    /// RAM per replica, MB.
+    pub ram_mb: u64,
+    /// Overrides the scenario's default policy when set.
+    pub policy: Option<PolicySpec>,
+    /// Warm-up excluded from measurement, seconds.
+    pub warmup_secs: u64,
+    /// Measured window, seconds. Multi-phase scenarios split this across
+    /// their phases.
+    pub measured_secs: u64,
+    /// RNG seed (runs are bit-reproducible per seed).
+    pub seed: u64,
+}
+
+impl Default for ScenarioKnobs {
+    fn default() -> Self {
+        ScenarioKnobs {
+            replicas: 16,
+            clients_per_replica: 7,
+            think_mean_us: 500_000,
+            ram_mb: 512,
+            policy: None,
+            warmup_secs: 90,
+            measured_secs: 180,
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioKnobs {
+    /// Small cluster, short window: for tests and example walkthroughs.
+    pub fn smoke() -> Self {
+        ScenarioKnobs {
+            replicas: 2,
+            clients_per_replica: 3,
+            think_mean_us: 300_000,
+            warmup_secs: 5,
+            measured_secs: 20,
+            ..ScenarioKnobs::default()
+        }
+    }
+
+    /// Sets the policy override.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cluster configuration these knobs describe, under `default`
+    /// policy when no override is set.
+    pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
+        let mut config = ClusterConfig::paper_default()
+            .with_ram_mb(self.ram_mb)
+            .with_policy(self.policy.unwrap_or(default_policy))
+            .with_clients(self.replicas * self.clients_per_replica);
+        config.replicas = self.replicas;
+        config.think_mean_us = self.think_mean_us;
+        config.seed = self.seed;
+        config
+    }
+}
+
+/// A named experiment recipe: workload mix + cluster config + phase
+/// schedule.
+///
+/// Implementations are registered in [`registry`] so every entry point
+/// (examples, integration tests, bench figures) builds its runs from one
+/// shared catalog.
+pub trait Scenario {
+    /// Registry key, e.g. `"tpcw-steady-state"`.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for listings.
+    fn summary(&self) -> &'static str;
+
+    /// Builds the experiment this scenario describes at the given scale.
+    fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment;
+
+    /// Builds and runs the scenario.
+    fn run(&self, knobs: &ScenarioKnobs) -> RunResult {
+        run(self.experiment(knobs))
+    }
+}
+
+/// TPC-W steady state: one mix for the whole run (Figures 3/5 shape).
+pub struct TpcwSteadyState {
+    /// Database scale.
+    pub scale: TpcwScale,
+    /// Mix name: `"ordering"`, `"shopping"`, or `"browsing"`.
+    pub mix: &'static str,
+}
+
+impl Default for TpcwSteadyState {
+    fn default() -> Self {
+        TpcwSteadyState {
+            scale: TpcwScale::Small,
+            mix: "ordering",
+        }
+    }
+}
+
+impl Scenario for TpcwSteadyState {
+    fn name(&self) -> &'static str {
+        "tpcw-steady-state"
+    }
+
+    fn summary(&self) -> &'static str {
+        "TPC-W bookstore, one fixed mix, MALB-SC by default"
+    }
+
+    fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment {
+        let (workload, mix) = tpcw::workload_with_mix(self.scale, self.mix);
+        let config = knobs.config(PolicySpec::malb_sc());
+        Experiment::new(config, workload, mix).with_window(knobs.warmup_secs, knobs.measured_secs)
+    }
+}
+
+/// RUBiS auction site on the bidding mix, with the `AboutMe` whale that
+/// motivates working-set isolation (Figure 4 shape).
+pub struct RubisAuctionMix {
+    /// Mix name: `"bidding"` or `"browsing"`.
+    pub mix: &'static str,
+}
+
+impl Default for RubisAuctionMix {
+    fn default() -> Self {
+        RubisAuctionMix { mix: "bidding" }
+    }
+}
+
+impl Scenario for RubisAuctionMix {
+    fn name(&self) -> &'static str {
+        "rubis-auction"
+    }
+
+    fn summary(&self) -> &'static str {
+        "RUBiS auction site, bidding mix with the AboutMe whale"
+    }
+
+    fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment {
+        let (workload, mix) = rubis::workload_with_mix(self.mix);
+        let config = knobs.config(PolicySpec::malb_sc());
+        Experiment::new(config, workload, mix).with_window(knobs.warmup_secs, knobs.measured_secs)
+    }
+}
+
+/// Dynamic reconfiguration: the TPC-W mix switches shopping → browsing →
+/// shopping and MALB re-allocates replicas after each switch (Figure 6
+/// shape). The measured window is split evenly across the three phases.
+pub struct DynamicReconfig {
+    /// Database scale.
+    pub scale: TpcwScale,
+    /// Freeze the balancer mid-first-phase (static-configuration baseline).
+    pub freeze: bool,
+}
+
+impl Default for DynamicReconfig {
+    fn default() -> Self {
+        DynamicReconfig {
+            scale: TpcwScale::Small,
+            freeze: false,
+        }
+    }
+}
+
+impl Scenario for DynamicReconfig {
+    fn name(&self) -> &'static str {
+        "dynamic-reconfig"
+    }
+
+    fn summary(&self) -> &'static str {
+        "TPC-W mix switches shopping -> browsing -> shopping; MALB re-allocates"
+    }
+
+    fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment {
+        let (workload, shopping) = tpcw::workload_with_mix(self.scale, "shopping");
+        let (_, browsing) = tpcw::workload_with_mix(self.scale, "browsing");
+        let config = knobs.config(PolicySpec::malb_sc());
+        // Split the measured window across the three phases; the last phase
+        // absorbs the division remainder so the window totals measured_secs.
+        let phase = (knobs.measured_secs / 3).max(1);
+        let last = knobs.measured_secs.saturating_sub(2 * phase).max(1);
+        Experiment {
+            config,
+            workload,
+            phases: vec![
+                (knobs.warmup_secs + phase, shopping.clone()),
+                (phase, browsing),
+                (last, shopping),
+            ],
+            warmup_secs: knobs.warmup_secs,
+            freeze_at_secs: self
+                .freeze
+                .then_some(knobs.warmup_secs + (phase / 2).max(1)),
+        }
+    }
+}
+
+/// Every built-in scenario, in registry order.
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(TpcwSteadyState::default()),
+        Box::new(RubisAuctionMix::default()),
+        Box::new(DynamicReconfig::default()),
+    ]
+}
+
+/// Looks a scenario up by its registry name.
+pub fn scenario(name: &str) -> Option<Box<dyn Scenario>> {
+    registry().into_iter().find(|s| s.name() == name)
+}
+
+/// Runs a registered scenario by name.
+///
+/// # Panics
+///
+/// Panics if no scenario is registered under `name` (programming error at
+/// every call site; the registry is static).
+pub fn run_scenario(name: &str, knobs: &ScenarioKnobs) -> RunResult {
+    scenario(name)
+        .unwrap_or_else(|| panic!("no scenario named {name:?} in the registry"))
+        .run(knobs)
 }
 
 /// Result of the §4.4 client-sizing procedure.
@@ -160,6 +412,56 @@ mod tests {
         assert_eq!(exp.total_secs(), 30);
         let r = run(exp);
         assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate scenario names");
+        for name in names {
+            assert!(scenario(name).is_some(), "scenario {name} not findable");
+        }
+        assert!(scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn knobs_shape_the_experiment() {
+        let knobs = ScenarioKnobs {
+            replicas: 3,
+            clients_per_replica: 4,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_policy(PolicySpec::Lard)
+        .with_seed(7);
+        let exp = TpcwSteadyState::default().experiment(&knobs);
+        assert_eq!(exp.config.replicas, 3);
+        assert_eq!(exp.config.clients, 12);
+        assert_eq!(exp.config.policy, PolicySpec::Lard);
+        assert_eq!(exp.config.seed, 7);
+        assert_eq!(exp.total_secs(), knobs.warmup_secs + knobs.measured_secs);
+    }
+
+    #[test]
+    fn dynamic_reconfig_splits_measured_window() {
+        let knobs = ScenarioKnobs::smoke();
+        let exp = DynamicReconfig::default().experiment(&knobs);
+        assert_eq!(exp.phases.len(), 3);
+        let phase = (knobs.measured_secs / 3).max(1);
+        assert_eq!(exp.phases[0].0, knobs.warmup_secs + phase);
+        assert_eq!(exp.phases[1].0, phase);
+        // The last phase absorbs the remainder: the whole window is honored
+        // even when measured_secs is not divisible by 3.
+        assert_eq!(exp.total_secs(), knobs.warmup_secs + knobs.measured_secs);
+        assert!(exp.freeze_at_secs.is_none());
+        let frozen = DynamicReconfig {
+            freeze: true,
+            ..DynamicReconfig::default()
+        }
+        .experiment(&knobs);
+        assert!(frozen.freeze_at_secs.is_some());
     }
 
     #[test]

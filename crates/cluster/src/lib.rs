@@ -9,17 +9,28 @@
 //! * [`config`] — cluster configuration (replica count, RAM, policy, …);
 //! * [`metrics`] — throughput / response-time / disk-I/O accounting and the
 //!   [`metrics::RunResult`] every experiment produces;
-//! * [`world`] — the event loop;
-//! * [`experiment`] — experiment descriptions (phases of workload mixes),
-//!   the runner, and standalone calibration (§4.4's "85 % of peak" client
-//!   sizing).
+//! * [`events`] — the event vocabulary ([`events::Ev`]);
+//! * [`components`] — per-component handlers the event loop delegates to:
+//!   [`components::ClusterNode`], [`components::CertifierLink`],
+//!   [`components::BalancerCtl`];
+//! * [`world`] — the event loop that routes events to components;
+//! * [`experiment`] — experiment descriptions, the [`experiment::Scenario`]
+//!   registry every entry point builds runs from, the runner, and
+//!   standalone calibration (§4.4's "85 % of peak" client sizing).
 
+pub mod components;
 pub mod config;
+pub mod events;
 pub mod experiment;
 pub mod metrics;
 pub mod world;
 
+pub use components::{BalancerCtl, CertifierLink, ClusterNode};
 pub use config::{ClusterConfig, PolicySpec};
-pub use experiment::{calibrate_standalone, run, Calibration, Experiment};
+pub use events::Ev;
+pub use experiment::{
+    calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
+    Experiment, RubisAuctionMix, Scenario, ScenarioKnobs, TpcwSteadyState,
+};
 pub use metrics::{GroupSnapshot, Metrics, RunResult};
 pub use world::World;

@@ -1,96 +1,27 @@
 //! The cluster event loop.
 //!
 //! All components live in one [`World`]; timestamped [`Ev`] events drive
-//! them. The transaction lifecycle:
-//!
-//! 1. `ClientArrive` — a client finishes thinking, the balancer picks a
-//!    replica, the proxy (Gatekeeper) admits or queues the transaction;
-//! 2. `StepTxn` — the replica advances the transaction by a CPU quantum or
-//!    one disk read;
-//! 3. read-only transactions complete locally (`TxnComplete`); update
-//!    transactions send their writeset to the certifier (`CertifySend`),
-//!    whose response (`CertifyReturn`) carries the remote writesets the
-//!    replica must apply before committing — or a conflict, aborting the
-//!    transaction for the client to retry;
-//! 4. `Maintenance` — per replica: background writes, propagation pulls
-//!    (500 ms), load-daemon samples (1 s);
-//! 5. `LbTick` — MALB rebalancing and (eventually) filter installation.
+//! them. The `World` owns one handler per component — [`ClusterNode`] per
+//! replica, a [`CertifierLink`], and a [`BalancerCtl`] — plus the
+//! cross-cutting state no single component owns: the client pool, in-flight
+//! transaction metadata, and metrics. Every `Ev` arm is a thin delegate into
+//! a component handler (see [`crate::components`] for the lifecycle
+//! documentation).
 
 use std::collections::HashMap;
 
-use tashkent_certifier::{Certifier, CertifyOutcome, CommittedWriteset, PropagationAction, PropagationPolicy};
-use tashkent_core::{LoadBalancer, ReconfigAction, ReplicaId, ResourceLoad, WorkingSetEstimator};
-use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version, Writeset};
-use tashkent_replica::{ReplicaNode, StepOutcome, UpdateFilter};
+use tashkent_certifier::Certifier;
+use tashkent_core::{LoadBalancer, ReplicaId, ResourceLoad};
+use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version};
+use tashkent_replica::{ReplicaNode, UpdateFilter};
 use tashkent_sim::{EventQueue, SimRng, SimTime};
 use tashkent_workloads::{ClientPool, Mix, Workload};
 
-use crate::config::{ClusterConfig, PolicySpec};
+use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
+use crate::config::ClusterConfig;
 use crate::metrics::{GroupSnapshot, Metrics};
 
-/// Events driving the simulation.
-#[derive(Debug)]
-pub enum Ev {
-    /// A client submits its next transaction.
-    ClientArrive {
-        /// Client index.
-        client: usize,
-    },
-    /// Continue executing a transaction on a replica.
-    StepTxn {
-        /// Replica index.
-        replica: usize,
-        /// Transaction.
-        txn: TxnId,
-    },
-    /// A writeset reaches the certifier.
-    CertifySend {
-        /// Origin replica.
-        replica: usize,
-        /// Transaction.
-        txn: TxnId,
-        /// The writeset.
-        ws: Writeset,
-    },
-    /// The certifier's response reaches the replica.
-    CertifyReturn {
-        /// Origin replica.
-        replica: usize,
-        /// Transaction.
-        txn: TxnId,
-        /// Commit version, or `None` on conflict.
-        version: Option<Version>,
-    },
-    /// A transaction finished on its replica (response travels to client).
-    TxnComplete {
-        /// Replica index.
-        replica: usize,
-        /// Transaction.
-        txn: TxnId,
-        /// Whether it committed (vs aborted).
-        committed: bool,
-    },
-    /// Per-replica periodic work: background writer, propagation, daemon.
-    Maintenance {
-        /// Replica index.
-        replica: usize,
-        /// Round counter (daemon samples every other round).
-        round: u64,
-    },
-    /// Load-balancer rebalance tick.
-    LbTick,
-    /// Switch the workload mix (dynamic-reconfiguration experiments).
-    MixSwitch {
-        /// Index into the experiment's mix list.
-        mix: usize,
-    },
-    /// Freeze the balancer (static-configuration baseline).
-    FreezeLb,
-    /// End of warm-up: reset the measurement window.
-    EndWarmup,
-    /// End of run.
-    End,
-}
+pub use crate::events::Ev;
 
 /// Bookkeeping for one in-flight transaction.
 struct TxnMeta {
@@ -112,11 +43,9 @@ pub struct World {
     pub mixes: Vec<Mix>,
     active_mix: usize,
     queue: EventQueue<Ev>,
-    lb: LoadBalancer,
-    replicas: Vec<ReplicaNode>,
-    certifier: Certifier,
-    propagation: PropagationPolicy,
-    last_contact: Vec<SimTime>,
+    balancer: BalancerCtl,
+    nodes: Vec<ClusterNode>,
+    certifier: CertifierLink,
     clients: ClientPool,
     rng: SimRng,
     next_txn: u64,
@@ -139,24 +68,27 @@ impl World {
     pub fn new(config: ClusterConfig, workload: Workload, mixes: Vec<Mix>) -> Self {
         assert!(!mixes.is_empty(), "world needs at least one mix");
         let mut rng = SimRng::seed_from(config.seed);
-        let lb = build_balancer(&config, &workload, &mixes[0]);
-        let replicas: Vec<ReplicaNode> = (0..config.replicas)
-            .map(|_| {
-                ReplicaNode::new(
-                    workload.catalog.clone(),
-                    config.replica_config(),
-                    rng.fork(),
+        let balancer = BalancerCtl::build(&config, &workload, &mixes[0]);
+        let nodes: Vec<ClusterNode> = (0..config.replicas)
+            .map(|id| {
+                ClusterNode::new(
+                    id,
+                    ReplicaNode::new(
+                        workload.catalog.clone(),
+                        config.replica_config(),
+                        rng.fork(),
+                    ),
+                    config.lan_hop_us,
                 )
             })
             .collect();
+        let certifier = CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us);
         let clients = ClientPool::new(config.clients, config.think_mean_us);
         World {
             queue: EventQueue::new(),
-            lb,
-            replicas,
-            certifier: Certifier::new(config.certifier),
-            propagation: PropagationPolicy::default(),
-            last_contact: vec![SimTime::ZERO; config.replicas],
+            balancer,
+            nodes,
+            certifier,
             clients,
             rng,
             next_txn: 0,
@@ -177,14 +109,16 @@ impl World {
     pub fn prime(&mut self) {
         for client in 0..self.config.clients {
             let delay = self.rng.exp_micros(self.config.think_mean_us.max(1));
-            self.queue.schedule(SimTime::from_micros(delay), Ev::ClientArrive { client });
+            self.queue
+                .schedule(SimTime::from_micros(delay), Ev::ClientArrive { client });
         }
         for replica in 0..self.config.replicas {
-            self.queue
-                .schedule(SimTime::from_millis(250), Ev::Maintenance { replica, round: 0 });
+            self.queue.schedule(
+                SimTime::from_millis(250),
+                Ev::Maintenance { replica, round: 0 },
+            );
         }
-        self.queue
-            .schedule(SimTime::from_secs(1), Ev::LbTick);
+        self.queue.schedule(SimTime::from_secs(1), Ev::LbTick);
     }
 
     /// Current simulated time.
@@ -202,8 +136,8 @@ impl World {
     pub fn disk_bytes(&self) -> (u64, u64) {
         let mut read = 0;
         let mut write = 0;
-        for r in &self.replicas {
-            let s = r.disk_stats();
+        for n in &self.nodes {
+            let s = n.replica().disk_stats();
             read += s.read_bytes();
             write += s.write_bytes();
         }
@@ -212,26 +146,36 @@ impl World {
 
     /// Access a replica (tests and metrics).
     pub fn replica(&self, idx: usize) -> &ReplicaNode {
-        &self.replicas[idx]
+        self.nodes[idx].replica()
+    }
+
+    /// Access a cluster node handler (failure injection, alternate drivers).
+    pub fn node(&self, idx: usize) -> &ClusterNode {
+        &self.nodes[idx]
+    }
+
+    /// Mutable node access (failure injection, alternate drivers).
+    pub fn node_mut(&mut self, idx: usize) -> &mut ClusterNode {
+        &mut self.nodes[idx]
     }
 
     /// The balancer (tests and metrics).
     pub fn balancer(&self) -> &LoadBalancer {
-        &self.lb
+        self.balancer.inner()
     }
 
     /// The certifier (tests and metrics).
     pub fn certifier(&self) -> &Certifier {
-        &self.certifier
+        self.certifier.inner()
     }
 
     /// Total CPU and disk busy microseconds across replicas.
     fn busy_totals(&self) -> (u64, u64) {
         let mut cpu = 0;
         let mut disk = 0;
-        for r in &self.replicas {
-            cpu += r.cpu_busy_us();
-            disk += r.disk_stats().busy_us;
+        for n in &self.nodes {
+            cpu += n.replica().cpu_busy_us();
+            disk += n.replica().disk_stats().busy_us;
         }
         (cpu, disk)
     }
@@ -243,26 +187,27 @@ impl World {
         let snaps = self.group_snapshots();
         let mut result = self.metrics.finish(self.now(), read, write, snaps);
         let (cpu, disk) = self.busy_totals();
-        let window_us =
-            (self.now().saturating_since(self.window_started) as f64).max(1.0) * self.config.replicas as f64;
+        let window_us = (self.now().saturating_since(self.window_started) as f64).max(1.0)
+            * self.config.replicas as f64;
         result.cpu_util = (cpu.saturating_sub(self.busy0.0)) as f64 / window_us;
         result.disk_util = (disk.saturating_sub(self.busy0.1)) as f64 / window_us;
-        let stats = self.lb.stats();
+        let stats = self.balancer.inner().stats();
         result.lb = crate::metrics::LbSummary {
             moves: stats.moves,
             merges: stats.merges,
             splits: stats.splits,
             fast_reallocs: stats.fast_reallocs,
             fallback: stats.fallback,
-            filters_installed: self.lb.filters_installed(),
+            filters_installed: self.balancer.inner().filters_installed(),
         };
         result
     }
 
     /// Current group → replica assignments with type names resolved.
     pub fn group_snapshots(&self) -> Vec<GroupSnapshot> {
-        let loads = self.lb.loads();
-        self.lb
+        let loads = self.balancer.inner().loads();
+        self.balancer
+            .inner()
             .assignments()
             .into_iter()
             .map(|(types, replicas)| GroupSnapshot {
@@ -294,11 +239,16 @@ impl World {
         }
     }
 
+    /// Routes one event to its component handler. Every arm is a thin
+    /// delegate; the lifecycle lives in [`crate::components`].
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::ClientArrive { client } => self.on_client_arrive(now, client),
-            Ev::StepTxn { replica, txn } => self.on_step(now, replica, txn),
-            Ev::CertifySend { replica, txn, ws } => self.on_certify_send(now, replica, txn, ws),
+            Ev::StepTxn { replica, txn } => self.nodes[replica].on_step(now, txn, &mut self.queue),
+            Ev::CertifySend { replica, txn, ws } => {
+                self.certifier
+                    .on_send(now, replica, txn, ws, &mut self.queue)
+            }
             Ev::CertifyReturn {
                 replica,
                 txn,
@@ -310,27 +260,28 @@ impl World {
                 committed,
             } => self.on_txn_complete(now, replica, txn, committed),
             Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round),
-            Ev::LbTick => self.on_lb_tick(now),
-            Ev::MixSwitch { mix } => {
-                self.active_mix = mix.min(self.mixes.len() - 1);
-            }
-            Ev::FreezeLb => self.lb.freeze(),
-            Ev::EndWarmup => {
-                let (read, write) = self.disk_bytes();
-                self.metrics.start_window(now, read, write);
-                self.busy0 = self.busy_totals();
-                self.window_started = now;
-            }
+            Ev::LbTick => self.balancer.on_tick(now, &mut self.nodes, &mut self.queue),
+            Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
+            Ev::FreezeLb => self.balancer.freeze(),
+            Ev::EndWarmup => self.on_end_warmup(now),
             Ev::End => self.ended = true,
         }
     }
 
-    fn submit_txn(&mut self, now: SimTime, client: usize, txn_type: TxnTypeId, arrived: SimTime, retries: u32) {
+    /// Dispatches a new transaction instance: the balancer picks the
+    /// replica, the node admits or queues it.
+    fn submit_txn(
+        &mut self,
+        now: SimTime,
+        client: usize,
+        txn_type: TxnTypeId,
+        arrived: SimTime,
+        retries: u32,
+    ) {
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
-        let replica_id = self.lb.dispatch(txn_type);
-        let replica = replica_id.0;
-        let node = &mut self.replicas[replica];
+        let replica = self.balancer.dispatch(txn_type).0;
+        let node = &mut self.nodes[replica];
         let plan = self.workload.types[txn_type.0 as usize].plan.clone();
         let is_update = plan.is_update();
         let executor = TxnExecutor::new(txn, txn_type, plan, node.snapshot());
@@ -344,73 +295,18 @@ impl World {
                 is_update,
             },
         );
-        let admitted = node.submit(executor);
-        if admitted {
-            // Client → balancer → replica: two LAN hops.
-            self.queue
-                .schedule(now + 2 * self.config.lan_hop_us, Ev::StepTxn { replica, txn });
-        }
-        // If queued, the Gatekeeper will admit it when a slot frees.
+        node.submit(now, txn, executor, &mut self.queue);
     }
 
     fn on_client_arrive(&mut self, now: SimTime, client: usize) {
-        let txn_type = self.clients.next_type(&self.mixes[self.active_mix], &mut self.rng);
+        let txn_type = self
+            .clients
+            .next_type(&self.mixes[self.active_mix], &mut self.rng);
         self.submit_txn(now, client, txn_type, now, 0);
     }
 
-    fn on_step(&mut self, now: SimTime, replica: usize, txn: TxnId) {
-        match self.replicas[replica].step(txn, now) {
-            StepOutcome::Busy(t) => {
-                self.queue.schedule(t, Ev::StepTxn { replica, txn });
-            }
-            StepOutcome::Done(t) => {
-                self.queue.schedule(
-                    t,
-                    Ev::TxnComplete {
-                        replica,
-                        txn,
-                        committed: true,
-                    },
-                );
-            }
-            StepOutcome::ReadyToCommit(t, ws) => {
-                self.queue.schedule(
-                    t + self.config.lan_hop_us,
-                    Ev::CertifySend { replica, txn, ws },
-                );
-            }
-        }
-    }
-
-    fn on_certify_send(&mut self, now: SimTime, replica: usize, txn: TxnId, ws: Writeset) {
-        match self.certifier.certify(now, ws) {
-            CertifyOutcome::Committed {
-                version,
-                durable_at,
-            } => {
-                self.queue.schedule(
-                    durable_at + self.config.lan_hop_us,
-                    Ev::CertifyReturn {
-                        replica,
-                        txn,
-                        version: Some(version),
-                    },
-                );
-            }
-            CertifyOutcome::Conflict => {
-                self.queue.schedule(
-                    now + self.config.lan_hop_us,
-                    Ev::CertifyReturn {
-                        replica,
-                        txn,
-                        version: None,
-                    },
-                );
-            }
-        }
-        self.last_contact[replica] = now;
-    }
-
+    /// Commit: apply remote writesets then finish; conflict: abort and let
+    /// the completion path retry.
     fn on_certify_return(
         &mut self,
         now: SimTime,
@@ -418,57 +314,30 @@ impl World {
         txn: TxnId,
         version: Option<Version>,
     ) {
-        match version {
-            Some(version) => {
-                // Apply intervening remote writesets, then commit locally.
-                // A propagation pull may already have advanced the replica
-                // past this version (applying our own writeset as if remote
-                // — harmless, the pages are identical); only commit when the
-                // version is still ahead.
-                let node = &mut self.replicas[replica];
-                let t_applied = if node.applied() < version {
-                    let pending: Vec<CommittedWriteset> = self
-                        .certifier
-                        .writesets_since(node.applied())
-                        .iter()
-                        .filter(|cw| cw.version < version)
-                        .cloned()
-                        .collect();
-                    let t = node.apply_writesets(now, &pending);
-                    node.commit_local(version);
-                    t
-                } else {
-                    now
-                };
-                self.queue.schedule(
-                    t_applied,
-                    Ev::TxnComplete {
-                        replica,
-                        txn,
-                        committed: true,
-                    },
-                );
-            }
+        let done_at = match version {
+            Some(v) => self
+                .certifier
+                .on_return_commit(now, &mut self.nodes[replica], v),
             None => {
                 self.metrics.record_abort();
-                self.queue.schedule(
-                    now,
-                    Ev::TxnComplete {
-                        replica,
-                        txn,
-                        committed: false,
-                    },
-                );
+                now
             }
-        }
+        };
+        self.queue.schedule(
+            done_at,
+            Ev::TxnComplete {
+                replica,
+                txn,
+                committed: version.is_some(),
+            },
+        );
     }
 
+    /// Frees the replica slot, then routes the outcome back to the client:
+    /// record + think on commit, retry or give up on abort.
     fn on_txn_complete(&mut self, now: SimTime, replica: usize, txn: TxnId, committed: bool) {
-        // Free the Gatekeeper slot; a queued transaction may start.
-        if let Some(next) = self.replicas[replica].finish(committed) {
-            self.queue.schedule(now, Ev::StepTxn { replica, txn: next });
-        }
-        self.lb.complete(ReplicaId(replica));
+        self.nodes[replica].on_finish(now, committed, &mut self.queue);
+        self.balancer.complete(ReplicaId(replica));
         let meta = self.txns.remove(&txn).expect("transaction metadata");
         if committed {
             let response_at = now + 2 * self.config.lan_hop_us;
@@ -478,52 +347,38 @@ impl World {
                 meta.is_update,
                 meta.txn_type.0,
             );
-            let think = self.clients.think(&mut self.rng);
-            self.queue.schedule(
-                response_at + think,
-                Ev::ClientArrive {
-                    client: meta.client,
-                },
-            );
+            self.schedule_next_arrival(response_at, meta.client);
         } else if meta.retries < self.clients.max_retries {
             // Retry immediately with a fresh snapshot (possibly elsewhere).
-            self.submit_txn(now, meta.client, meta.txn_type, meta.arrived, meta.retries + 1);
+            self.submit_txn(
+                now,
+                meta.client,
+                meta.txn_type,
+                meta.arrived,
+                meta.retries + 1,
+            );
         } else {
             self.metrics.record_gave_up();
-            let think = self.clients.think(&mut self.rng);
-            self.queue.schedule(
-                now + think,
-                Ev::ClientArrive {
-                    client: meta.client,
-                },
-            );
+            self.schedule_next_arrival(now, meta.client);
         }
     }
 
+    /// Schedules a client's next arrival after its think time.
+    fn schedule_next_arrival(&mut self, from: SimTime, client: usize) {
+        let think = self.clients.think(&mut self.rng);
+        self.queue
+            .schedule(from + think, Ev::ClientArrive { client });
+    }
+
+    /// Per-replica periodic work: node maintenance, propagation pull, and
+    /// (every fourth 250 ms round) a load-daemon sample for the balancer.
     fn on_maintenance(&mut self, now: SimTime, replica: usize, round: u64) {
-        self.replicas[replica].maintenance(now);
-
-        // Propagation: pull or prod per the paper's 500 ms / 25-commit rules.
-        let node = &mut self.replicas[replica];
-        let action = self.propagation.decide(
-            now,
-            self.last_contact[replica],
-            node.applied(),
-            self.certifier.version(),
-        );
-        if action != PropagationAction::None {
-            let pending: Vec<CommittedWriteset> =
-                self.certifier.writesets_since(node.applied()).to_vec();
-            if !pending.is_empty() {
-                node.apply_writesets(now, &pending);
-                self.last_contact[replica] = now;
-            }
-        }
-
-        // Load daemon samples every second (every fourth 250 ms round).
+        let node = &mut self.nodes[replica];
+        node.on_maintenance(now);
+        self.certifier.maintenance_pull(now, node);
         if round % 4 == 3 {
-            let report = self.replicas[replica].sample_load(now);
-            self.lb.report(
+            let report = node.sample_load(now);
+            self.balancer.report(
                 ReplicaId(replica),
                 ResourceLoad {
                     cpu: report.cpu,
@@ -540,47 +395,25 @@ impl World {
         );
     }
 
-    fn on_lb_tick(&mut self, now: SimTime) {
-        for action in self.lb.tick(now) {
-            match action {
-                ReconfigAction::SetFilter { replica, tables } => {
-                    let filter = match tables {
-                        Some(t) => UpdateFilter::only(t),
-                        None => UpdateFilter::all(),
-                    };
-                    self.replicas[replica.0].set_filter(filter);
-                }
-                ReconfigAction::Moved { .. } => {}
-            }
-        }
-        self.queue.schedule(now + 1_000_000, Ev::LbTick);
+    /// Resets the measurement window at the end of warm-up.
+    fn on_end_warmup(&mut self, now: SimTime) {
+        let (read, write) = self.disk_bytes();
+        self.metrics.start_window(now, read, write);
+        self.busy0 = self.busy_totals();
+        self.window_started = now;
     }
-}
 
-/// Builds the balancer for a config, estimating working sets for MALB from
-/// the active mix's transaction types via `EXPLAIN` + catalog metadata —
-/// exactly the paper's information channel (§4.2.2).
-fn build_balancer(config: &ClusterConfig, workload: &Workload, mix: &Mix) -> LoadBalancer {
-    match config.policy {
-        PolicySpec::RoundRobin => LoadBalancer::round_robin(config.replicas),
-        PolicySpec::LeastConnections => LoadBalancer::least_connections(config.replicas),
-        PolicySpec::Lard => LoadBalancer::lard(config.replicas, config.lard),
-        PolicySpec::Malb { .. } => {
-            let estimator = WorkingSetEstimator::new(&workload.catalog);
-            let sets = mix
-                .active_types()
-                .iter()
-                .map(|t| estimator.estimate(*t, &workload.explain(*t)))
-                .collect();
-            let malb_cfg = config.malb_config().expect("policy is MALB");
-            LoadBalancer::malb(config.replicas, sets, malb_cfg)
-        }
+    /// Installs an update filter on a replica (alternate drivers; the
+    /// balancer tick normally does this itself).
+    pub fn set_filter(&mut self, replica: usize, filter: UpdateFilter) {
+        self.nodes[replica].set_filter(filter);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PolicySpec;
     use tashkent_workloads::tpcw::{self, TpcwScale};
 
     fn tiny_world(policy: PolicySpec) -> World {

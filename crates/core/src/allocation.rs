@@ -208,11 +208,7 @@ impl Allocator {
             alloc[idx] -= 1;
             used -= 1;
         }
-        loads
-            .iter()
-            .zip(alloc)
-            .map(|(g, n)| (g.group, n))
-            .collect()
+        loads.iter().zip(alloc).map(|(g, n)| (g.group, n)).collect()
     }
 
     /// Finds a pair of single-replica groups that both substantially
@@ -430,7 +426,10 @@ mod tests {
             gl(4, 0.99, 4), // light
             gl(5, 0.39, 3), // ShopinCart
         ];
-        assert!(a.needs_fast_realloc(&loads), "ratio 8x must trigger fast realloc");
+        assert!(
+            a.needs_fast_realloc(&loads),
+            "ratio 8x must trigger fast realloc"
+        );
         let target = a.solve_balance(&loads, 16);
         let light = target.iter().find(|(g, _)| *g == GroupId(4)).unwrap();
         assert!(light.1 >= 6, "light group should get >=6, got {}", light.1);

@@ -385,11 +385,7 @@ impl LoadBalancer {
                             .copied()
                             .filter(|r| self.alive[r.0])
                             .collect();
-                        match live
-                            .iter()
-                            .min_by_key(|r| (self.conns[r.0], r.0))
-                            .copied()
-                        {
+                        match live.iter().min_by_key(|r| (self.conns[r.0], r.0)).copied() {
                             Some(r) => r,
                             None => {
                                 self.stats.fallback += 1;
@@ -439,12 +435,7 @@ impl LoadBalancer {
     pub fn replica_recovered(&mut self, replica: ReplicaId) {
         self.alive[replica.0] = true;
         if let Policy::Malb(state) = &mut self.policy {
-            if let Some(unit) = state
-                .0
-                .units
-                .iter_mut()
-                .min_by_key(|u| u.replicas.len())
-            {
+            if let Some(unit) = state.0.units.iter_mut().min_by_key(|u| u.replicas.len()) {
                 if !unit.replicas.contains(&replica) {
                     unit.replicas.push(replica);
                 }
@@ -689,11 +680,7 @@ impl MalbState {
             .iter()
             .enumerate()
             .map(|(ui, unit)| {
-                let live: Vec<&ReplicaId> = unit
-                    .replicas
-                    .iter()
-                    .filter(|r| alive[r.0])
-                    .collect();
+                let live: Vec<&ReplicaId> = unit.replicas.iter().filter(|r| alive[r.0]).collect();
                 let load = if live.is_empty() {
                     0.0
                 } else {
@@ -926,9 +913,15 @@ mod tests {
         let hot: Vec<ReplicaId> = lb.assignments()[0].1.clone();
         for r in 0..8 {
             let load = if hot.contains(&ReplicaId(r)) {
-                ResourceLoad { cpu: 0.95, disk: 0.2 }
+                ResourceLoad {
+                    cpu: 0.95,
+                    disk: 0.2,
+                }
             } else {
-                ResourceLoad { cpu: 0.05, disk: 0.01 }
+                ResourceLoad {
+                    cpu: 0.05,
+                    disk: 0.01,
+                }
             };
             lb.report(ReplicaId(r), load);
         }
@@ -960,10 +953,33 @@ mod tests {
         let mut lb = LoadBalancer::malb(3, sets, cfg);
         // All three units singleton; two are nearly idle, one moderately hot.
         let a = lb.assignments();
-        let unit_replica = |t: u32| a.iter().find(|(ts, _)| ts.contains(&TxnTypeId(t))).unwrap().1[0];
-        lb.report(unit_replica(0), ResourceLoad { cpu: 0.05, disk: 0.0 });
-        lb.report(unit_replica(1), ResourceLoad { cpu: 0.08, disk: 0.0 });
-        lb.report(unit_replica(2), ResourceLoad { cpu: 0.70, disk: 0.1 });
+        let unit_replica = |t: u32| {
+            a.iter()
+                .find(|(ts, _)| ts.contains(&TxnTypeId(t)))
+                .unwrap()
+                .1[0]
+        };
+        lb.report(
+            unit_replica(0),
+            ResourceLoad {
+                cpu: 0.05,
+                disk: 0.0,
+            },
+        );
+        lb.report(
+            unit_replica(1),
+            ResourceLoad {
+                cpu: 0.08,
+                disk: 0.0,
+            },
+        );
+        lb.report(
+            unit_replica(2),
+            ResourceLoad {
+                cpu: 0.70,
+                disk: 0.1,
+            },
+        );
         lb.tick(SimTime::from_secs(1));
         assert_eq!(lb.stats().merges, 1);
         let after = lb.assignments();
@@ -972,7 +988,10 @@ mod tests {
         let merged = after.iter().find(|(t, _)| t.len() == 2).unwrap();
         assert_eq!(merged.1.len(), 1);
         // The freed replica reinforced the hot unit.
-        let hot = after.iter().find(|(t, _)| t.contains(&TxnTypeId(2))).unwrap();
+        let hot = after
+            .iter()
+            .find(|(t, _)| t.contains(&TxnTypeId(2)))
+            .unwrap();
         assert_eq!(hot.1.len(), 2);
     }
 
@@ -983,16 +1002,51 @@ mod tests {
         cfg.rebalance_period = SimTime::from_secs(1);
         let mut lb = LoadBalancer::malb(3, sets, cfg);
         let a = lb.assignments();
-        let unit_replica = |t: u32| a.iter().find(|(ts, _)| ts.contains(&TxnTypeId(t))).unwrap().1[0];
+        let unit_replica = |t: u32| {
+            a.iter()
+                .find(|(ts, _)| ts.contains(&TxnTypeId(t)))
+                .unwrap()
+                .1[0]
+        };
         let merged_replica = unit_replica(0);
-        lb.report(unit_replica(0), ResourceLoad { cpu: 0.05, disk: 0.0 });
-        lb.report(unit_replica(1), ResourceLoad { cpu: 0.08, disk: 0.0 });
-        lb.report(unit_replica(2), ResourceLoad { cpu: 0.70, disk: 0.1 });
+        lb.report(
+            unit_replica(0),
+            ResourceLoad {
+                cpu: 0.05,
+                disk: 0.0,
+            },
+        );
+        lb.report(
+            unit_replica(1),
+            ResourceLoad {
+                cpu: 0.08,
+                disk: 0.0,
+            },
+        );
+        lb.report(
+            unit_replica(2),
+            ResourceLoad {
+                cpu: 0.70,
+                disk: 0.1,
+            },
+        );
         lb.tick(SimTime::from_secs(1));
         assert_eq!(lb.stats().merges, 1);
         // Now the merged replica becomes the hottest: memory contention.
-        lb.report(merged_replica, ResourceLoad { cpu: 0.2, disk: 0.98 });
-        lb.report(unit_replica(2), ResourceLoad { cpu: 0.3, disk: 0.1 });
+        lb.report(
+            merged_replica,
+            ResourceLoad {
+                cpu: 0.2,
+                disk: 0.98,
+            },
+        );
+        lb.report(
+            unit_replica(2),
+            ResourceLoad {
+                cpu: 0.3,
+                disk: 0.1,
+            },
+        );
         lb.tick(SimTime::from_secs(2));
         assert_eq!(lb.stats().splits, 1, "contended merge must split");
         let after = lb.assignments();
@@ -1010,9 +1064,15 @@ mod tests {
         let a = lb.assignments();
         for (types, replicas) in &a {
             let load = if types.contains(&TxnTypeId(0)) {
-                ResourceLoad { cpu: 0.70, disk: 0.0 }
+                ResourceLoad {
+                    cpu: 0.70,
+                    disk: 0.0,
+                }
             } else {
-                ResourceLoad { cpu: 0.10, disk: 0.0 }
+                ResourceLoad {
+                    cpu: 0.10,
+                    disk: 0.0,
+                }
             };
             for r in replicas {
                 lb.report(*r, load);
@@ -1021,7 +1081,10 @@ mod tests {
         lb.tick(SimTime::from_secs(1));
         assert!(lb.stats().fast_reallocs >= 1);
         let after = lb.assignments();
-        let hot = after.iter().find(|(t, _)| t.contains(&TxnTypeId(0))).unwrap();
+        let hot = after
+            .iter()
+            .find(|(t, _)| t.contains(&TxnTypeId(0)))
+            .unwrap();
         assert_eq!(hot.1.len(), 9, "balance equations give the hot group 9");
     }
 
@@ -1036,7 +1099,13 @@ mod tests {
         let mut lb = LoadBalancer::malb(4, sets, cfg);
         // Balanced loads → no moves → stability accrues.
         for r in 0..4 {
-            lb.report(ReplicaId(r), ResourceLoad { cpu: 0.5, disk: 0.4 });
+            lb.report(
+                ReplicaId(r),
+                ResourceLoad {
+                    cpu: 0.5,
+                    disk: 0.4,
+                },
+            );
         }
         let mut filter_actions = Vec::new();
         for s in 1..10 {
@@ -1061,7 +1130,13 @@ mod tests {
         }
         // Once filtered, allocation is frozen: further ticks do nothing.
         for r in 0..4 {
-            lb.report(ReplicaId(r), ResourceLoad { cpu: 0.9, disk: 0.1 });
+            lb.report(
+                ReplicaId(r),
+                ResourceLoad {
+                    cpu: 0.9,
+                    disk: 0.1,
+                },
+            );
         }
         let acts = lb.tick(SimTime::from_secs(30));
         assert!(acts.is_empty());
@@ -1102,9 +1177,15 @@ mod tests {
         let hot: Vec<ReplicaId> = lb.assignments()[0].1.clone();
         for r in 0..8 {
             let load = if hot.contains(&ReplicaId(r)) {
-                ResourceLoad { cpu: 0.95, disk: 0.2 }
+                ResourceLoad {
+                    cpu: 0.95,
+                    disk: 0.2,
+                }
             } else {
-                ResourceLoad { cpu: 0.05, disk: 0.01 }
+                ResourceLoad {
+                    cpu: 0.05,
+                    disk: 0.01,
+                }
             };
             lb.report(ReplicaId(r), load);
         }

@@ -159,12 +159,7 @@ mod tests {
     }
 
     fn tables(plan: &FilterPlan) -> Vec<u32> {
-        plan.tables
-            .as_ref()
-            .unwrap()
-            .iter()
-            .map(|r| r.0)
-            .collect()
+        plan.tables.as_ref().unwrap().iter().map(|r| r.0).collect()
     }
 
     #[test]

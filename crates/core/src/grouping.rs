@@ -218,7 +218,10 @@ mod tests {
             ws(3, &[(3, 200)]),
         ];
         let groups = pack_groups(&sets, EstimationMode::SizeContent, 100);
-        let mut seen: Vec<u32> = groups.iter().flat_map(|g| g.types.iter().map(|t| t.0)).collect();
+        let mut seen: Vec<u32> = groups
+            .iter()
+            .flat_map(|g| g.types.iter().map(|t| t.0))
+            .collect();
         seen.sort();
         assert_eq!(seen, vec![0, 1, 2, 3]);
     }
@@ -279,7 +282,10 @@ mod tests {
         ];
         let groups = pack_groups(&sets, EstimationMode::SizeContent, 60);
         // Type 2 must share a group with type 1.
-        let with2 = groups.iter().find(|g| g.types.contains(&TxnTypeId(2))).unwrap();
+        let with2 = groups
+            .iter()
+            .find(|g| g.types.contains(&TxnTypeId(2)))
+            .unwrap();
         assert!(with2.types.contains(&TxnTypeId(1)));
     }
 

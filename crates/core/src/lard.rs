@@ -181,7 +181,7 @@ mod tests {
         let mut l = lard(4);
         l.dispatch(TxnTypeId(0), &[0, 9, 9, 9]); // home = 0
         l.dispatch(TxnTypeId(0), &[13, 9, 9, 1]); // grows to {0, 3}
-        // Member 3 lighter than member 0 → dispatch to 3.
+                                                  // Member 3 lighter than member 0 → dispatch to 3.
         assert_eq!(l.dispatch(TxnTypeId(0), &[8, 9, 9, 2]), ReplicaId(3));
         // Member 0 lighter → back to 0.
         assert_eq!(l.dispatch(TxnTypeId(0), &[1, 9, 9, 6]), ReplicaId(0));

@@ -1,0 +1,116 @@
+//! Property-based invariants of `grouping::pack_groups` (§2.3).
+//!
+//! Across arbitrary working-set populations, capacities, and all three
+//! estimation modes:
+//!
+//! * every transaction type lands in exactly one group;
+//! * no group exceeds the memory budget unless it is a singleton oversized
+//!   (overflow) type;
+//! * overlap credit can only shrink a group's estimate relative to the sum
+//!   of its members' sizes, and size-only packing takes the exact sum.
+
+use proptest::prelude::*;
+use tashkent_core::{pack_groups, EstimationMode, WorkingSet};
+use tashkent_engine::TxnTypeId;
+use tashkent_storage::RelationId;
+
+const MODES: [EstimationMode; 3] = [
+    EstimationMode::Size,
+    EstimationMode::SizeContent,
+    EstimationMode::SizeContentAccessPattern,
+];
+
+fn working_sets(max_types: u32) -> impl Strategy<Value = Vec<WorkingSet>> {
+    proptest::collection::vec(
+        proptest::collection::btree_map(0u32..16, 1u64..6_000, 1..6),
+        1..max_types as usize,
+    )
+    .prop_map(|maps| {
+        maps.into_iter()
+            .enumerate()
+            .map(|(i, m)| WorkingSet {
+                txn_type: TxnTypeId(i as u32),
+                // Mark roughly half the relations scanned so SCAP differs
+                // from SC.
+                scanned: m
+                    .keys()
+                    .filter(|r| *r % 2 == 0)
+                    .map(|r| RelationId(*r))
+                    .collect(),
+                relations: m.into_iter().map(|(r, p)| (RelationId(r), p)).collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every transaction type appears in exactly one group, in every mode.
+    #[test]
+    fn each_type_in_exactly_one_group(sets in working_sets(24), capacity in 500u64..25_000) {
+        for mode in MODES {
+            let groups = pack_groups(&sets, mode, capacity);
+            let mut seen: Vec<u32> = groups
+                .iter()
+                .flat_map(|g| g.types.iter().map(|t| t.0))
+                .collect();
+            seen.sort_unstable();
+            let expected: Vec<u32> = (0..sets.len() as u32).collect();
+            prop_assert_eq!(seen, expected, "{:?}: type partition broken", mode);
+        }
+    }
+
+    /// A group over the memory budget must be a singleton oversized type —
+    /// flagged overflow, holding exactly one type whose own estimate exceeds
+    /// capacity. Everything else fits.
+    #[test]
+    fn only_singleton_oversized_types_exceed_budget(sets in working_sets(24),
+                                                    capacity in 500u64..25_000) {
+        for mode in MODES {
+            for g in pack_groups(&sets, mode, capacity) {
+                if g.estimate_pages > capacity {
+                    prop_assert!(g.overflow, "{:?}: oversized group not flagged", mode);
+                    prop_assert_eq!(g.types.len(), 1, "{:?}: oversized group not singleton", mode);
+                    let only = g.types[0];
+                    prop_assert!(
+                        sets[only.0 as usize].pages_for(mode) > capacity,
+                        "{:?}: {:?} fits alone yet its group overflows",
+                        mode,
+                        only
+                    );
+                } else {
+                    prop_assert!(!g.overflow, "{:?}: fitting group flagged overflow", mode);
+                }
+            }
+        }
+    }
+
+    /// Content-aware estimates never exceed the arithmetic sum of member
+    /// sizes (overlap can only shrink); size-only packing is the exact sum.
+    #[test]
+    fn estimates_bounded_by_member_sum(sets in working_sets(16), capacity in 500u64..25_000) {
+        for mode in MODES {
+            for g in pack_groups(&sets, mode, capacity) {
+                let sum: u64 = g
+                    .types
+                    .iter()
+                    .map(|t| sets[t.0 as usize].pages_for(mode))
+                    .sum();
+                prop_assert!(g.estimate_pages <= sum, "{:?}: overlap grew the estimate", mode);
+                if mode == EstimationMode::Size {
+                    prop_assert_eq!(g.estimate_pages, sum, "size-only must double count");
+                }
+            }
+        }
+    }
+
+    /// Packing is deterministic: same inputs, same groups.
+    #[test]
+    fn packing_is_deterministic(sets in working_sets(16), capacity in 500u64..25_000) {
+        for mode in MODES {
+            prop_assert_eq!(
+                pack_groups(&sets, mode, capacity),
+                pack_groups(&sets, mode, capacity)
+            );
+        }
+    }
+}

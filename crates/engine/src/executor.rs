@@ -31,7 +31,11 @@ enum StepState {
     /// Not yet initialized for the current step.
     Fresh,
     /// Scanning pages `next..end` of a relation.
-    Scanning { rel: RelationId, next: u32, end: u32 },
+    Scanning {
+        rel: RelationId,
+        next: u32,
+        end: u32,
+    },
     /// `remaining` index lookups; each lookup emits its index-page touches
     /// then the heap-page touch.
     Lookups {
@@ -201,11 +205,8 @@ impl TxnExecutor {
                 let leaf = index.page_of_row(row);
                 // …and queue the heap fetch on the base table (if this is an
                 // index; a direct table probe touches only the table page).
-                match index.table {
-                    Some(table) => {
-                        *pending_heap = Some(catalog.get(table).page_of_row(row));
-                    }
-                    None => {}
+                if let Some(table) = index.table {
+                    *pending_heap = Some(catalog.get(table).page_of_row(row));
                 }
                 Some(PageTouch {
                     page: leaf,

@@ -65,10 +65,7 @@ impl ExplainPlan {
                             // The heap fetch behind an index scan touches the
                             // base table randomly.
                             if let Some(table) = catalog.get(*rel).table {
-                                out.push(
-                                    catalog.get(table).name.clone(),
-                                    ExplainAccess::IndexScan,
-                                );
+                                out.push(catalog.get(table).name.clone(), ExplainAccess::IndexScan);
                             }
                         }
                     }

@@ -41,7 +41,12 @@ pub struct Writeset {
 
 impl Writeset {
     /// Builds a writeset, normalizing items (sorted, deduplicated).
-    pub fn new(txn: TxnId, txn_type: TxnTypeId, snapshot: Snapshot, mut items: Vec<WritesetItem>) -> Self {
+    pub fn new(
+        txn: TxnId,
+        txn_type: TxnTypeId,
+        snapshot: Snapshot,
+        mut items: Vec<WritesetItem>,
+    ) -> Self {
         items.sort_unstable();
         items.dedup();
         Writeset {

@@ -45,21 +45,26 @@ fn step_strategy() -> impl Strategy<Value = PlanStep> {
                 theta: 0.0,
             }
         )),
-        (prop_oneof![Just(0u32), Just(2u32)], 1u32..5, 0.0f64..0.9).prop_map(
-            |(r, rows, theta)| PlanStep::Write(WriteSpec {
+        (prop_oneof![Just(0u32), Just(2u32)], 1u32..5, 0.0f64..0.9).prop_map(|(r, rows, theta)| {
+            PlanStep::Write(WriteSpec {
                 rel: tashkent_storage::RelationId(r),
                 rows,
                 kind: WriteKind::Update,
                 theta,
             })
-        ),
+        }),
     ]
 }
 
 fn run_plan(plan: &TxnPlan, seed: u64) -> (Vec<tashkent_storage::GlobalPageId>, usize, u64) {
     let c = catalog();
     let mut rng = SimRng::seed_from(seed);
-    let mut ex = TxnExecutor::new(TxnId(1), TxnTypeId(0), plan.clone(), Snapshot::at(Version(0)));
+    let mut ex = TxnExecutor::new(
+        TxnId(1),
+        TxnTypeId(0),
+        plan.clone(),
+        Snapshot::at(Version(0)),
+    );
     let mut pages = Vec::new();
     let mut cpu = 0u64;
     while let Some(t) = ex.next_touch(&c, &mut rng) {

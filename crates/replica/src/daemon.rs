@@ -70,7 +70,12 @@ impl LoadDaemon {
     /// window — a useful overload signal for the balancer's allocation
     /// decisions (a saturated *and backlogged* group needs replicas more
     /// than a merely saturated one).
-    pub fn sample(&mut self, now: SimTime, cpu: &mut CpuServer, disk: &mut DiskModel) -> LoadReport {
+    pub fn sample(
+        &mut self,
+        now: SimTime,
+        cpu: &mut CpuServer,
+        disk: &mut DiskModel,
+    ) -> LoadReport {
         let interval = now.saturating_since(self.last_sample).max(1);
         self.last_sample = now;
         let cpu_util = (cpu.take_window_busy_us() as f64 / interval as f64).min(2.5);

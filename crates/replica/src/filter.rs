@@ -14,9 +14,10 @@ use tashkent_storage::RelationId;
 ///
 /// `UpdateFilter::all()` is the pass-through default (no filtering, the base
 /// Tashkent behaviour).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum UpdateFilter {
     /// Accept updates to every relation (filtering disabled).
+    #[default]
     All,
     /// Accept updates only to these relations.
     Only(BTreeSet<RelationId>),
@@ -54,17 +55,8 @@ impl UpdateFilter {
     ) -> Vec<RelationId> {
         match self {
             UpdateFilter::All => Vec::new(),
-            UpdateFilter::Only(set) => universe
-                .into_iter()
-                .filter(|r| !set.contains(r))
-                .collect(),
+            UpdateFilter::Only(set) => universe.into_iter().filter(|r| !set.contains(r)).collect(),
         }
-    }
-}
-
-impl Default for UpdateFilter {
-    fn default() -> Self {
-        UpdateFilter::All
     }
 }
 

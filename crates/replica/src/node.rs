@@ -638,16 +638,11 @@ mod tests {
         let pool_orders = {
             let mut count = 0;
             for page in 0..64 {
-                if node
-                    .pool_stats()
-                    .hits
-                    .checked_add(0)
-                    .is_some()
-                {
+                if node.pool_stats().hits.checked_add(0).is_some() {
                     // Residency probe via touch-free API:
-                    count += usize::from(node.is_page_resident(
-                        tashkent_storage::GlobalPageId::new(orders, page),
-                    ));
+                    count += usize::from(
+                        node.is_page_resident(tashkent_storage::GlobalPageId::new(orders, page)),
+                    );
                 }
             }
             count

@@ -1,13 +1,12 @@
 //! Deterministic random number generation for simulations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random source shared by all stochastic parts of a simulation.
 ///
 /// All randomness in an experiment (client think times, index page choices,
 /// row selections, ...) flows through a single `SimRng` seeded from the
-/// experiment configuration, making runs bit-for-bit reproducible.
+/// experiment configuration, making runs bit-for-bit reproducible. The
+/// generator is xoshiro256** seeded via splitmix64 — no external
+/// dependencies, stable output across platforms and toolchains.
 ///
 /// # Examples
 ///
@@ -20,22 +19,49 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful for giving each
     /// component its own stream so adding draws in one component does not
     /// perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -43,7 +69,10 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            // Plain modulo reduction: the bias of a 64-bit draw against
+            // simulation-sized ranges is negligible, and it keeps the
+            // stream simple to reason about.
+            lo + self.next_u64() % (hi - lo)
         }
     }
 
@@ -52,13 +81,13 @@ impl SimRng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            (self.next_u64() % n as u64) as usize
         }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

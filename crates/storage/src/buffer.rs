@@ -260,9 +260,7 @@ impl BufferPool {
         let mut clean = 0;
         let mut dirty = 0;
         for idx in 0..self.frames.len() {
-            let matches = self.frames[idx]
-                .as_ref()
-                .is_some_and(|f| f.page.rel == rel);
+            let matches = self.frames[idx].as_ref().is_some_and(|f| f.page.rel == rel);
             if matches {
                 let frame = self.frames[idx].take().expect("checked above");
                 self.page_table.remove(&frame.page);

@@ -140,9 +140,7 @@ impl DiskModel {
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) -> SimTime {
         let window = self.params.seq_window.max(1);
         let sequential = self.head.is_some_and(|h| {
-            req.page.rel == h.rel
-                && req.page.page > h.page
-                && req.page.page - h.page <= window
+            req.page.rel == h.rel && req.page.page > h.page && req.page.page - h.page <= window
         });
         let service = if sequential {
             self.stats.sequential += 1;

@@ -100,7 +100,7 @@ impl BackgroundWriter {
             }
             flushed += batch.len();
             self.pages_written += batch.len() as u64;
-            self.next_round = self.next_round + self.config.period.as_micros();
+            self.next_round += self.config.period.as_micros();
         }
         flushed
     }

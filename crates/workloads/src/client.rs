@@ -54,8 +54,7 @@ mod tests {
         let pool = ClientPool::new(10, 1_000_000);
         let mut rng = SimRng::seed_from(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| pool.think(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| pool.think(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!(
             (900_000.0..1_100_000.0).contains(&mean),
             "mean think {mean}"

@@ -21,4 +21,3 @@ pub mod tpcw;
 pub use client::ClientPool;
 pub use spec::{Mix, Workload};
 pub use tpcw::{TpcwScale, TPCW_MIXES};
-

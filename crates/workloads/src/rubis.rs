@@ -7,7 +7,9 @@
 //! indices; `AboutMe` is the "large, frequent transaction that reads from
 //! almost all the tables in the database".
 
-use tashkent_engine::{Access, CpuCosts, PlanStep, TxnPlan, TxnType, TxnTypeId, WriteKind, WriteSpec};
+use tashkent_engine::{
+    Access, CpuCosts, PlanStep, TxnPlan, TxnType, TxnTypeId, WriteKind, WriteSpec,
+};
 use tashkent_storage::{Catalog, RelationId, PAGE_SIZE};
 
 use crate::spec::{Mix, Workload};
@@ -210,13 +212,15 @@ pub fn transaction_types(r: &RubisRels) -> Vec<TxnType> {
     );
     add(
         "PutComment",
-        TxnPlan::new(vec![lookups(r.users_pk, 2, 0.2), lookups(r.items_pk, 1, 0.6)])
-            .with_cpu(OLTP_CPU),
+        TxnPlan::new(vec![
+            lookups(r.users_pk, 2, 0.2),
+            lookups(r.items_pk, 1, 0.6),
+        ])
+        .with_cpu(OLTP_CPU),
     );
     add(
         "RegisterUser",
-        TxnPlan::new(vec![lookups(r.users_nick, 1, 0.0), insert(r.users, 1)])
-            .with_cpu(OLTP_CPU),
+        TxnPlan::new(vec![lookups(r.users_nick, 1, 0.0), insert(r.users, 1)]).with_cpu(OLTP_CPU),
     );
     add(
         "SearchItemsByRegion",
@@ -238,8 +242,7 @@ pub fn transaction_types(r: &RubisRels) -> Vec<TxnType> {
     );
     add(
         "RegisterItem",
-        TxnPlan::new(vec![lookups(r.users_pk, 1, 0.2), insert(r.items, 1)])
-            .with_cpu(OLTP_CPU),
+        TxnPlan::new(vec![lookups(r.users_pk, 1, 0.2), insert(r.items, 1)]).with_cpu(OLTP_CPU),
     );
     add(
         "SearchItemsByCategory",
@@ -348,7 +351,10 @@ mod tests {
     #[test]
     fn db_size_matches_paper() {
         let size = workload().db_bytes() as f64 / GB;
-        assert!((2.0..2.45).contains(&size), "RUBiS {size:.2} GB (paper 2.2)");
+        assert!(
+            (2.0..2.45).contains(&size),
+            "RUBiS {size:.2} GB (paper 2.2)"
+        );
     }
 
     #[test]
@@ -408,7 +414,13 @@ mod tests {
     #[test]
     fn writes_match_table4_update_types() {
         let w = workload();
-        for name in ["StoreBid", "StoreComment", "StoreBuyNow", "RegisterUser", "RegisterItem"] {
+        for name in [
+            "StoreBid",
+            "StoreComment",
+            "StoreBuyNow",
+            "RegisterUser",
+            "RegisterItem",
+        ] {
             assert!(w.type_by_name(name).unwrap().plan.is_update(), "{name}");
         }
         for name in ["AboutMe", "PutBid", "ViewItem", "PutComment"] {

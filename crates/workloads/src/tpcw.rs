@@ -11,7 +11,9 @@
 //! the TPC-W interaction frequencies: ordering ≈ 50 % updates, shopping
 //! ≈ 20 %, browsing ≈ 5 %.
 
-use tashkent_engine::{Access, CpuCosts, PlanStep, TxnPlan, TxnType, TxnTypeId, WriteKind, WriteSpec};
+use tashkent_engine::{
+    Access, CpuCosts, PlanStep, TxnPlan, TxnType, TxnTypeId, WriteKind, WriteSpec,
+};
 use tashkent_storage::{Catalog, RelationId, PAGE_SIZE};
 
 use crate::spec::{Mix, Workload};
@@ -109,8 +111,12 @@ pub fn schema(ebs: u64) -> (Catalog, TpcwRels) {
     let orders_pk = c.add_index("orders_pk", orders_t, pages(orders, 40), orders);
     let orders_cust = c.add_index("orders_cust", orders_t, pages(orders, 40), orders);
     let order_line = c.add_table("order_line", pages(order_lines, 210), order_lines);
-    let order_line_pk =
-        c.add_index("order_line_pk", order_line, pages(order_lines, 40), order_lines);
+    let order_line_pk = c.add_index(
+        "order_line_pk",
+        order_line,
+        pages(order_lines, 40),
+        order_lines,
+    );
     let cc_xacts = c.add_table("cc_xacts", pages(orders, 220), orders);
     let cc_xacts_pk = c.add_index("cc_xacts_pk", cc_xacts, pages(orders, 40), orders);
     let item = c.add_table("item", pages(items, 900), items);
@@ -120,10 +126,8 @@ pub fn schema(ebs: u64) -> (Catalog, TpcwRels) {
     let author = c.add_table("author", pages(authors, 700), authors);
     let author_pk = c.add_index("author_pk", author, pages(authors, 40), authors);
     let shopping_cart = c.add_table("shopping_cart", pages(carts, 80), carts);
-    let shopping_cart_pk =
-        c.add_index("shopping_cart_pk", shopping_cart, pages(carts, 40), carts);
-    let shopping_cart_line =
-        c.add_table("shopping_cart_line", pages(cart_lines, 90), cart_lines);
+    let shopping_cart_pk = c.add_index("shopping_cart_pk", shopping_cart, pages(carts, 40), carts);
+    let shopping_cart_line = c.add_table("shopping_cart_line", pages(cart_lines, 90), cart_lines);
     let shopping_cart_line_pk = c.add_index(
         "shopping_cart_line_pk",
         shopping_cart_line,
@@ -164,13 +168,7 @@ fn read(rel: RelationId, access: Access) -> PlanStep {
 }
 
 fn lookups(rel: RelationId, n: u32, theta: f64) -> PlanStep {
-    read(
-        rel,
-        Access::IndexLookup {
-            lookups: n,
-            theta,
-        },
-    )
+    read(rel, Access::IndexLookup { lookups: n, theta })
 }
 
 fn update(rel: RelationId, rows: u32, theta: f64) -> PlanStep {
@@ -285,8 +283,11 @@ pub fn transaction_types(r: &TpcwRels) -> Vec<TxnType> {
     // ProductDetail: one item with its author.
     add(
         "ProducDet",
-        TxnPlan::new(vec![lookups(r.item_pk, 1, 0.2), lookups(r.author_pk, 1, 0.0)])
-            .with_cpu(OLTP_CPU),
+        TxnPlan::new(vec![
+            lookups(r.item_pk, 1, 0.2),
+            lookups(r.author_pk, 1, 0.0),
+        ])
+        .with_cpu(OLTP_CPU),
     );
     // SearchRequest: the search form (a few lookups for defaults).
     add(
@@ -375,8 +376,11 @@ pub fn transaction_types(r: &TpcwRels) -> Vec<TxnType> {
     // AdminRequest: item edit form.
     add(
         "AdmiRqust",
-        TxnPlan::new(vec![lookups(r.item_pk, 1, 0.2), lookups(r.author_pk, 1, 0.0)])
-            .with_cpu(OLTP_CPU),
+        TxnPlan::new(vec![
+            lookups(r.item_pk, 1, 0.2),
+            lookups(r.author_pk, 1, 0.0),
+        ])
+        .with_cpu(OLTP_CPU),
     );
     // AdminResponse: item update plus related-items recomputation over the
     // order history — the heaviest transaction in the workload.
@@ -503,9 +507,15 @@ mod tests {
         let small = workload(TpcwScale::Small).db_bytes() as f64 / GB;
         let mid = workload(TpcwScale::Mid).db_bytes() as f64 / GB;
         let large = workload(TpcwScale::Large).db_bytes() as f64 / GB;
-        assert!((0.45..0.9).contains(&small), "SmallDB {small:.2} GB (paper 0.7)");
+        assert!(
+            (0.45..0.9).contains(&small),
+            "SmallDB {small:.2} GB (paper 0.7)"
+        );
         assert!((1.55..2.05).contains(&mid), "MidDB {mid:.2} GB (paper 1.8)");
-        assert!((2.55..3.25).contains(&large), "LargeDB {large:.2} GB (paper 2.9)");
+        assert!(
+            (2.55..3.25).contains(&large),
+            "LargeDB {large:.2} GB (paper 2.9)"
+        );
     }
 
     #[test]
@@ -622,8 +632,8 @@ mod tests {
         let est = WorkingSetEstimator::new(&w.catalog);
         let t = w.type_by_name("OrderDispl").unwrap();
         let ws = est.estimate(t.id, &w.explain(t.id));
-        let scap_mb = ws.pages_for(EstimationMode::SizeContentAccessPattern) * PAGE_SIZE
-            / (1024 * 1024);
+        let scap_mb =
+            ws.pages_for(EstimationMode::SizeContentAccessPattern) * PAGE_SIZE / (1024 * 1024);
         assert!(scap_mb < 5, "OrderDispl SCAP = {scap_mb} MB (paper ~1 MB)");
         let sc_mb = ws.pages_for(EstimationMode::SizeContent) * PAGE_SIZE / (1024 * 1024);
         assert!(

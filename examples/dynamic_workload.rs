@@ -1,37 +1,27 @@
 //! Dynamic reconfiguration: switch the workload mix mid-run and watch MALB
-//! re-allocate replicas (the Figure 6 experiment at example scale).
+//! re-allocate replicas (the Figure 6 experiment at example scale), via the
+//! `dynamic-reconfig` scenario from the shared registry.
 //!
 //! ```sh
 //! cargo run --release --example dynamic_workload
 //! ```
 
-use tashkent::cluster::{run, ClusterConfig, Experiment, PolicySpec};
-use tashkent::workloads::tpcw::{self, TpcwScale};
+use tashkent::prelude::*;
 
 fn main() {
-    let (workload, shopping) = tpcw::workload_with_mix(TpcwScale::Small, "shopping");
-    let (_, browsing) = tpcw::workload_with_mix(TpcwScale::Small, "browsing");
+    let scenario = scenario("dynamic-reconfig").expect("registered scenario");
+    println!("scenario: {} — {}\n", scenario.name(), scenario.summary());
 
-    let config = ClusterConfig {
+    // Three phases: shopping → browsing → shopping, 80 s each, on an
+    // 8-replica cluster.
+    let knobs = ScenarioKnobs {
         replicas: 8,
-        clients: 56,
-        ..ClusterConfig::paper_default()
-    }
-    .with_policy(PolicySpec::malb_sc());
-
-    // Three phases: shopping → browsing → shopping.
-    let exp = Experiment {
-        config,
-        workload,
-        phases: vec![
-            (100, shopping.clone()),
-            (80, browsing),
-            (80, shopping),
-        ],
+        clients_per_replica: 7,
         warmup_secs: 20,
-        freeze_at_secs: None,
+        measured_secs: 240,
+        ..ScenarioKnobs::default()
     };
-    let result = run(exp);
+    let result = scenario.run(&knobs);
 
     println!("throughput over time (10 s buckets):");
     for (t, tps) in result.timeseries(10.0) {

@@ -18,11 +18,12 @@ fn main() {
     let estimator = WorkingSetEstimator::new(&workload.catalog);
     let mb = |pages: u64| pages * PAGE_SIZE / (1 << 20);
 
-    println!("TPC-W MidDB: {} relations, {} total MB\n", workload.catalog.len(), mb(workload.catalog.total_pages()));
     println!(
-        "{:<12} {:>8} {:>8}  explain",
-        "type", "SC MB", "SCAP MB"
+        "TPC-W MidDB: {} relations, {} total MB\n",
+        workload.catalog.len(),
+        mb(workload.catalog.total_pages())
     );
+    println!("{:<12} {:>8} {:>8}  explain", "type", "SC MB", "SCAP MB");
 
     let mut sets = Vec::new();
     for t in &workload.types {
@@ -54,11 +55,7 @@ fn main() {
         let groups = pack_groups(&sets, mode, capacity);
         println!("\n  {mode:?}: {} groups", groups.len());
         for g in &groups {
-            let names: Vec<&str> = g
-                .types
-                .iter()
-                .map(|t| workload.type_name(*t))
-                .collect();
+            let names: Vec<&str> = g.types.iter().map(|t| workload.type_name(*t)).collect();
             println!(
                 "    [{}] {} MB{}",
                 names.join(", "),

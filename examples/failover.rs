@@ -15,7 +15,7 @@ use tashkent::core::{LoadBalancer, ReplicaId};
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent::replica::{ReplicaConfig, ReplicaNode};
 use tashkent::sim::{SimRng, SimTime};
-use tashkent::storage::{Catalog, RelationId};
+use tashkent::storage::Catalog;
 
 fn main() {
     // A miniature schema and one replica.
@@ -42,12 +42,18 @@ fn main() {
 
     // Crash: cold cache, in-flight work dropped.
     let dropped = replica.crash();
-    println!("crash: {} in-flight transactions dropped, cache cold", dropped.len());
+    println!(
+        "crash: {} in-flight transactions dropped, cache cold",
+        dropped.len()
+    );
 
     // Standard recovery from the certifier's persistent log (§3).
     replica.recover(Version(10));
     let missed = certifier.writesets_since(replica.applied());
-    println!("recovery: {} writesets to replay from the persistent log", missed.len());
+    println!(
+        "recovery: {} writesets to replay from the persistent log",
+        missed.len()
+    );
     replica.apply_writesets(SimTime::from_secs(2), missed);
     assert_eq!(replica.applied(), certifier.version());
     println!("replica caught up to {}", replica.applied());

@@ -1,5 +1,5 @@
 //! Quickstart: run a small replicated cluster under each load-balancing
-//! policy and compare throughput.
+//! policy and compare throughput, all through the scenario registry.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,17 +8,10 @@
 use tashkent::prelude::*;
 
 fn main() {
-    // An 8-replica cluster at 512 MB per replica, on a small TPC-W database
-    // with the ordering mix (50 % updates).
-    let (workload, mix) = tpcw::workload_with_mix(tpcw::TpcwScale::Small, "ordering");
-    println!(
-        "workload: {} ({:.2} GB, {} transaction types), mix: {} ({:.0}% updates)\n",
-        workload.name,
-        workload.db_bytes() as f64 / (1 << 30) as f64,
-        workload.types.len(),
-        mix.name,
-        100.0 * mix.update_fraction(&workload),
-    );
+    // The TPC-W steady-state scenario from the shared registry: a small
+    // bookstore database with the ordering mix (50 % updates).
+    let tpcw = scenario("tpcw-steady-state").expect("registered scenario");
+    println!("scenario: {} — {}\n", tpcw.name(), tpcw.summary());
 
     for policy in [
         PolicySpec::RoundRobin,
@@ -27,13 +20,16 @@ fn main() {
         PolicySpec::malb_sc(),
         PolicySpec::malb_sc_uf(),
     ] {
-        let config = ClusterConfig {
+        // An 8-replica cluster at 512 MB per replica.
+        let knobs = ScenarioKnobs {
             replicas: 8,
-            clients: 64,
-            ..ClusterConfig::paper_default()
+            clients_per_replica: 8,
+            warmup_secs: 20,
+            measured_secs: 60,
+            ..ScenarioKnobs::default()
         }
         .with_policy(policy);
-        let result = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(20, 60));
+        let result = tpcw.run(&knobs);
         println!(
             "{:<18} {:>7.1} tps  {:>6.0} ms mean response  {:>5.1} KB read/txn",
             policy.label(),

@@ -1,33 +1,30 @@
 //! RUBiS auction-site scenario: the bidding mix with the `AboutMe` whale.
 //!
 //! RUBiS's `AboutMe` transaction reads from almost every table; this
-//! example shows how MALB isolates it onto its own replicas while the
+//! example runs the `rubis-auction` scenario from the shared registry to
+//! show how MALB isolates it onto its own replicas while the
 //! connection-counting baseline lets it pollute every cache.
 //!
 //! ```sh
 //! cargo run --release --example rubis_auction
 //! ```
 
-use tashkent::cluster::{run, ClusterConfig, Experiment, PolicySpec};
-use tashkent::workloads::rubis;
+use tashkent::prelude::*;
 
 fn main() {
-    let (workload, mix) = rubis::workload_with_mix("bidding");
-    println!(
-        "RUBiS: {:.2} GB, {} types; bidding mix {:.0}% updates\n",
-        workload.db_bytes() as f64 / (1 << 30) as f64,
-        workload.types.len(),
-        100.0 * mix.update_fraction(&workload)
-    );
+    let rubis = scenario("rubis-auction").expect("registered scenario");
+    println!("scenario: {} — {}\n", rubis.name(), rubis.summary());
 
     for policy in [PolicySpec::LeastConnections, PolicySpec::malb_sc()] {
-        let config = ClusterConfig {
+        let knobs = ScenarioKnobs {
             replicas: 8,
-            clients: 56,
-            ..ClusterConfig::paper_default()
+            clients_per_replica: 7,
+            warmup_secs: 30,
+            measured_secs: 90,
+            ..ScenarioKnobs::default()
         }
         .with_policy(policy);
-        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(30, 90));
+        let r = rubis.run(&knobs);
         println!(
             "{:<18} {:>7.1} tps  read/txn {:>5.0} KB  mean resp {:>5.0} ms",
             policy.label(),

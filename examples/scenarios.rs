@@ -1,0 +1,41 @@
+//! Scenario catalog: list every registered scenario and run each at smoke
+//! scale through the shared harness.
+//!
+//! ```sh
+//! cargo run --release --example scenarios
+//! ```
+
+use tashkent::prelude::*;
+
+fn main() {
+    let scenarios = registry();
+    println!("{} registered scenarios:\n", scenarios.len());
+    for s in &scenarios {
+        println!("  {:<20} {}", s.name(), s.summary());
+    }
+
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 5,
+        warmup_secs: 10,
+        measured_secs: 45,
+        ..ScenarioKnobs::default()
+    };
+    println!(
+        "\nrunning each at {} replicas x {} clients, {} s measured:\n",
+        knobs.replicas,
+        knobs.replicas * knobs.clients_per_replica,
+        knobs.measured_secs
+    );
+    for s in &scenarios {
+        let r = s.run(&knobs);
+        println!(
+            "  {:<20} {:>7.1} tps  {:>6.0} ms mean response  {:>4} groups  {:>5.1}% aborts",
+            s.name(),
+            r.tps,
+            r.mean_response_s * 1e3,
+            r.assignments.len(),
+            100.0 * r.abort_fraction(),
+        );
+    }
+}

@@ -27,6 +27,17 @@
 //! let result = run(Experiment::new(config, workload, mix).with_window(5, 20));
 //! assert!(result.tps > 0.0);
 //! ```
+//!
+//! The same run through the scenario registry — the shared harness every
+//! example, integration test, and bench figure uses:
+//!
+//! ```
+//! use tashkent::cluster::{run_scenario, PolicySpec, ScenarioKnobs};
+//!
+//! let knobs = ScenarioKnobs::smoke().with_policy(PolicySpec::malb_sc());
+//! let result = run_scenario("tpcw-steady-state", &knobs);
+//! assert!(result.tps > 0.0);
+//! ```
 
 /// The discrete-event simulation kernel (time, events, RNG, statistics).
 pub use tashkent_sim as sim;
@@ -56,7 +67,8 @@ pub use tashkent_cluster as cluster;
 /// Commonly used types, re-exported flat.
 pub mod prelude {
     pub use tashkent_cluster::{
-        calibrate_standalone, run, ClusterConfig, Experiment, PolicySpec, RunResult,
+        calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, Experiment,
+        PolicySpec, RunResult, Scenario, ScenarioKnobs,
     };
     pub use tashkent_core::{EstimationMode, LoadBalancer, MalbConfig, WorkingSetEstimator};
     pub use tashkent_engine::{TxnTypeId, Version};

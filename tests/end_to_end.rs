@@ -102,15 +102,22 @@ fn malb_beats_least_connections_on_contrived_thrash() {
         weights: vec![1.0, 1.0],
     };
 
-    let mk = |policy| ClusterConfig {
-        replicas: 2,
-        clients: 6,
-        think_mean_us: 500_000,
-        ..ClusterConfig::paper_default()
-    }
-    .with_policy(policy);
+    let mk = |policy| {
+        ClusterConfig {
+            replicas: 2,
+            clients: 6,
+            think_mean_us: 500_000,
+            ..ClusterConfig::paper_default()
+        }
+        .with_policy(policy)
+    };
 
-    let lc = run(Experiment::new(mk(PolicySpec::LeastConnections), workload.clone(), mix.clone()).with_window(30, 90));
+    let lc = run(Experiment::new(
+        mk(PolicySpec::LeastConnections),
+        workload.clone(),
+        mix.clone(),
+    )
+    .with_window(30, 90));
     let malb = run(Experiment::new(mk(PolicySpec::malb_sc()), workload, mix).with_window(30, 90));
     assert!(
         malb.tps > 1.5 * lc.tps,

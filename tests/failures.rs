@@ -36,7 +36,11 @@ fn commit_n(cert: &mut Certifier, n: u64) {
 #[test]
 fn replica_recovers_from_certifier_log() {
     let mut cert = Certifier::default();
-    let mut node = ReplicaNode::new(mini_catalog(), ReplicaConfig::default(), SimRng::seed_from(1));
+    let mut node = ReplicaNode::new(
+        mini_catalog(),
+        ReplicaConfig::default(),
+        SimRng::seed_from(1),
+    );
     commit_n(&mut cert, 40);
     node.apply_writesets(SimTime::from_secs(1), cert.writesets_since(Version(0)));
     assert_eq!(node.applied(), Version(40));
@@ -53,7 +57,11 @@ fn replica_recovers_from_certifier_log() {
 #[test]
 fn recovered_replica_rereads_pages_cold() {
     let mut cert = Certifier::default();
-    let mut node = ReplicaNode::new(mini_catalog(), ReplicaConfig::default(), SimRng::seed_from(2));
+    let mut node = ReplicaNode::new(
+        mini_catalog(),
+        ReplicaConfig::default(),
+        SimRng::seed_from(2),
+    );
     commit_n(&mut cert, 10);
     node.apply_writesets(SimTime::from_secs(1), cert.writesets_since(Version(0)));
     let reads_before = node.disk_stats().read_pages;
@@ -78,7 +86,10 @@ fn certifier_group_survives_two_failures() {
     assert!(g.is_available());
     assert_eq!(g.failovers(), 2);
     // Third failure exhausts the group.
-    assert_eq!(g.kill(SimTime::from_secs(3), 2), Some(GroupEvent::Unavailable));
+    assert_eq!(
+        g.kill(SimTime::from_secs(3), 2),
+        Some(GroupEvent::Unavailable)
+    );
     // A restart restores service as a backup-elect.
     g.restart(0);
     assert_eq!(g.live_members(), 1);
@@ -118,5 +129,8 @@ fn certification_still_correct_across_checkpointing() {
             row: 25,
         }],
     );
-    assert_eq!(cert.certify(SimTime::from_secs(1), ws), CertifyOutcome::Conflict);
+    assert_eq!(
+        cert.certify(SimTime::from_secs(1), ws),
+        CertifyOutcome::Conflict
+    );
 }

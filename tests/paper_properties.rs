@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use tashkent::certifier::{Certifier, CertifyOutcome};
+use tashkent::core::GroupId;
 use tashkent::core::{pack_groups, EstimationMode, WorkingSet};
 use tashkent::core::{AllocationConfig, Allocator, GroupLoads};
-use tashkent::core::GroupId;
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent::sim::SimTime;
 use tashkent::storage::RelationId;
