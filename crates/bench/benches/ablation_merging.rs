@@ -4,8 +4,8 @@
 //! drops MALB-S from 73 to 66 tps and MALB-SC from 76 to 70 tps — merging
 //! compensates for conservative estimates creating many small groups.
 
-use tashkent_bench::{print_table, save_csv, tpcw_config, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{print_table, run_exp, save_csv, sweep_driver, tpcw_config, window, Row};
+use tashkent_cluster::{Experiment, PolicySpec};
 use tashkent_core::EstimationMode;
 use tashkent_workloads::tpcw::TpcwScale;
 
@@ -26,7 +26,11 @@ fn main() {
                 // A zero threshold disqualifies every merge candidate.
                 config.merge_threshold_override = Some(0.0);
             }
-            let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+            let r = run_exp(
+                Experiment::new(config, workload, mix)
+                    .with_window(warmup, measured)
+                    .with_driver(sweep_driver()),
+            );
             rows.push(Row {
                 label: format!(
                     "{label} {}",

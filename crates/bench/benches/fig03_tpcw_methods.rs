@@ -20,7 +20,14 @@ fn main() {
     let mut io_rows = Vec::new();
 
     // Standalone single database.
-    let single = scenario.run(&standalone_knobs(PolicySpec::LeastConnections, 512));
+    let single = scenario
+        .run(&standalone_knobs(
+            PolicySpec::LeastConnections,
+            512,
+            "tpcw",
+            "ordering",
+        ))
+        .expect("scenario runs to its End event");
     rows.push(Row {
         label: "Single".into(),
         paper: 3.0,
@@ -34,7 +41,9 @@ fn main() {
     ];
     let mut malb_groups = Vec::new();
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
-        let r = scenario.run(&paper_knobs(policy, 512));
+        let r = scenario
+            .run(&paper_knobs(policy, 512, "tpcw", "ordering"))
+            .expect("scenario runs to its End event");
         rows.push(Row {
             label: policy.label(),
             paper: paper_tps,

@@ -15,7 +15,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut io_rows = Vec::new();
 
-    let single = scenario.run(&standalone_knobs(PolicySpec::LeastConnections, 512));
+    let single = scenario
+        .run(&standalone_knobs(
+            PolicySpec::LeastConnections,
+            512,
+            "rubis",
+            "bidding",
+        ))
+        .expect("scenario runs to its End event");
     rows.push(Row {
         label: "Single".into(),
         paper: 3.0,
@@ -29,7 +36,9 @@ fn main() {
     ];
     let mut malb_groups = Vec::new();
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
-        let r = scenario.run(&paper_knobs(policy, 512));
+        let r = scenario
+            .run(&paper_knobs(policy, 512, "rubis", "bidding"))
+            .expect("scenario runs to its End event");
         rows.push(Row {
             label: policy.label(),
             paper: paper_tps,

@@ -5,8 +5,8 @@
 //! all MALB variants beat the baselines, the lower-bound SCAP estimate
 //! over-packs and trails the conservative estimators.
 
-use tashkent_bench::{print_table, save_csv, tpcw_config, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{print_table, run_exp, save_csv, sweep_driver, tpcw_config, window, Row};
+use tashkent_cluster::{Experiment, PolicySpec};
 use tashkent_core::EstimationMode;
 use tashkent_workloads::tpcw::TpcwScale;
 
@@ -34,7 +34,11 @@ fn main() {
     let mut rows = Vec::new();
     for (policy, paper_tps) in policies {
         let (config, workload, mix) = tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
-        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let r = run_exp(
+            Experiment::new(config, workload, mix)
+                .with_window(warmup, measured)
+                .with_driver(sweep_driver()),
+        );
         println!(
             "  {:<12} groups={} read/txn={:.0}KB",
             policy.label(),

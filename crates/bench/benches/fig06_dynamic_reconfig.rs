@@ -10,8 +10,8 @@
 //! Runs through the `dynamic-reconfig` and `tpcw-steady-state` scenarios
 //! from the shared harness.
 
-use tashkent_bench::{paper_knobs, save_csv, window, ScenarioKnobs};
-use tashkent_cluster::{run, DynamicReconfig, PolicySpec, Scenario, TpcwSteadyState};
+use tashkent_bench::{paper_knobs, run_exp, save_csv, window, ScenarioKnobs};
+use tashkent_cluster::{DynamicReconfig, PolicySpec, Scenario, TpcwSteadyState};
 use tashkent_workloads::tpcw::TpcwScale;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     let knobs = ScenarioKnobs {
         warmup_secs: warmup,
         measured_secs: 3 * phase,
-        ..paper_knobs(PolicySpec::malb_sc(), 512)
+        ..paper_knobs(PolicySpec::malb_sc(), 512, "tpcw", "shopping")
     };
 
     // Dynamic MALB through the two switches.
@@ -28,7 +28,8 @@ fn main() {
         scale: TpcwScale::Mid,
         freeze: false,
     }
-    .run(&knobs);
+    .run(&knobs)
+    .expect("scenario runs to its End event");
 
     // Static baseline: converge on shopping, freeze, then serve browsing.
     // Only the browsing plateau is read, so drop the return-to-shopping
@@ -39,7 +40,7 @@ fn main() {
     }
     .experiment(&knobs);
     frozen_exp.phases.truncate(2);
-    let frozen = run(frozen_exp);
+    let frozen = run_exp(frozen_exp);
 
     // LeastConnections on browsing (the paper's reference: 37 tps).
     let lc = TpcwSteadyState {
@@ -48,8 +49,9 @@ fn main() {
     }
     .run(&ScenarioKnobs {
         measured_secs: phase,
-        ..paper_knobs(PolicySpec::LeastConnections, 512)
-    });
+        ..paper_knobs(PolicySpec::LeastConnections, 512, "tpcw", "browsing")
+    })
+    .expect("scenario runs to its End event");
 
     println!("== Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping) ==");
     println!("paper: shopping plateau 76 tps, browsing plateau 45 tps,");

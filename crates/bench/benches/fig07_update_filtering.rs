@@ -5,8 +5,10 @@
 //! tps, with filtering cutting writes from 12 to 9 KB/txn and reads from 20
 //! to 18 KB/txn (Table 5).
 
-use tashkent_bench::{print_table, run_standalone, save_csv, tpcw_config, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{
+    print_table, run_exp, run_standalone, save_csv, sweep_driver, tpcw_config, window, Row,
+};
+use tashkent_cluster::{Experiment, PolicySpec};
 use tashkent_workloads::tpcw::TpcwScale;
 
 fn main() {
@@ -36,7 +38,11 @@ fn main() {
     let mut uf_tps = 0.0;
     for (policy, paper_tps, (paper_w, paper_r)) in policies {
         let (config, workload, mix) = tpcw_config(policy, 512, TpcwScale::Mid, "ordering");
-        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let r = run_exp(
+            Experiment::new(config, workload, mix)
+                .with_window(warmup, measured)
+                .with_driver(sweep_driver()),
+        );
         if matches!(
             policy,
             PolicySpec::Malb {

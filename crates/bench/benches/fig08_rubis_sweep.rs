@@ -5,8 +5,8 @@
 //! 42/44/44 at 1024 MB — MALB helps below 1 GB; at 1 GB the working sets
 //! fit everywhere and the methods converge.
 
-use tashkent_bench::{print_table, rubis_config, save_csv, window, Row};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{print_table, rubis_config, run_exp, save_csv, sweep_driver, window, Row};
+use tashkent_cluster::{Experiment, PolicySpec};
 
 fn main() {
     let (warmup, measured) = window();
@@ -24,7 +24,11 @@ fn main() {
     for (ram, paper_vals) in paper {
         for (policy, paper_tps) in policies.iter().zip(paper_vals) {
             let (config, workload, mix) = rubis_config(*policy, ram, "bidding");
-            let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+            let r = run_exp(
+                Experiment::new(config, workload, mix)
+                    .with_window(warmup, measured)
+                    .with_driver(sweep_driver()),
+            );
             rows.push(Row {
                 label: format!("{}MB {}", ram, policy.label()),
                 paper: paper_tps,

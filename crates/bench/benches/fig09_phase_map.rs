@@ -7,8 +7,8 @@
 //! (memory-rich either way). This bench *measures* that map on the TPC-W
 //! ordering mix and renders it from data.
 
-use tashkent_bench::{save_csv, tpcw_config, window};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{run_exp, save_csv, sweep_driver, tpcw_config, window};
+use tashkent_cluster::{Experiment, PolicySpec};
 use tashkent_workloads::tpcw::TpcwScale;
 
 fn main() {
@@ -26,10 +26,18 @@ fn main() {
         for ram in rams {
             let (config, workload, mix) =
                 tpcw_config(PolicySpec::LeastConnections, ram, scale, "ordering");
-            let lc = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+            let lc = run_exp(
+                Experiment::new(config, workload, mix)
+                    .with_window(warmup, measured)
+                    .with_driver(sweep_driver()),
+            );
             let (config, workload, mix) =
                 tpcw_config(PolicySpec::malb_sc(), ram, scale, "ordering");
-            let malb = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+            let malb = run_exp(
+                Experiment::new(config, workload, mix)
+                    .with_window(warmup, measured)
+                    .with_driver(sweep_driver()),
+            );
             let gain = malb.tps / lc.tps.max(1e-9);
             csv.push_str(&format!(
                 "{},{},{:.2},{:.2},{:.2}\n",

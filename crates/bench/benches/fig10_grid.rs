@@ -9,8 +9,8 @@
 //!
 //! Set `TASHKENT_BENCH_WINDOW=quick` to shorten the sweep.
 
-use tashkent_bench::{save_csv, tpcw_config, window};
-use tashkent_cluster::{run, Experiment, PolicySpec};
+use tashkent_bench::{run_exp, save_csv, sweep_driver, tpcw_config, window};
+use tashkent_cluster::{Experiment, PolicySpec};
 use tashkent_workloads::tpcw::TpcwScale;
 
 /// Paper values: [db][mix][ram][policy] with policies LC / MALB-SC / +UF.
@@ -63,8 +63,11 @@ fn main() {
                     let (config, workload, mix) = tpcw_config(*policy, *ram, *scale, mix_name);
                     // The grid is 81 runs; trim each a little to keep the
                     // sweep tractable.
-                    let r = run(Experiment::new(config, workload, mix)
-                        .with_window(warmup.min(60), measured.min(120)));
+                    let r = run_exp(
+                        Experiment::new(config, workload, mix)
+                            .with_window(warmup.min(60), measured.min(120))
+                            .with_driver(sweep_driver()),
+                    );
                     cell[pi] = r.tps;
                     let paper = PAPER[di][mi][ri][pi];
                     line.push_str(&format!(" {:>10.1} (p {:>5.0})", r.tps, paper));

@@ -8,8 +8,8 @@
 //! with a true size of 400–450 MB — the lower bound can be catastrophically
 //! optimistic.
 
-use tashkent_bench::{save_csv, window};
-use tashkent_cluster::{run, ClusterConfig, Experiment, PolicySpec};
+use tashkent_bench::{run_exp, save_csv, window};
+use tashkent_cluster::{ClusterConfig, Experiment, PolicySpec};
 use tashkent_core::{EstimationMode, WorkingSetEstimator};
 use tashkent_storage::PAGE_SIZE;
 use tashkent_workloads::tpcw::{self, TpcwScale};
@@ -35,7 +35,7 @@ fn dedicated_read_kb(
         .with_ram_mb(ram_mb)
         .with_policy(PolicySpec::LeastConnections)
         .standalone(4);
-    let r = run(Experiment::new(config, workload.clone(), mix).with_window(warmup, measured));
+    let r = run_exp(Experiment::new(config, workload.clone(), mix).with_window(warmup, measured));
     r.read_kb_per_txn
 }
 

@@ -1,33 +1,53 @@
-//! Calibration driver: reproduces the §4.4 client-sizing procedure and
-//! prints the Figure 3 / Figure 7 policy comparison so model constants can
-//! be tuned against the paper's shape.
+//! Calibration driver: reproduces the §4.4 client-sizing procedure per
+//! workload/mix, prints the `CLIENTS_PER_REPLICA` table for
+//! `crates/bench/src/lib.rs`, and prints the Figure 3 / Figure 7 policy
+//! comparison so model constants can be tuned against the paper's shape.
 //!
 //! Usage: `cargo run --release -p tashkent-bench --bin calibrate [quick]`
 
-use tashkent_bench::{tpcw_config, WARMUP_SECS};
+use tashkent_bench::{rubis_config, tpcw_config, WARMUP_SECS};
 use tashkent_cluster::{calibrate_standalone, run, Experiment, PolicySpec};
 use tashkent_workloads::tpcw::TpcwScale;
+
+/// Client counts the §4.4 sweep considers, per replica.
+const CANDIDATES: [usize; 8] = [2, 4, 6, 8, 10, 14, 20, 28];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let (warmup, measured) = if quick { (60, 120) } else { (WARMUP_SECS, 180) };
 
-    // 1. Standalone sweep (MidDB, 512 MB, ordering).
-    let (base, workload, mix) = tpcw_config(
-        PolicySpec::LeastConnections,
-        512,
-        TpcwScale::Mid,
-        "ordering",
-    );
+    // 0. Per-workload client sizing: the CLIENTS_PER_REPLICA table every
+    // figure reads. Paste the printed block into crates/bench/src/lib.rs
+    // after model changes.
+    println!("const CLIENTS_PER_REPLICA: &[(&str, &str, usize)] = &[");
+    let tpcw_mixes = ["ordering", "shopping", "browsing"];
+    let mut ordering_cal = None;
+    for mix_name in tpcw_mixes {
+        let (base, workload, mix) =
+            tpcw_config(PolicySpec::LeastConnections, 512, TpcwScale::Mid, mix_name);
+        let cal = calibrate_standalone(&base, &workload, &mix, &CANDIDATES, warmup, measured);
+        println!(
+            "    (\"tpcw\", \"{mix_name}\", {}), // peak {:.2} tps",
+            cal.clients_at_85, cal.peak_tps
+        );
+        if mix_name == "ordering" {
+            ordering_cal = Some(cal);
+        }
+    }
+    for mix_name in ["bidding", "browsing"] {
+        let (base, workload, mix) = rubis_config(PolicySpec::LeastConnections, 512, mix_name);
+        let cal = calibrate_standalone(&base, &workload, &mix, &CANDIDATES, warmup, measured);
+        println!(
+            "    (\"rubis\", \"{mix_name}\", {}), // peak {:.2} tps",
+            cal.clients_at_85, cal.peak_tps
+        );
+    }
+    println!("];");
+
+    // 1. Standalone sweep detail (MidDB, 512 MB, ordering) — reuses the
+    // ordering calibration section 0 already ran.
     println!("standalone sweep (MidDB 1.8GB, 512MB RAM, ordering mix):");
-    let cal = calibrate_standalone(
-        &base,
-        &workload,
-        &mix,
-        &[2, 4, 6, 8, 10, 14, 20, 28],
-        warmup,
-        measured,
-    );
+    let cal = ordering_cal.expect("section 0 calibrated tpcw/ordering");
     for (n, tps) in &cal.sweep {
         println!("  clients={n:<3} tps={tps:.2}");
     }
@@ -53,7 +73,8 @@ fn main() {
         let config = config.with_clients(16 * cal.clients_at_85);
         let names = workload.clone();
         let workload = names.clone();
-        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured));
+        let r = run(Experiment::new(config, workload, mix).with_window(warmup, measured))
+            .expect("calibration experiments schedule an End event");
         let workload = names;
         println!(
             "  {:<18} tps={:>7.1} (paper {paper_tps:>5.1})  resp={:.2}s  read/txn={:.0}KB write/txn={:.0}KB aborts={:.1}% cpu={:.0}% disk={:.0}%",

@@ -1,0 +1,66 @@
+//! Wall-clock comparison of the sequential vs windowed-parallel drivers.
+//!
+//! Runs the same paper-scale experiment (16 replicas, TPC-W ordering,
+//! MALB-SC) under both drivers, checks the results are bit-identical, and
+//! prints wall-clock times. On a host with ≥ 4 cores the parallel driver
+//! should win clearly; on one core it degrades to the inline windowed path
+//! with small overhead.
+//!
+//! Usage: `cargo run --release -p tashkent-bench --bin driver_bench [threads]`
+
+use std::time::Instant;
+
+use tashkent_bench::{clients_per_replica, window};
+use tashkent_cluster::{run_scenario, DriverKind, PolicySpec, ScenarioKnobs};
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let (warmup, measured) = window();
+    let knobs = ScenarioKnobs {
+        replicas: 16,
+        clients_per_replica: clients_per_replica("tpcw", "ordering"),
+        warmup_secs: warmup,
+        measured_secs: measured,
+        ..ScenarioKnobs::default()
+    }
+    .with_policy(PolicySpec::malb_sc());
+
+    let t = Instant::now();
+    let seq = run_scenario(
+        "tpcw-steady-state",
+        &knobs.clone().with_driver(DriverKind::Sequential),
+    )
+    .expect("sequential run completes");
+    let seq_wall = t.elapsed();
+
+    let t = Instant::now();
+    let par = run_scenario(
+        "tpcw-steady-state",
+        &knobs.clone().with_driver(DriverKind::Parallel { threads }),
+    )
+    .expect("parallel run completes");
+    let par_wall = t.elapsed();
+
+    assert_eq!(
+        (seq.committed, seq.aborts, seq.updates),
+        (par.committed, par.aborts, par.updates),
+        "drivers must produce identical results"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "16 replicas x {}s simulated, {} committed txns, host cores: {cores}",
+        warmup + measured,
+        seq.committed
+    );
+    println!("  sequential: {seq_wall:?}");
+    println!(
+        "  parallel:   {par_wall:?} ({} threads) -> {:.2}x",
+        if threads == 0 { cores } else { threads },
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9)
+    );
+}

@@ -8,7 +8,7 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use tashkent_cluster::ScenarioKnobs;
-use tashkent_cluster::{run, ClusterConfig, Experiment, PolicySpec, RunResult};
+use tashkent_cluster::{run, ClusterConfig, DriverKind, Experiment, PolicySpec, RunResult};
 use tashkent_sim::SimTime;
 use tashkent_workloads::tpcw::TpcwScale;
 use tashkent_workloads::{rubis, tpcw, Mix, Workload};
@@ -21,34 +21,91 @@ pub const MEASURED_SECS: u64 = 180;
 /// The simulated `(warmup, measured)` window, in seconds.
 ///
 /// Controlled by `TASHKENT_BENCH_WINDOW`: `full` (120 s + 180 s, the default
-/// for single-figure runs) or `quick` (60 s + 120 s, used by the wide
-/// parameter sweeps and CI).
+/// for single-figure runs), `quick` (60 s + 120 s, used by the wide
+/// parameter sweeps), or `smoke` (10 s + 20 s, the CI bench-smoke job that
+/// only guards against bit-rot).
 pub fn window() -> (u64, u64) {
     match std::env::var("TASHKENT_BENCH_WINDOW").as_deref() {
         Ok("full") => (WARMUP_SECS, MEASURED_SECS),
         Ok("quick") => (60, 120),
+        Ok("smoke") => (10, 20),
         _ => (90, 150),
     }
 }
 
-/// Clients per replica driving ~85 % of standalone peak, per workload
-/// configuration. Derived with `cargo run -p tashkent-bench --bin calibrate`
-/// (the §4.4 procedure); fixed here so every figure uses the same load.
-pub fn clients_per_replica(_workload: &str, _mix: &str) -> usize {
-    7
+/// The event-loop driver the bench targets run under.
+///
+/// Multi-config sweeps (the fig 8/9/10 grids) are embarrassingly long on
+/// one core; the windowed [`tashkent_cluster::ParallelDriver`] produces
+/// bit-identical results and uses the host's spare cores, so it is the
+/// default whenever more than one core is available. Override with
+/// `TASHKENT_BENCH_DRIVER=sequential|parallel`.
+pub fn sweep_driver() -> DriverKind {
+    match std::env::var("TASHKENT_BENCH_DRIVER").as_deref() {
+        Ok("sequential") => DriverKind::Sequential,
+        Ok("parallel") => DriverKind::parallel(),
+        // A typo silently running the wrong driver would defeat the
+        // documented way to force the reference driver — fail loudly.
+        Ok(other) => {
+            panic!("TASHKENT_BENCH_DRIVER must be `sequential` or `parallel`, got {other:?}")
+        }
+        Err(_) => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if cores >= 2 {
+                DriverKind::parallel()
+            } else {
+                DriverKind::Sequential
+            }
+        }
+    }
 }
 
-/// Paper-scale scenario knobs for a figure run: 16 replicas, the calibrated
-/// client load, and the window from [`window`]. Figures hand these to a
-/// [`tashkent_cluster::Scenario`] from the shared registry.
-pub fn paper_knobs(policy: PolicySpec, ram_mb: u64) -> ScenarioKnobs {
+/// Clients per replica driving ~85 % of standalone peak, per workload
+/// configuration — the paper's §4.4 client-sizing procedure applied to each
+/// workload/mix we reproduce. Regenerate with
+/// `cargo run --release -p tashkent-bench --bin calibrate`, which re-runs
+/// the sweeps and prints this table for pasting; fixed here so every figure
+/// uses the same calibrated load.
+const CLIENTS_PER_REPLICA: &[(&str, &str, usize)] = &[
+    ("tpcw", "ordering", 8),  // peak 12.56 tps standalone
+    ("tpcw", "shopping", 14), // peak 15.04 tps standalone
+    ("tpcw", "browsing", 8),  // peak 8.23 tps standalone
+    ("rubis", "bidding", 6),  // peak 4.67 tps standalone
+    ("rubis", "browsing", 6), // peak 7.10 tps standalone
+];
+
+/// Looks up the calibrated client count for a workload/mix pair.
+///
+/// # Panics
+///
+/// Panics on a pair missing from the table: a silent fallback would run a
+/// figure at an uncalibrated load, which is exactly the bug the table
+/// exists to prevent. Run the `calibrate` bin and add the entry instead.
+pub fn clients_per_replica(workload: &str, mix: &str) -> usize {
+    CLIENTS_PER_REPLICA
+        .iter()
+        .find(|(w, m, _)| *w == workload && *m == mix)
+        .map(|(_, _, n)| *n)
+        .unwrap_or_else(|| {
+            panic!("no calibrated client count for {workload}/{mix}; run the calibrate bin")
+        })
+}
+
+/// Paper-scale scenario knobs for a figure run: 16 replicas, the client
+/// load calibrated for `workload`/`mix`, and the window from [`window`].
+/// Figures hand these to a [`tashkent_cluster::Scenario`] from the shared
+/// registry.
+pub fn paper_knobs(policy: PolicySpec, ram_mb: u64, workload: &str, mix: &str) -> ScenarioKnobs {
     let (warmup, measured) = window();
     ScenarioKnobs {
         replicas: 16,
-        clients_per_replica: clients_per_replica("tpcw", "ordering"),
+        clients_per_replica: clients_per_replica(workload, mix),
         ram_mb,
         warmup_secs: warmup,
         measured_secs: measured,
+        driver: sweep_driver(),
         ..ScenarioKnobs::default()
     }
     .with_policy(policy)
@@ -56,10 +113,15 @@ pub fn paper_knobs(policy: PolicySpec, ram_mb: u64) -> ScenarioKnobs {
 
 /// Standalone (single-replica) variant of [`paper_knobs`] — the paper's
 /// `Single` reference bar.
-pub fn standalone_knobs(policy: PolicySpec, ram_mb: u64) -> ScenarioKnobs {
+pub fn standalone_knobs(
+    policy: PolicySpec,
+    ram_mb: u64,
+    workload: &str,
+    mix: &str,
+) -> ScenarioKnobs {
     ScenarioKnobs {
         replicas: 1,
-        ..paper_knobs(policy, ram_mb)
+        ..paper_knobs(policy, ram_mb, workload, mix)
     }
 }
 
@@ -90,16 +152,29 @@ pub fn rubis_config(policy: PolicySpec, ram_mb: u64, mix: &str) -> (ClusterConfi
     (config, workload, m)
 }
 
+/// Runs one experiment to completion, bailing out with a readable message
+/// on a mis-scheduled run (drained event queue) instead of a panic trace.
+pub fn run_exp(exp: Experiment) -> RunResult {
+    run(exp).unwrap_or_else(|e| {
+        eprintln!("bench experiment failed: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Runs one experiment with the standard window.
 pub fn run_standard(config: ClusterConfig, workload: Workload, mix: Mix) -> RunResult {
-    run(Experiment::new(config, workload, mix).with_window(WARMUP_SECS, MEASURED_SECS))
+    run_exp(
+        Experiment::new(config, workload, mix)
+            .with_window(WARMUP_SECS, MEASURED_SECS)
+            .with_driver(sweep_driver()),
+    )
 }
 
 /// Runs a standalone (single-replica) experiment with the standard window.
 pub fn run_standalone(mut config: ClusterConfig, workload: Workload, mix: Mix) -> RunResult {
     let per_replica = config.clients / config.replicas.max(1);
     config = config.standalone(per_replica.max(1));
-    run(Experiment::new(config, workload, mix).with_window(WARMUP_SECS, MEASURED_SECS))
+    run_exp(Experiment::new(config, workload, mix).with_window(WARMUP_SECS, MEASURED_SECS))
 }
 
 /// A comparison row: label, the paper's value, and ours.

@@ -6,7 +6,6 @@ use tashkent_replica::UpdateFilter;
 use tashkent_sim::{EventQueue, SimTime};
 use tashkent_workloads::{Mix, Workload};
 
-use crate::components::ClusterNode;
 use crate::config::{ClusterConfig, PolicySpec};
 use crate::events::Ev;
 
@@ -68,9 +67,15 @@ impl BalancerCtl {
         self.lb.freeze()
     }
 
-    /// Runs one rebalance tick: applies the resulting reconfiguration
-    /// actions to the nodes and schedules the next tick.
-    pub fn on_tick(&mut self, now: SimTime, nodes: &mut [ClusterNode], queue: &mut EventQueue<Ev>) {
+    /// Runs one rebalance tick and schedules the next one; returns the
+    /// update filters the reconfiguration wants installed, for the cluster
+    /// state to apply to the affected nodes.
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+        queue: &mut EventQueue<Ev>,
+    ) -> Vec<(ReplicaId, UpdateFilter)> {
+        let mut filters = Vec::new();
         for action in self.lb.tick(now) {
             match action {
                 ReconfigAction::SetFilter { replica, tables } => {
@@ -78,11 +83,12 @@ impl BalancerCtl {
                         Some(t) => UpdateFilter::only(t),
                         None => UpdateFilter::all(),
                     };
-                    nodes[replica.0].set_filter(filter);
+                    filters.push((replica, filter));
                 }
                 ReconfigAction::Moved { .. } => {}
             }
         }
         queue.schedule(now + LB_TICK_US, Ev::LbTick);
+        filters
     }
 }

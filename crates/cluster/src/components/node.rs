@@ -93,23 +93,31 @@ impl ClusterNode {
     /// Advances a transaction by one quantum and schedules what follows:
     /// another step, local completion, or the certifier round-trip.
     pub fn on_step(&mut self, now: SimTime, txn: TxnId, queue: &mut EventQueue<Ev>) {
+        let (at, ev) = self.step_child(now, txn);
+        queue.schedule(at, ev);
+    }
+
+    /// Advances a transaction by one quantum and returns the single
+    /// follow-up event instead of scheduling it.
+    ///
+    /// This is the queue-free core of [`ClusterNode::on_step`]: the parallel
+    /// driver runs it on worker threads (each worker owns the node for the
+    /// window) and merges the produced event streams back into the shared
+    /// queue deterministically.
+    pub fn step_child(&mut self, now: SimTime, txn: TxnId) -> (SimTime, Ev) {
         let replica = self.id;
         match self.node.step(txn, now) {
-            StepOutcome::Busy(t) => {
-                queue.schedule(t, Ev::StepTxn { replica, txn });
-            }
-            StepOutcome::Done(t) => {
-                queue.schedule(
-                    t,
-                    Ev::TxnComplete {
-                        replica,
-                        txn,
-                        committed: true,
-                    },
-                );
-            }
+            StepOutcome::Busy(t) => (t, Ev::StepTxn { replica, txn }),
+            StepOutcome::Done(t) => (
+                t,
+                Ev::TxnComplete {
+                    replica,
+                    txn,
+                    committed: true,
+                },
+            ),
             StepOutcome::ReadyToCommit(t, ws) => {
-                queue.schedule(t + self.lan_hop_us, Ev::CertifySend { replica, txn, ws });
+                (t + self.lan_hop_us, Ev::CertifySend { replica, txn, ws })
             }
         }
     }

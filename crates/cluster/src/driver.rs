@@ -1,0 +1,738 @@
+//! Drivers: interchangeable event-loop strategies over a [`ClusterState`].
+//!
+//! PR 1 separated *what happens* on each event (the component handlers,
+//! reachable only through [`ClusterState::handle`]) from *when and where*
+//! events execute. This module owns the second half. A [`Driver`] pops
+//! events from the [`EventQueue`] and feeds them to the state; two
+//! implementations exist:
+//!
+//! * [`SequentialDriver`] — pops one event at a time in `(timestamp, FIFO)`
+//!   order. This is the reference semantics: bit-for-bit the behaviour of
+//!   the original single-threaded `World` loop.
+//! * [`ParallelDriver`] — a conservative parallel discrete-event driver.
+//!   Runs of consecutive node-local `StepTxn` events are popped as a
+//!   *lookahead window* and sharded by replica across `std::thread` workers
+//!   over `mpsc` channels; each worker advances its replica's transactions
+//!   independently, and the per-shard event streams are then merged back
+//!   into the queue in exactly the order the sequential driver would have
+//!   produced. Results are identical to [`SequentialDriver`] in every
+//!   configuration the cross-driver equivalence suite exercises; the one
+//!   theoretical same-microsecond tie corner the reconstruction does not
+//!   cover is documented on `merge_window`. Only wall-clock time differs.
+//!
+//! # Why `StepTxn` windows are safe
+//!
+//! Every cross-component interaction travels the simulated LAN and pays at
+//! least one `lan_hop_us` of latency, and a transaction step's effects reach
+//! *another* replica only through the client (`TxnComplete` → retry/think →
+//! submit, two hops) or the certifier (`CertifySend` → `CertifyReturn`, two
+//! hops). Processing a step at time `t` therefore cannot influence any other
+//! replica before `t + 2·lan_hop_us` — the conservative lookahead bound. A
+//! window starting at `t0` may freely execute `StepTxn` events up to
+//! `t0 + 2·lan_hop_us` in parallel across replicas, subject to *barriers*
+//! that protect same-timestamp interleavings:
+//!
+//! * events still queued behind the window (the first non-`StepTxn` event)
+//!   execute before any window-generated event at the same or later time, so
+//!   workers run generated events only strictly before that timestamp;
+//! * a `TxnComplete` produced inside the window touches its own replica the
+//!   moment it is handled (slot recycling, retries), so the producing worker
+//!   stops its replica at that key;
+//! * a `CertifySend` produced at `t` returns to its replica no earlier than
+//!   `t + lan_hop_us` (the certifier's answer applies remote writesets), so
+//!   the producing worker stops its replica at that time.
+//!
+//! Within one replica a worker executes events in the exact sequential
+//! order, so the replica's RNG draws, buffer-pool state, and CPU/disk
+//! queues evolve identically. The merge then reconstructs the global
+//! insertion order of everything the window produced (see `merge_window`):
+//! emissions re-enter the queue at their generation position and skipped
+//! batch events are restored with their original seniority, preserving the
+//! queue's FIFO tie-breaking. See `merge_window` for the one conservative
+//! corner in the reconstruction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::{self, JoinHandle};
+
+use tashkent_engine::TxnId;
+use tashkent_sim::{EventQueue, SimTime};
+
+use crate::components::ClusterNode;
+use crate::events::Ev;
+use crate::state::ClusterState;
+
+/// Which driver an experiment runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverKind {
+    /// The reference single-threaded event loop.
+    #[default]
+    Sequential,
+    /// The windowed multi-threaded driver. Produces results identical to
+    /// the sequential reference (enforced by the cross-driver equivalence
+    /// tests; see [`crate::driver`] docs for the one theoretical tie
+    /// corner); faster on multi-core hosts for multi-replica
+    /// configurations.
+    Parallel {
+        /// Worker thread count; `0` picks the host's available parallelism.
+        threads: usize,
+    },
+}
+
+impl DriverKind {
+    /// The parallel driver with automatic thread count.
+    pub fn parallel() -> Self {
+        DriverKind::Parallel { threads: 0 }
+    }
+
+    /// Builds the driver this kind describes.
+    pub fn build(self) -> Box<dyn Driver> {
+        match self {
+            DriverKind::Sequential => Box::new(SequentialDriver),
+            DriverKind::Parallel { threads } => Box::new(ParallelDriver::new(threads)),
+        }
+    }
+}
+
+/// A failed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The event queue drained before the `End` event fired. The experiment
+    /// was mis-scheduled (no `End` event, or all load sources exhausted);
+    /// the state remains inspectable.
+    QueueDrained {
+        /// Simulated time of the last processed event.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::QueueDrained { at } => write!(
+                f,
+                "event queue drained at t={:.3}s before the End event fired",
+                at.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// An event-loop strategy: drives a [`ClusterState`] until its `End` event.
+pub trait Driver {
+    /// Runs until the state's `End` event fires.
+    ///
+    /// Returns [`RunError::QueueDrained`] when the queue empties first; the
+    /// state is left at the drained point for inspection.
+    fn run_to_end(
+        &mut self,
+        state: &mut ClusterState,
+        queue: &mut EventQueue<Ev>,
+    ) -> Result<(), RunError>;
+}
+
+/// The reference driver: one event at a time, in `(timestamp, FIFO)` order.
+#[derive(Debug, Default)]
+pub struct SequentialDriver;
+
+impl Driver for SequentialDriver {
+    fn run_to_end(
+        &mut self,
+        state: &mut ClusterState,
+        queue: &mut EventQueue<Ev>,
+    ) -> Result<(), RunError> {
+        while !state.ended() {
+            let Some((now, ev)) = queue.pop() else {
+                return Err(RunError::QueueDrained { at: queue.now() });
+            };
+            state.handle(now, ev, queue);
+        }
+        Ok(())
+    }
+}
+
+/// Orders window items exactly as the sequential driver would pop them:
+/// by timestamp, ties broken by insertion rank. Batch events carry their
+/// pop rank (`0..batch_len`); events generated during the window rank after
+/// every batch event, in generation order — mirroring the queue's monotone
+/// sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    rank: u64,
+}
+
+/// What a processed step produced.
+enum ChildOut {
+    /// A same-replica `StepTxn` the worker consumed inside the window; its
+    /// own record follows later in the transcript.
+    Local(TxnId),
+    /// An event handed back to the coordinator for the deterministic merge.
+    Emit(Ev),
+}
+
+/// Transcript record for one processed window item, in processing order.
+struct StepRec {
+    child_at: SimTime,
+    child: ChildOut,
+}
+
+/// One replica's work for a window, leased to a worker.
+struct Job {
+    replica: usize,
+    node: Box<ClusterNode>,
+    /// `(key, txn)` of this replica's batch events, key-ascending.
+    items: Vec<(Key, TxnId)>,
+    /// Latest timestamp the window may touch (`t0 + 2·lan_hop_us`).
+    horizon: SimTime,
+    /// Timestamp of the first event still queued behind the window; the
+    /// worker must not execute *generated* events at or past it.
+    stop_ts: SimTime,
+    /// Ranks at and above this mark generated children (== batch length).
+    child_rank_base: u64,
+    /// One-way LAN latency: the minimum delay before a `CertifySend` can
+    /// come back to this replica.
+    lan_hop_us: u64,
+}
+
+/// A worker's answer: the node back, plus everything needed to replay its
+/// shard of the window into the global insertion order.
+struct ShardResult {
+    replica: usize,
+    node: Box<ClusterNode>,
+    /// One record per processed item, in processing order.
+    steps: Vec<StepRec>,
+    /// Ranks of batch events the barriers prevented the worker from
+    /// processing, ascending; they re-enter the queue through the merge.
+    unprocessed_batch: Vec<(u64, TxnId)>,
+}
+
+/// Executes one replica's share of a lookahead window.
+///
+/// The agenda is a mini event queue over this replica only. Batch events
+/// were popped ahead of every other queued event, so they may run up to the
+/// window limits; generated `StepTxn` children join the agenda while they
+/// stay *strictly* inside them (at a limit they could tie with an event the
+/// window defers, and a generated event loses every tie), everything else
+/// is emitted for the merge. Emissions lower the shard's barrier:
+///
+/// * a `TxnComplete` touches this replica the moment the merge handles it
+///   (slot recycling, retries), so nothing on this replica may run at or
+///   past its key;
+/// * a `CertifySend` at `t` comes back as a `CertifyReturn` no earlier than
+///   `t + lan_hop_us` (conflicts return immediately; commits after
+///   durability), which applies remote writesets on this replica — so
+///   nothing may run past that time either.
+fn run_shard(mut job: Job) -> ShardResult {
+    // Agenda entries: (key, raw txn id, transcript index of the generating
+    // step for children, or usize::MAX for batch events).
+    let mut agenda: BinaryHeap<Reverse<(Key, u64, usize)>> = job
+        .items
+        .iter()
+        .map(|(key, txn)| Reverse((*key, txn.0, usize::MAX)))
+        .collect();
+    let mut steps: Vec<StepRec> = Vec::with_capacity(job.items.len() * 2);
+    let mut unprocessed_batch: Vec<(u64, TxnId)> = Vec::new();
+    let mut next_rank = job.child_rank_base;
+    let mut barrier: Option<Key> = None;
+
+    while let Some(&Reverse((key, txn, _))) = agenda.peek() {
+        let is_batch = key.rank < job.child_rank_base;
+        let runnable = key.at <= job.horizon
+            && (is_batch || key.at < job.stop_ts)
+            && barrier.is_none_or(|b| key < b);
+        if !runnable {
+            break;
+        }
+        agenda.pop();
+        let (child_at, child_ev) = job.node.step_child(key.at, TxnId(txn));
+        let ckey = Key {
+            at: child_at,
+            rank: next_rank,
+        };
+        next_rank += 1;
+        let local = matches!(child_ev, Ev::StepTxn { .. })
+            && child_at < job.horizon
+            && child_at < job.stop_ts
+            && barrier.is_none_or(|b| ckey < b);
+        if local {
+            let Ev::StepTxn { txn: ctxn, .. } = child_ev else {
+                unreachable!()
+            };
+            agenda.push(Reverse((ckey, ctxn.0, steps.len())));
+            steps.push(StepRec {
+                child_at,
+                child: ChildOut::Local(ctxn),
+            });
+        } else {
+            let consequence = match child_ev {
+                Ev::TxnComplete { .. } => Some(ckey),
+                // The certifier's answer reaches this replica one hop after
+                // the send at the earliest; rank ordering at that instant
+                // follows the send's own rank.
+                Ev::CertifySend { .. } => Some(Key {
+                    at: child_at + job.lan_hop_us,
+                    rank: ckey.rank,
+                }),
+                _ => None,
+            };
+            if let Some(ck) = consequence {
+                barrier = Some(barrier.map_or(ck, |b| b.min(ck)));
+            }
+            steps.push(StepRec {
+                child_at,
+                child: ChildOut::Emit(child_ev),
+            });
+        }
+    }
+
+    // Unreached agenda items go back through the merge. A child queued
+    // before the barrier dropped is retroactively an emission: patch its
+    // generator's record.
+    while let Some(Reverse((key, txn, gen_idx))) = agenda.pop() {
+        if key.rank < job.child_rank_base {
+            unprocessed_batch.push((key.rank, TxnId(txn)));
+        } else {
+            steps[gen_idx].child = ChildOut::Emit(Ev::StepTxn {
+                replica: job.replica,
+                txn: TxnId(txn),
+            });
+        }
+    }
+
+    ShardResult {
+        replica: job.replica,
+        node: job.node,
+        steps,
+        unprocessed_batch,
+    }
+}
+
+/// Replays per-shard transcripts into the global sequential insertion
+/// order.
+///
+/// The sequential driver would have interleaved the window's events across
+/// replicas by `(timestamp, queue sequence)`; sequence numbers are assigned
+/// at insertion, so reproducing the *insertion order* reproduces every
+/// later tie-break. The merge walks a heap of window items keyed like the
+/// sequential pop order, consumes each replica's transcript in step, and
+/// assigns generated events their global generation rank — re-inserting
+/// every emission at its generation position, so window-produced events
+/// carry the same relative order sequential insertion would have given
+/// them, and restoring barrier-skipped batch events with their original
+/// seniority.
+///
+/// One corner is conservative rather than reconstructed: an emitted shared
+/// event (a completion or certification) is *processed* by the driver loop
+/// after the merge, so events **it** schedules receive later sequence
+/// numbers than all window emissions, whereas sequentially they interleave
+/// by generation. The shard barriers make every state-bearing interaction
+/// (same-replica ordering, certifier/balancer/client mutation order) exact
+/// regardless; the residue is a same-microsecond FIFO tie between one of
+/// those late-scheduled events and a window emission generated after the
+/// shared event's pop position — possible in principle, not observed across
+/// the cross-driver equivalence suite, and bounded by the window span.
+fn merge_window(
+    batch: &[(SimTime, usize, TxnId)],
+    results: Vec<ShardResult>,
+    state: &mut ClusterState,
+    queue: &mut EventQueue<Ev>,
+) {
+    let child_rank_base = batch.len() as u64;
+    // Index transcripts by replica; return the leased nodes.
+    let mut steps: Vec<std::vec::IntoIter<StepRec>> = Vec::with_capacity(results.len());
+    let mut unprocessed: Vec<std::iter::Peekable<std::vec::IntoIter<(u64, TxnId)>>> =
+        Vec::with_capacity(results.len());
+    let mut slot_of = vec![usize::MAX; state.config.replicas];
+    for r in results {
+        slot_of[r.replica] = steps.len();
+        steps.push(r.steps.into_iter());
+        unprocessed.push(r.unprocessed_batch.into_iter().peekable());
+        state.put_node(r.replica, r.node);
+    }
+
+    // Seed the replay with every batch event at its pop rank.
+    let mut heap: BinaryHeap<Reverse<(Key, usize, u64)>> = batch
+        .iter()
+        .enumerate()
+        .map(|(rank, (at, replica, txn))| {
+            Reverse((
+                Key {
+                    at: *at,
+                    rank: rank as u64,
+                },
+                *replica,
+                txn.0,
+            ))
+        })
+        .collect();
+    let mut next_rank = child_rank_base;
+    // Batch events the shards' barriers skipped, in replay (key) order.
+    let mut restored: Vec<(SimTime, usize, u64)> = Vec::new();
+    while let Some(Reverse((key, replica, txn))) = heap.pop() {
+        let slot = slot_of[replica];
+        debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
+        if key.rank < child_rank_base
+            && unprocessed[slot]
+                .peek()
+                .is_some_and(|(rank, _)| *rank == key.rank)
+        {
+            // A batch event the shard's barriers skipped: back to the
+            // queue. It must keep its *original* seniority — sequentially
+            // it pops before every event still pending at its timestamp
+            // (e.g. the non-step event that bounded the window) and before
+            // every window-generated event — so it is restored through
+            // `merge_front` after the loop, not `merge`.
+            unprocessed[slot].next();
+            restored.push((key.at, replica, txn));
+            continue;
+        }
+        let rec = steps[slot]
+            .next()
+            .expect("transcript shorter than replayed items");
+        let ckey = Key {
+            at: rec.child_at,
+            rank: next_rank,
+        };
+        next_rank += 1;
+        match rec.child {
+            ChildOut::Local(ctxn) => heap.push(Reverse((ckey, replica, ctxn.0))),
+            ChildOut::Emit(ev) => queue.merge(rec.child_at, ev),
+        }
+    }
+    // Reverse order: `merge_front` makes each insert the most senior, so
+    // the earliest-popped restored event must be inserted last.
+    for (at, replica, txn) in restored.into_iter().rev() {
+        queue.merge_front(
+            at,
+            Ev::StepTxn {
+                replica,
+                txn: TxnId(txn),
+            },
+        );
+    }
+    debug_assert!(
+        steps.iter_mut().all(|s| s.next().is_none()),
+        "transcript longer than replayed items"
+    );
+    debug_assert!(
+        unprocessed.iter_mut().all(|u| u.peek().is_none()),
+        "unprocessed batch events never replayed"
+    );
+}
+
+/// Persistent worker threads; each window's jobs are spread round-robin by
+/// shard position, so a window's shards never pile onto one worker (the
+/// merge re-sorts by rank, so routing cannot affect results).
+///
+/// Windows are tens of microseconds of work, so both channel ends spin
+/// briefly before parking: a blocking `recv` wake-up costs several
+/// microseconds of futex latency per hop, which would swamp the overlapped
+/// step work. Spinning is bounded, so idle stretches (long sequential runs
+/// between windows) still park the workers.
+struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    /// `Err` carries a worker's panic payload; the coordinator re-raises it
+    /// instead of blocking forever on a result that will never come.
+    results: mpsc::Receiver<thread::Result<ShardResult>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Bounded spin before falling back to a blocking receive.
+const SPIN_RECVS: u32 = 2_000;
+
+fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Option<T> {
+    for _ in 0..SPIN_RECVS {
+        match rx.try_recv() {
+            Ok(v) => return Some(v),
+            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(mpsc::TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let (res_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let res_tx = res_tx.clone();
+            senders.push(tx);
+            handles.push(thread::spawn(move || {
+                while let Some(job) = spin_recv(&rx) {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_shard(job)));
+                    let poisoned = result.is_err();
+                    if res_tx.send(result).is_err() || poisoned {
+                        break;
+                    }
+                }
+            }));
+        }
+        WorkerPool {
+            senders,
+            results,
+            handles,
+        }
+    }
+
+    /// Dispatches one window's jobs and collects all shard results (in
+    /// arbitrary completion order; the merge re-sorts deterministically).
+    fn run(&self, jobs: Vec<Job>) -> Vec<ShardResult> {
+        let n = jobs.len();
+        let workers = self.senders.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.senders[i % workers]
+                .send(job)
+                .expect("worker thread died");
+        }
+        (0..n)
+            .map(
+                |_| match spin_recv(&self.results).expect("worker thread died") {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+            )
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // Hang up; workers drain and exit.
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The windowed multi-threaded driver. See the module docs for the
+/// correctness argument; [`ParallelDriver::new`] with `0` threads sizes the
+/// pool to the host.
+pub struct ParallelDriver {
+    /// Resolved worker count (`available_parallelism` is queried once; it
+    /// is a syscall, far too slow for the per-window hot path).
+    workers: usize,
+    /// Smallest window (total step events) worth a channel round-trip per
+    /// shard; smaller windows run inline on the coordinator. Purely a
+    /// performance knob — both paths run the identical algorithm.
+    pooled_min_items: usize,
+    pool: Option<WorkerPool>,
+    stats: Option<WindowStats>,
+}
+
+/// Per-run window accounting, collected when `TASHKENT_DRIVER_STATS` is
+/// set and printed at the end of the run.
+#[derive(Default)]
+struct WindowStats {
+    windows: u64,
+    singles: u64,
+    items: u64,
+    shards: u64,
+    pooled: u64,
+}
+
+impl ParallelDriver {
+    /// Smallest window dispatched to worker threads by default: below this
+    /// the per-shard channel round-trip costs more than the overlapped step
+    /// work buys (steps are sub-microsecond; an `mpsc` hop is not).
+    const POOLED_MIN_ITEMS: usize = 8;
+
+    /// Creates the driver with `threads` workers (`0` = host parallelism).
+    pub fn new(threads: usize) -> Self {
+        let workers = if threads > 0 {
+            threads
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        ParallelDriver {
+            workers,
+            pooled_min_items: Self::POOLED_MIN_ITEMS,
+            pool: None,
+            stats: std::env::var_os("TASHKENT_DRIVER_STATS").map(|_| WindowStats::default()),
+        }
+    }
+
+    /// Executes one lookahead window starting from the already-popped
+    /// `StepTxn` at `t0`.
+    fn run_window(
+        &mut self,
+        state: &mut ClusterState,
+        queue: &mut EventQueue<Ev>,
+        t0: SimTime,
+        first: Ev,
+    ) {
+        let lan_hop_us = state.lan_hop_us();
+        let horizon = t0 + 2 * lan_hop_us;
+        let Ev::StepTxn { replica, txn } = first else {
+            unreachable!("windows start on StepTxn");
+        };
+        // Lone steps dominate sparse phases; peek before paying for a batch
+        // allocation on the hottest event type.
+        if !matches!(queue.peek(), Some((t, Ev::StepTxn { .. })) if t <= horizon) {
+            if let Some(stats) = &mut self.stats {
+                stats.singles += 1;
+            }
+            state.handle(t0, Ev::StepTxn { replica, txn }, queue);
+            return;
+        }
+        let mut batch: Vec<(SimTime, usize, TxnId)> = vec![(t0, replica, txn)];
+        while let Some((t, ev)) =
+            queue.pop_if(|t, ev| t <= horizon && matches!(ev, Ev::StepTxn { .. }))
+        {
+            let Ev::StepTxn { replica, txn } = ev else {
+                unreachable!()
+            };
+            batch.push((t, replica, txn));
+        }
+        if let Some(stats) = &mut self.stats {
+            stats.windows += 1;
+            stats.items += batch.len() as u64;
+        }
+        let stop_ts = queue.peek_time().unwrap_or(SimTime::from_micros(u64::MAX));
+        let child_rank_base = batch.len() as u64;
+
+        // Shard the batch by replica, preserving pop order within each.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut job_of = vec![usize::MAX; state.config.replicas];
+        for (rank, (at, replica, txn)) in batch.iter().enumerate() {
+            let key = Key {
+                at: *at,
+                rank: rank as u64,
+            };
+            if job_of[*replica] == usize::MAX {
+                job_of[*replica] = jobs.len();
+                jobs.push(Job {
+                    replica: *replica,
+                    node: state.take_node(*replica),
+                    items: Vec::new(),
+                    horizon,
+                    stop_ts,
+                    child_rank_base,
+                    lan_hop_us,
+                });
+            }
+            jobs[job_of[*replica]].items.push((key, *txn));
+        }
+
+        let pooled = jobs.len() >= 2 && self.workers >= 2 && batch.len() >= self.pooled_min_items;
+        if let Some(stats) = &mut self.stats {
+            stats.shards += jobs.len() as u64;
+            stats.pooled += u64::from(pooled);
+        }
+        let results: Vec<ShardResult> = if pooled {
+            let workers = self.workers;
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+            pool.run(jobs)
+        } else {
+            jobs.into_iter().map(run_shard).collect()
+        };
+        merge_window(&batch, results, state, queue);
+    }
+}
+
+impl Driver for ParallelDriver {
+    fn run_to_end(
+        &mut self,
+        state: &mut ClusterState,
+        queue: &mut EventQueue<Ev>,
+    ) -> Result<(), RunError> {
+        while !state.ended() {
+            let Some((now, ev)) = queue.pop() else {
+                return Err(RunError::QueueDrained { at: queue.now() });
+            };
+            match ev {
+                Ev::StepTxn { .. } => self.run_window(state, queue, now, ev),
+                ev => state.handle(now, ev, queue),
+            }
+        }
+        if let Some(stats) = &self.stats {
+            eprintln!(
+                "parallel driver: {} windows ({} pooled), {} single-step, {:.2} items/window, {:.2} shards/window",
+                stats.windows,
+                stats.pooled,
+                stats.singles,
+                stats.items as f64 / stats.windows.max(1) as f64,
+                stats.shards as f64 / stats.windows.max(1) as f64,
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use tashkent_workloads::tpcw::{self, TpcwScale};
+
+    /// Drives a tiny cluster to completion under `driver` and fingerprints
+    /// the result.
+    fn fingerprint(mut driver: Box<dyn Driver>) -> (u64, u64, u64, u64) {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let config = ClusterConfig {
+            replicas: 3,
+            clients: 9,
+            think_mean_us: 200_000,
+            ..ClusterConfig::paper_default()
+        };
+        let mut state = ClusterState::new(config, workload, vec![mix]);
+        let mut queue = EventQueue::new();
+        state.prime(&mut queue);
+        queue.schedule(SimTime::from_secs(2), Ev::EndWarmup);
+        queue.schedule(SimTime::from_secs(12), Ev::End);
+        driver
+            .run_to_end(&mut state, &mut queue)
+            .expect("End event scheduled");
+        let (read, write) = state.disk_bytes();
+        let r = state.metrics.finish(queue.now(), read, write, Vec::new());
+        (r.committed, r.aborts, read, write)
+    }
+
+    #[test]
+    fn forced_pooled_windows_match_sequential() {
+        // Threshold 2 forces every multi-shard window through the mpsc
+        // worker pool, even the tiny ones the production threshold keeps
+        // inline — the channel path must be just as exact.
+        let mut pooled = ParallelDriver::new(2);
+        pooled.pooled_min_items = 2;
+        assert_eq!(
+            fingerprint(Box::new(SequentialDriver)),
+            fingerprint(Box::new(pooled)),
+        );
+    }
+
+    #[test]
+    fn keys_order_like_the_sequential_pop() {
+        let t = SimTime::from_micros;
+        let a = Key { at: t(5), rank: 3 };
+        let b = Key { at: t(5), rank: 7 };
+        let c = Key { at: t(6), rank: 0 };
+        assert!(a < b, "same instant: earlier insertion pops first");
+        assert!(b < c, "time dominates rank");
+    }
+
+    #[test]
+    fn driver_kind_builds_both_drivers() {
+        let _ = DriverKind::Sequential.build();
+        let _ = DriverKind::parallel().build();
+        assert_eq!(DriverKind::default(), DriverKind::Sequential);
+    }
+
+    #[test]
+    fn queue_drained_is_an_error_value() {
+        let err = RunError::QueueDrained {
+            at: SimTime::from_secs(2),
+        };
+        assert!(err.to_string().contains("2.000"));
+    }
+}

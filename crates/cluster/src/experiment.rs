@@ -15,6 +15,7 @@ use tashkent_workloads::tpcw::TpcwScale;
 use tashkent_workloads::{rubis, tpcw, Mix, Workload};
 
 use crate::config::{ClusterConfig, PolicySpec};
+use crate::driver::{DriverKind, RunError};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
 
@@ -34,6 +35,10 @@ pub struct Experiment {
     /// Freeze the balancer at this offset (static-configuration baseline),
     /// if set.
     pub freeze_at_secs: Option<u64>,
+    /// Event-loop strategy. Every driver produces identical results; the
+    /// parallel driver is faster for multi-replica runs on multi-core
+    /// hosts.
+    pub driver: DriverKind,
 }
 
 impl Experiment {
@@ -46,6 +51,7 @@ impl Experiment {
             phases: vec![(270, mix)],
             warmup_secs: 90,
             freeze_at_secs: None,
+            driver: DriverKind::Sequential,
         }
     }
 
@@ -58,6 +64,12 @@ impl Experiment {
         self
     }
 
+    /// Selects the event-loop driver.
+    pub fn with_driver(mut self, driver: DriverKind) -> Self {
+        self.driver = driver;
+        self
+    }
+
     /// Total simulated duration.
     pub fn total_secs(&self) -> u64 {
         self.phases.iter().map(|(d, _)| d).sum()
@@ -65,9 +77,16 @@ impl Experiment {
 }
 
 /// Runs an experiment to completion and returns its result.
-pub fn run(exp: Experiment) -> RunResult {
+///
+/// # Errors
+///
+/// Returns [`RunError::QueueDrained`] when the simulation's event queue
+/// empties before the scheduled `End` — a mis-built experiment (for
+/// example, zero clients and no periodic events). The error carries the
+/// drain time so harnesses can report it instead of crashing the process.
+pub fn run(exp: Experiment) -> Result<RunResult, RunError> {
     let mixes: Vec<Mix> = exp.phases.iter().map(|(_, m)| m.clone()).collect();
-    let mut world = World::new(exp.config, exp.workload, mixes);
+    let mut world = World::with_driver(exp.config, exp.workload, mixes, exp.driver);
     world.prime();
     // Phase switches.
     let mut t = 0u64;
@@ -82,8 +101,8 @@ pub fn run(exp: Experiment) -> RunResult {
     }
     world.schedule(SimTime::from_secs(exp.warmup_secs), Ev::EndWarmup);
     world.schedule(SimTime::from_secs(t), Ev::End);
-    world.run_to_end();
-    world.finish_result()
+    world.run_to_end()?;
+    Ok(world.finish_result())
 }
 
 /// Scale and tuning knobs a [`Scenario`] combines with its own recipe.
@@ -109,6 +128,9 @@ pub struct ScenarioKnobs {
     pub measured_secs: u64,
     /// RNG seed (runs are bit-reproducible per seed).
     pub seed: u64,
+    /// Event-loop strategy (identical results either way; parallel is
+    /// faster for multi-replica runs on multi-core hosts).
+    pub driver: DriverKind,
 }
 
 impl Default for ScenarioKnobs {
@@ -122,6 +144,7 @@ impl Default for ScenarioKnobs {
             warmup_secs: 90,
             measured_secs: 180,
             seed: 42,
+            driver: DriverKind::Sequential,
         }
     }
 }
@@ -148,6 +171,12 @@ impl ScenarioKnobs {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the event-loop driver.
+    pub fn with_driver(mut self, driver: DriverKind) -> Self {
+        self.driver = driver;
         self
     }
 
@@ -182,7 +211,12 @@ pub trait Scenario {
     fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment;
 
     /// Builds and runs the scenario.
-    fn run(&self, knobs: &ScenarioKnobs) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`run`] (drained event queue) instead
+    /// of crashing the process, so scenario sweeps can report and continue.
+    fn run(&self, knobs: &ScenarioKnobs) -> Result<RunResult, RunError> {
         run(self.experiment(knobs))
     }
 }
@@ -216,7 +250,9 @@ impl Scenario for TpcwSteadyState {
     fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment {
         let (workload, mix) = tpcw::workload_with_mix(self.scale, self.mix);
         let config = knobs.config(PolicySpec::malb_sc());
-        Experiment::new(config, workload, mix).with_window(knobs.warmup_secs, knobs.measured_secs)
+        Experiment::new(config, workload, mix)
+            .with_window(knobs.warmup_secs, knobs.measured_secs)
+            .with_driver(knobs.driver)
     }
 }
 
@@ -245,7 +281,9 @@ impl Scenario for RubisAuctionMix {
     fn experiment(&self, knobs: &ScenarioKnobs) -> Experiment {
         let (workload, mix) = rubis::workload_with_mix(self.mix);
         let config = knobs.config(PolicySpec::malb_sc());
-        Experiment::new(config, workload, mix).with_window(knobs.warmup_secs, knobs.measured_secs)
+        Experiment::new(config, workload, mix)
+            .with_window(knobs.warmup_secs, knobs.measured_secs)
+            .with_driver(knobs.driver)
     }
 }
 
@@ -297,6 +335,7 @@ impl Scenario for DynamicReconfig {
             freeze_at_secs: self
                 .freeze
                 .then_some(knobs.warmup_secs + (phase / 2).max(1)),
+            driver: knobs.driver,
         }
     }
 }
@@ -317,11 +356,15 @@ pub fn scenario(name: &str) -> Option<Box<dyn Scenario>> {
 
 /// Runs a registered scenario by name.
 ///
+/// # Errors
+///
+/// Propagates [`RunError`] from the underlying [`run`].
+///
 /// # Panics
 ///
 /// Panics if no scenario is registered under `name` (programming error at
 /// every call site; the registry is static).
-pub fn run_scenario(name: &str, knobs: &ScenarioKnobs) -> RunResult {
+pub fn run_scenario(name: &str, knobs: &ScenarioKnobs) -> Result<RunResult, RunError> {
     scenario(name)
         .unwrap_or_else(|| panic!("no scenario named {name:?} in the registry"))
         .run(knobs)
@@ -354,7 +397,7 @@ pub fn calibrate_standalone(
         let config = base.clone().standalone(n);
         let exp = Experiment::new(config, workload.clone(), mix.clone())
             .with_window(warmup_secs, measured_secs);
-        let result = run(exp);
+        let result = run(exp).expect("calibration experiments schedule an End event");
         sweep.push((n, result.tps));
     }
     let peak_tps = sweep.iter().map(|(_, t)| *t).fold(0.0, f64::max);
@@ -386,7 +429,7 @@ mod tests {
             think_mean_us: 300_000,
             ..ClusterConfig::paper_default()
         };
-        let r = run(Experiment::new(config, workload, mix).with_window(5, 20));
+        let r = run(Experiment::new(config, workload, mix).with_window(5, 20)).unwrap();
         assert!(r.tps > 0.5, "tps {}", r.tps);
         assert!((r.window_s - 20.0).abs() < 0.5);
     }
@@ -408,9 +451,10 @@ mod tests {
             phases: vec![(15, ordering), (15, browsing)],
             warmup_secs: 5,
             freeze_at_secs: None,
+            driver: DriverKind::Sequential,
         };
         assert_eq!(exp.total_secs(), 30);
-        let r = run(exp);
+        let r = run(exp).unwrap();
         assert!(r.committed > 0);
     }
 

@@ -6,31 +6,46 @@
 //! simulation, mirroring the paper's testbed of 16 replica machines, a
 //! replicated certifier, and a client farm on a switched 1 Gb/s LAN (§4.4).
 //!
+//! The crate is layered so that *what happens* is separate from *how it is
+//! driven*:
+//!
 //! * [`config`] — cluster configuration (replica count, RAM, policy, …);
 //! * [`metrics`] — throughput / response-time / disk-I/O accounting and the
 //!   [`metrics::RunResult`] every experiment produces;
 //! * [`events`] — the event vocabulary ([`events::Ev`]);
-//! * [`components`] — per-component handlers the event loop delegates to:
-//!   [`components::ClusterNode`], [`components::CertifierLink`],
-//!   [`components::BalancerCtl`];
-//! * [`world`] — the event loop that routes events to components;
+//! * [`components`] — per-component handlers: [`components::ClusterNode`],
+//!   [`components::CertifierLink`], [`components::BalancerCtl`];
+//! * [`state`] — [`state::ClusterState`], the components plus cross-cutting
+//!   transaction/client/metrics state, with a single `handle` entry point;
+//! * [`driver`] — the event-loop strategies. [`driver::SequentialDriver`]
+//!   is the reference semantics; [`driver::ParallelDriver`] shards replica
+//!   work across threads inside conservative lookahead windows and merges
+//!   the event streams deterministically, so **both drivers produce
+//!   identical results for the same seed** — pick sequential for minimal
+//!   overhead on small runs, parallel for multi-replica sweeps on
+//!   multi-core hosts;
+//! * [`world`] — thin glue binding state + queue + driver into one handle;
 //! * [`experiment`] — experiment descriptions, the [`experiment::Scenario`]
 //!   registry every entry point builds runs from, the runner, and
 //!   standalone calibration (§4.4's "85 % of peak" client sizing).
 
 pub mod components;
 pub mod config;
+pub mod driver;
 pub mod events;
 pub mod experiment;
 pub mod metrics;
+pub mod state;
 pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
 pub use config::{ClusterConfig, PolicySpec};
+pub use driver::{Driver, DriverKind, ParallelDriver, RunError, SequentialDriver};
 pub use events::Ev;
 pub use experiment::{
     calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
     Experiment, RubisAuctionMix, Scenario, ScenarioKnobs, TpcwSteadyState,
 };
 pub use metrics::{GroupSnapshot, Metrics, RunResult};
+pub use state::ClusterState;
 pub use world::World;

@@ -1,0 +1,481 @@
+//! The assembled cluster state, independent of any driver.
+//!
+//! [`ClusterState`] owns the per-component handlers — one
+//! [`ClusterNode`] per replica, the [`CertifierLink`], the [`BalancerCtl`] —
+//! plus the cross-cutting state no single component owns: the client pool,
+//! in-flight transaction metadata, the experiment RNG, and metrics. It
+//! exposes exactly one mutation entry point, [`ClusterState::handle`], which
+//! routes a timestamped [`Ev`] to its component handler and schedules the
+//! consequences into whatever [`EventQueue`] the driver hands it.
+//!
+//! What `ClusterState` deliberately does **not** own is the event loop: how
+//! events are popped, in what order batches execute, and on which threads is
+//! the [`crate::driver`] layer's business. Any driver that delivers the
+//! same events in the same order observes bit-identical state evolution —
+//! this is the seam the sequential and parallel drivers (and future async
+//! runtimes) plug into.
+
+use std::collections::HashMap;
+
+use tashkent_certifier::Certifier;
+use tashkent_core::{LoadBalancer, ReplicaId, ResourceLoad};
+use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version};
+use tashkent_replica::{ReplicaNode, UpdateFilter};
+use tashkent_sim::{EventQueue, SimRng, SimTime};
+use tashkent_workloads::{ClientPool, Mix, Workload};
+
+use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
+use crate::config::ClusterConfig;
+use crate::events::Ev;
+use crate::metrics::{GroupSnapshot, Metrics};
+
+/// Bookkeeping for one in-flight transaction.
+struct TxnMeta {
+    client: usize,
+    txn_type: TxnTypeId,
+    /// First submission time (retries keep the original arrival).
+    arrived: SimTime,
+    retries: u32,
+    is_update: bool,
+}
+
+/// Components plus cross-cutting transaction/client/metrics state — the
+/// whole cluster, minus the event loop that drives it.
+///
+/// Replica nodes are stored as `Option` slots so a driver can *lease* a node
+/// to a worker thread for a lookahead window ([`ClusterState::take_node`])
+/// and return it afterwards ([`ClusterState::put_node`]). Every handler
+/// expects the nodes it touches to be present; drivers uphold that by only
+/// handling events between windows.
+pub struct ClusterState {
+    /// Configuration.
+    pub config: ClusterConfig,
+    /// The workload (schema + transaction types).
+    pub workload: Workload,
+    /// Mixes selectable via `MixSwitch` (index 0 active initially).
+    pub mixes: Vec<Mix>,
+    active_mix: usize,
+    balancer: BalancerCtl,
+    /// Boxed so a driver can lease a node to a worker thread by moving a
+    /// pointer, not the node's whole inline state.
+    nodes: Vec<Option<Box<ClusterNode>>>,
+    certifier: CertifierLink,
+    clients: ClientPool,
+    rng: SimRng,
+    next_txn: u64,
+    txns: HashMap<TxnId, TxnMeta>,
+    /// Metrics accumulator.
+    pub metrics: Metrics,
+    /// CPU/disk busy totals at the start of the measurement window.
+    busy0: (u64, u64),
+    window_started: SimTime,
+    ended: bool,
+}
+
+impl ClusterState {
+    /// Builds the cluster from a configuration, workload, and mixes (the
+    /// first mix is active at start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mixes` is empty.
+    pub fn new(config: ClusterConfig, workload: Workload, mixes: Vec<Mix>) -> Self {
+        assert!(!mixes.is_empty(), "cluster needs at least one mix");
+        let mut rng = SimRng::seed_from(config.seed);
+        let balancer = BalancerCtl::build(&config, &workload, &mixes[0]);
+        let nodes: Vec<Option<Box<ClusterNode>>> = (0..config.replicas)
+            .map(|id| {
+                Some(Box::new(ClusterNode::new(
+                    id,
+                    ReplicaNode::new(
+                        workload.catalog.clone(),
+                        config.replica_config(),
+                        rng.fork(),
+                    ),
+                    config.lan_hop_us,
+                )))
+            })
+            .collect();
+        let certifier = CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us);
+        let clients = ClientPool::new(config.clients, config.think_mean_us);
+        ClusterState {
+            balancer,
+            nodes,
+            certifier,
+            clients,
+            rng,
+            next_txn: 0,
+            txns: HashMap::new(),
+            metrics: Metrics::new(),
+            active_mix: 0,
+            config,
+            workload,
+            mixes,
+            busy0: (0, 0),
+            window_started: SimTime::ZERO,
+            ended: false,
+        }
+    }
+
+    /// Schedules the initial events into `queue`: staggered client arrivals,
+    /// per-replica maintenance, and balancer ticks.
+    pub fn prime(&mut self, queue: &mut EventQueue<Ev>) {
+        for client in 0..self.config.clients {
+            let delay = self.rng.exp_micros(self.config.think_mean_us.max(1));
+            queue.schedule(SimTime::from_micros(delay), Ev::ClientArrive { client });
+        }
+        for replica in 0..self.config.replicas {
+            queue.schedule(
+                SimTime::from_millis(250),
+                Ev::Maintenance { replica, round: 0 },
+            );
+        }
+        queue.schedule(SimTime::from_secs(1), Ev::LbTick);
+    }
+
+    /// Whether the `End` event has fired.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// One-way LAN latency between components, in µs — the minimum
+    /// cross-component event latency drivers may exploit as lookahead.
+    pub fn lan_hop_us(&self) -> u64 {
+        self.config.lan_hop_us
+    }
+
+    /// Leases replica `idx` out of the state (to a driver worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already leased out.
+    pub fn take_node(&mut self, idx: usize) -> Box<ClusterNode> {
+        self.nodes[idx]
+            .take()
+            .expect("node already leased to a driver shard")
+    }
+
+    /// Returns a leased node.
+    pub fn put_node(&mut self, idx: usize, node: Box<ClusterNode>) {
+        debug_assert!(
+            self.nodes[idx].is_none(),
+            "returning a node that was never leased"
+        );
+        self.nodes[idx] = Some(node);
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut ClusterNode {
+        self.nodes[idx]
+            .as_mut()
+            .expect("node leased to a driver shard")
+    }
+
+    /// Cluster-wide disk byte counters `(read, write)`.
+    pub fn disk_bytes(&self) -> (u64, u64) {
+        let mut read = 0;
+        let mut write = 0;
+        for n in self.present_nodes() {
+            let s = n.replica().disk_stats();
+            read += s.read_bytes();
+            write += s.write_bytes();
+        }
+        (read, write)
+    }
+
+    fn present_nodes(&self) -> impl Iterator<Item = &ClusterNode> {
+        self.nodes
+            .iter()
+            .map(|n| &**n.as_ref().expect("node leased to a driver shard"))
+    }
+
+    /// Access a replica (tests and metrics).
+    pub fn replica(&self, idx: usize) -> &ReplicaNode {
+        self.node(idx).replica()
+    }
+
+    /// Access a cluster node handler (failure injection, alternate drivers).
+    pub fn node(&self, idx: usize) -> &ClusterNode {
+        self.nodes[idx]
+            .as_ref()
+            .expect("node leased to a driver shard")
+    }
+
+    /// Number of replica slots (leased or present).
+    pub fn replica_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Mutable node access (failure injection, alternate drivers).
+    pub fn node_access_mut(&mut self, idx: usize) -> &mut ClusterNode {
+        self.node_mut(idx)
+    }
+
+    /// The balancer (tests and metrics).
+    pub fn balancer(&self) -> &LoadBalancer {
+        self.balancer.inner()
+    }
+
+    /// The certifier (tests and metrics).
+    pub fn certifier(&self) -> &Certifier {
+        self.certifier.inner()
+    }
+
+    /// Total CPU and disk busy microseconds across replicas.
+    fn busy_totals(&self) -> (u64, u64) {
+        let mut cpu = 0;
+        let mut disk = 0;
+        for n in self.present_nodes() {
+            cpu += n.replica().cpu_busy_us();
+            disk += n.replica().disk_stats().busy_us;
+        }
+        (cpu, disk)
+    }
+
+    /// Finalizes the run into a [`crate::metrics::RunResult`], including
+    /// mean CPU/disk utilizations over the measurement window.
+    pub fn finish_result(&self, now: SimTime) -> crate::metrics::RunResult {
+        let (read, write) = self.disk_bytes();
+        let snaps = self.group_snapshots();
+        let mut result = self.metrics.finish(now, read, write, snaps);
+        let (cpu, disk) = self.busy_totals();
+        let window_us = (now.saturating_since(self.window_started) as f64).max(1.0)
+            * self.config.replicas as f64;
+        result.cpu_util = (cpu.saturating_sub(self.busy0.0)) as f64 / window_us;
+        result.disk_util = (disk.saturating_sub(self.busy0.1)) as f64 / window_us;
+        let stats = self.balancer.inner().stats();
+        result.lb = crate::metrics::LbSummary {
+            moves: stats.moves,
+            merges: stats.merges,
+            splits: stats.splits,
+            fast_reallocs: stats.fast_reallocs,
+            fallback: stats.fallback,
+            filters_installed: self.balancer.inner().filters_installed(),
+        };
+        result
+    }
+
+    /// Current group → replica assignments with type names resolved.
+    pub fn group_snapshots(&self) -> Vec<GroupSnapshot> {
+        let loads = self.balancer.inner().loads();
+        self.balancer
+            .inner()
+            .assignments()
+            .into_iter()
+            .map(|(types, replicas)| GroupSnapshot {
+                types: types
+                    .iter()
+                    .map(|t| self.workload.type_name(*t).to_string())
+                    .collect(),
+                replicas: replicas.len(),
+                load: if replicas.is_empty() {
+                    0.0
+                } else {
+                    replicas
+                        .iter()
+                        .map(|r| loads[r.0].bottleneck())
+                        .sum::<f64>()
+                        / replicas.len() as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Routes one event to its component handler. Every arm is a thin
+    /// delegate; the lifecycle lives in [`crate::components`].
+    ///
+    /// Drivers must deliver events in nondecreasing `(timestamp, FIFO)`
+    /// order with all nodes present; under that contract the state evolution
+    /// is identical for every driver.
+    pub fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::ClientArrive { client } => self.on_client_arrive(now, client, queue),
+            Ev::StepTxn { replica, txn } => self.node_mut(replica).on_step(now, txn, queue),
+            Ev::CertifySend { replica, txn, ws } => {
+                self.certifier.on_send(now, replica, txn, ws, queue)
+            }
+            Ev::CertifyReturn {
+                replica,
+                txn,
+                version,
+            } => self.on_certify_return(now, replica, txn, version, queue),
+            Ev::TxnComplete {
+                replica,
+                txn,
+                committed,
+            } => self.on_txn_complete(now, replica, txn, committed, queue),
+            Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round, queue),
+            Ev::LbTick => {
+                for (replica, filter) in self.balancer.on_tick(now, queue) {
+                    self.node_mut(replica.0).set_filter(filter);
+                }
+            }
+            Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
+            Ev::FreezeLb => self.balancer.freeze(),
+            Ev::EndWarmup => self.on_end_warmup(now),
+            Ev::End => self.ended = true,
+        }
+    }
+
+    /// Dispatches a new transaction instance: the balancer picks the
+    /// replica, the node admits or queues it.
+    fn submit_txn(
+        &mut self,
+        now: SimTime,
+        client: usize,
+        txn_type: TxnTypeId,
+        arrived: SimTime,
+        retries: u32,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let replica = self.balancer.dispatch(txn_type).0;
+        let plan = self.workload.types[txn_type.0 as usize].plan.clone();
+        let is_update = plan.is_update();
+        let node = self.nodes[replica]
+            .as_mut()
+            .expect("node leased to a driver shard");
+        let executor = TxnExecutor::new(txn, txn_type, plan, node.snapshot());
+        self.txns.insert(
+            txn,
+            TxnMeta {
+                client,
+                txn_type,
+                arrived,
+                retries,
+                is_update,
+            },
+        );
+        node.submit(now, txn, executor, queue);
+    }
+
+    fn on_client_arrive(&mut self, now: SimTime, client: usize, queue: &mut EventQueue<Ev>) {
+        let txn_type = self
+            .clients
+            .next_type(&self.mixes[self.active_mix], &mut self.rng);
+        self.submit_txn(now, client, txn_type, now, 0, queue);
+    }
+
+    /// Commit: apply remote writesets then finish; conflict: abort and let
+    /// the completion path retry.
+    fn on_certify_return(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        txn: TxnId,
+        version: Option<Version>,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let done_at = match version {
+            Some(v) => {
+                let node = self.nodes[replica]
+                    .as_mut()
+                    .expect("node leased to a driver shard");
+                self.certifier.on_return_commit(now, node, v)
+            }
+            None => {
+                self.metrics.record_abort();
+                now
+            }
+        };
+        queue.schedule(
+            done_at,
+            Ev::TxnComplete {
+                replica,
+                txn,
+                committed: version.is_some(),
+            },
+        );
+    }
+
+    /// Frees the replica slot, then routes the outcome back to the client:
+    /// record + think on commit, retry or give up on abort.
+    fn on_txn_complete(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        txn: TxnId,
+        committed: bool,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        self.node_mut(replica).on_finish(now, committed, queue);
+        self.balancer.complete(ReplicaId(replica));
+        let meta = self.txns.remove(&txn).expect("transaction metadata");
+        if committed {
+            let response_at = now + 2 * self.config.lan_hop_us;
+            self.metrics.record_completion_typed(
+                response_at,
+                meta.arrived,
+                meta.is_update,
+                meta.txn_type.0,
+            );
+            self.schedule_next_arrival(response_at, meta.client, queue);
+        } else if meta.retries < self.clients.max_retries {
+            // Retry immediately with a fresh snapshot (possibly elsewhere).
+            self.submit_txn(
+                now,
+                meta.client,
+                meta.txn_type,
+                meta.arrived,
+                meta.retries + 1,
+                queue,
+            );
+        } else {
+            self.metrics.record_gave_up();
+            self.schedule_next_arrival(now, meta.client, queue);
+        }
+    }
+
+    /// Schedules a client's next arrival after its think time.
+    fn schedule_next_arrival(&mut self, from: SimTime, client: usize, queue: &mut EventQueue<Ev>) {
+        let think = self.clients.think(&mut self.rng);
+        queue.schedule(from + think, Ev::ClientArrive { client });
+    }
+
+    /// Per-replica periodic work: node maintenance, propagation pull, and
+    /// (every fourth 250 ms round) a load-daemon sample for the balancer.
+    fn on_maintenance(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        round: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let node = self.nodes[replica]
+            .as_mut()
+            .expect("node leased to a driver shard");
+        node.on_maintenance(now);
+        self.certifier.maintenance_pull(now, node);
+        if round % 4 == 3 {
+            let report = node.sample_load(now);
+            self.balancer.report(
+                ReplicaId(replica),
+                ResourceLoad {
+                    cpu: report.cpu,
+                    disk: report.disk,
+                },
+            );
+        }
+        queue.schedule(
+            now + 250_000,
+            Ev::Maintenance {
+                replica,
+                round: round + 1,
+            },
+        );
+    }
+
+    /// Resets the measurement window at the end of warm-up.
+    fn on_end_warmup(&mut self, now: SimTime) {
+        let (read, write) = self.disk_bytes();
+        self.metrics.start_window(now, read, write);
+        self.busy0 = self.busy_totals();
+        self.window_started = now;
+    }
+
+    /// Installs an update filter on a replica (alternate drivers; the
+    /// balancer tick normally does this itself).
+    pub fn set_filter(&mut self, replica: usize, filter: UpdateFilter) {
+        self.node_mut(replica).set_filter(filter);
+    }
+}

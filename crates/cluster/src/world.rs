@@ -1,124 +1,81 @@
-//! The cluster event loop.
+//! The assembled cluster: thin glue binding a [`ClusterState`] to an event
+//! queue and a [`Driver`].
 //!
-//! All components live in one [`World`]; timestamped [`Ev`] events drive
-//! them. The `World` owns one handler per component — [`ClusterNode`] per
-//! replica, a [`CertifierLink`], and a [`BalancerCtl`] — plus the
-//! cross-cutting state no single component owns: the client pool, in-flight
-//! transaction metadata, and metrics. Every `Ev` arm is a thin delegate into
-//! a component handler (see [`crate::components`] for the lifecycle
-//! documentation).
-
-use std::collections::HashMap;
+//! All simulation semantics live one layer down: per-component handlers in
+//! [`crate::components`], cross-cutting transaction/client/metrics state in
+//! [`crate::state::ClusterState`], and the event-loop strategy in
+//! [`crate::driver`]. `World` only assembles the three and forwards its
+//! accessors, so existing entry points (tests, examples, the experiment
+//! harness) keep a single convenient handle on a run.
 
 use tashkent_certifier::Certifier;
-use tashkent_core::{LoadBalancer, ReplicaId, ResourceLoad};
-use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version};
+use tashkent_core::LoadBalancer;
 use tashkent_replica::{ReplicaNode, UpdateFilter};
-use tashkent_sim::{EventQueue, SimRng, SimTime};
-use tashkent_workloads::{ClientPool, Mix, Workload};
+use tashkent_sim::{EventQueue, SimTime};
+use tashkent_workloads::{Mix, Workload};
 
-use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
+use crate::components::ClusterNode;
 use crate::config::ClusterConfig;
-use crate::metrics::{GroupSnapshot, Metrics};
+use crate::driver::{Driver, DriverKind, RunError};
+use crate::metrics::{GroupSnapshot, Metrics, RunResult};
+use crate::state::ClusterState;
 
 pub use crate::events::Ev;
 
-/// Bookkeeping for one in-flight transaction.
-struct TxnMeta {
-    client: usize,
-    txn_type: TxnTypeId,
-    /// First submission time (retries keep the original arrival).
-    arrived: SimTime,
-    retries: u32,
-    is_update: bool,
-}
-
-/// The assembled cluster.
+/// The assembled cluster: state + queue + driver.
 pub struct World {
-    /// Configuration.
-    pub config: ClusterConfig,
-    /// The workload (schema + transaction types).
-    pub workload: Workload,
-    /// Mixes selectable via `MixSwitch` (index 0 active initially).
-    pub mixes: Vec<Mix>,
-    active_mix: usize,
+    state: ClusterState,
     queue: EventQueue<Ev>,
-    balancer: BalancerCtl,
-    nodes: Vec<ClusterNode>,
-    certifier: CertifierLink,
-    clients: ClientPool,
-    rng: SimRng,
-    next_txn: u64,
-    txns: HashMap<TxnId, TxnMeta>,
-    /// Metrics accumulator.
-    pub metrics: Metrics,
-    /// CPU/disk busy totals at the start of the measurement window.
-    busy0: (u64, u64),
-    window_started: SimTime,
-    ended: bool,
+    driver: Box<dyn Driver>,
 }
 
 impl World {
     /// Builds a world from a configuration, workload, and mixes (the first
-    /// mix is active at start).
+    /// mix is active at start), driven by the [`DriverKind::Sequential`]
+    /// reference driver.
     ///
     /// # Panics
     ///
     /// Panics if `mixes` is empty.
     pub fn new(config: ClusterConfig, workload: Workload, mixes: Vec<Mix>) -> Self {
-        assert!(!mixes.is_empty(), "world needs at least one mix");
-        let mut rng = SimRng::seed_from(config.seed);
-        let balancer = BalancerCtl::build(&config, &workload, &mixes[0]);
-        let nodes: Vec<ClusterNode> = (0..config.replicas)
-            .map(|id| {
-                ClusterNode::new(
-                    id,
-                    ReplicaNode::new(
-                        workload.catalog.clone(),
-                        config.replica_config(),
-                        rng.fork(),
-                    ),
-                    config.lan_hop_us,
-                )
-            })
-            .collect();
-        let certifier = CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us);
-        let clients = ClientPool::new(config.clients, config.think_mean_us);
+        Self::with_driver(config, workload, mixes, DriverKind::Sequential)
+    }
+
+    /// Builds a world that runs under the given driver. Every driver
+    /// produces identical results for the same seed; the parallel driver is
+    /// faster on multi-core hosts for multi-replica configurations.
+    pub fn with_driver(
+        config: ClusterConfig,
+        workload: Workload,
+        mixes: Vec<Mix>,
+        driver: DriverKind,
+    ) -> Self {
         World {
+            state: ClusterState::new(config, workload, mixes),
             queue: EventQueue::new(),
-            balancer,
-            nodes,
-            certifier,
-            clients,
-            rng,
-            next_txn: 0,
-            txns: HashMap::new(),
-            metrics: Metrics::new(),
-            active_mix: 0,
-            config,
-            workload,
-            mixes,
-            busy0: (0, 0),
-            window_started: SimTime::ZERO,
-            ended: false,
+            driver: driver.build(),
         }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.state.config
+    }
+
+    /// The workload (schema + transaction types).
+    pub fn workload(&self) -> &Workload {
+        &self.state.workload
+    }
+
+    /// Metrics accumulator.
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
     }
 
     /// Schedules the initial events: staggered client arrivals, per-replica
     /// maintenance, and balancer ticks.
     pub fn prime(&mut self) {
-        for client in 0..self.config.clients {
-            let delay = self.rng.exp_micros(self.config.think_mean_us.max(1));
-            self.queue
-                .schedule(SimTime::from_micros(delay), Ev::ClientArrive { client });
-        }
-        for replica in 0..self.config.replicas {
-            self.queue.schedule(
-                SimTime::from_millis(250),
-                Ev::Maintenance { replica, round: 0 },
-            );
-        }
-        self.queue.schedule(SimTime::from_secs(1), Ev::LbTick);
+        self.state.prime(&mut self.queue);
     }
 
     /// Current simulated time.
@@ -134,279 +91,60 @@ impl World {
 
     /// Cluster-wide disk byte counters `(read, write)`.
     pub fn disk_bytes(&self) -> (u64, u64) {
-        let mut read = 0;
-        let mut write = 0;
-        for n in &self.nodes {
-            let s = n.replica().disk_stats();
-            read += s.read_bytes();
-            write += s.write_bytes();
-        }
-        (read, write)
+        self.state.disk_bytes()
     }
 
     /// Access a replica (tests and metrics).
     pub fn replica(&self, idx: usize) -> &ReplicaNode {
-        self.nodes[idx].replica()
+        self.state.replica(idx)
     }
 
     /// Access a cluster node handler (failure injection, alternate drivers).
     pub fn node(&self, idx: usize) -> &ClusterNode {
-        &self.nodes[idx]
+        self.state.node(idx)
     }
 
     /// Mutable node access (failure injection, alternate drivers).
     pub fn node_mut(&mut self, idx: usize) -> &mut ClusterNode {
-        &mut self.nodes[idx]
+        self.state.node_access_mut(idx)
     }
 
     /// The balancer (tests and metrics).
     pub fn balancer(&self) -> &LoadBalancer {
-        self.balancer.inner()
+        self.state.balancer()
     }
 
     /// The certifier (tests and metrics).
     pub fn certifier(&self) -> &Certifier {
-        self.certifier.inner()
+        self.state.certifier()
     }
 
-    /// Total CPU and disk busy microseconds across replicas.
-    fn busy_totals(&self) -> (u64, u64) {
-        let mut cpu = 0;
-        let mut disk = 0;
-        for n in &self.nodes {
-            cpu += n.replica().cpu_busy_us();
-            disk += n.replica().disk_stats().busy_us;
-        }
-        (cpu, disk)
-    }
-
-    /// Finalizes the run into a [`crate::metrics::RunResult`], including
-    /// mean CPU/disk utilizations over the measurement window.
-    pub fn finish_result(&self) -> crate::metrics::RunResult {
-        let (read, write) = self.disk_bytes();
-        let snaps = self.group_snapshots();
-        let mut result = self.metrics.finish(self.now(), read, write, snaps);
-        let (cpu, disk) = self.busy_totals();
-        let window_us = (self.now().saturating_since(self.window_started) as f64).max(1.0)
-            * self.config.replicas as f64;
-        result.cpu_util = (cpu.saturating_sub(self.busy0.0)) as f64 / window_us;
-        result.disk_util = (disk.saturating_sub(self.busy0.1)) as f64 / window_us;
-        let stats = self.balancer.inner().stats();
-        result.lb = crate::metrics::LbSummary {
-            moves: stats.moves,
-            merges: stats.merges,
-            splits: stats.splits,
-            fast_reallocs: stats.fast_reallocs,
-            fallback: stats.fallback,
-            filters_installed: self.balancer.inner().filters_installed(),
-        };
-        result
+    /// Finalizes the run into a [`RunResult`], including mean CPU/disk
+    /// utilizations over the measurement window.
+    pub fn finish_result(&self) -> RunResult {
+        self.state.finish_result(self.now())
     }
 
     /// Current group → replica assignments with type names resolved.
     pub fn group_snapshots(&self) -> Vec<GroupSnapshot> {
-        let loads = self.balancer.inner().loads();
-        self.balancer
-            .inner()
-            .assignments()
-            .into_iter()
-            .map(|(types, replicas)| GroupSnapshot {
-                types: types
-                    .iter()
-                    .map(|t| self.workload.type_name(*t).to_string())
-                    .collect(),
-                replicas: replicas.len(),
-                load: if replicas.is_empty() {
-                    0.0
-                } else {
-                    replicas
-                        .iter()
-                        .map(|r| loads[r.0].bottleneck())
-                        .sum::<f64>()
-                        / replicas.len() as f64
-                },
-            })
-            .collect()
+        self.state.group_snapshots()
     }
 
     /// Runs until the `End` event fires.
-    pub fn run_to_end(&mut self) {
-        while !self.ended {
-            let Some((now, ev)) = self.queue.pop() else {
-                panic!("event queue drained before End event");
-            };
-            self.handle(now, ev);
-        }
-    }
-
-    /// Routes one event to its component handler. Every arm is a thin
-    /// delegate; the lifecycle lives in [`crate::components`].
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::ClientArrive { client } => self.on_client_arrive(now, client),
-            Ev::StepTxn { replica, txn } => self.nodes[replica].on_step(now, txn, &mut self.queue),
-            Ev::CertifySend { replica, txn, ws } => {
-                self.certifier
-                    .on_send(now, replica, txn, ws, &mut self.queue)
-            }
-            Ev::CertifyReturn {
-                replica,
-                txn,
-                version,
-            } => self.on_certify_return(now, replica, txn, version),
-            Ev::TxnComplete {
-                replica,
-                txn,
-                committed,
-            } => self.on_txn_complete(now, replica, txn, committed),
-            Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round),
-            Ev::LbTick => self.balancer.on_tick(now, &mut self.nodes, &mut self.queue),
-            Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
-            Ev::FreezeLb => self.balancer.freeze(),
-            Ev::EndWarmup => self.on_end_warmup(now),
-            Ev::End => self.ended = true,
-        }
-    }
-
-    /// Dispatches a new transaction instance: the balancer picks the
-    /// replica, the node admits or queues it.
-    fn submit_txn(
-        &mut self,
-        now: SimTime,
-        client: usize,
-        txn_type: TxnTypeId,
-        arrived: SimTime,
-        retries: u32,
-    ) {
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        let replica = self.balancer.dispatch(txn_type).0;
-        let node = &mut self.nodes[replica];
-        let plan = self.workload.types[txn_type.0 as usize].plan.clone();
-        let is_update = plan.is_update();
-        let executor = TxnExecutor::new(txn, txn_type, plan, node.snapshot());
-        self.txns.insert(
-            txn,
-            TxnMeta {
-                client,
-                txn_type,
-                arrived,
-                retries,
-                is_update,
-            },
-        );
-        node.submit(now, txn, executor, &mut self.queue);
-    }
-
-    fn on_client_arrive(&mut self, now: SimTime, client: usize) {
-        let txn_type = self
-            .clients
-            .next_type(&self.mixes[self.active_mix], &mut self.rng);
-        self.submit_txn(now, client, txn_type, now, 0);
-    }
-
-    /// Commit: apply remote writesets then finish; conflict: abort and let
-    /// the completion path retry.
-    fn on_certify_return(
-        &mut self,
-        now: SimTime,
-        replica: usize,
-        txn: TxnId,
-        version: Option<Version>,
-    ) {
-        let done_at = match version {
-            Some(v) => self
-                .certifier
-                .on_return_commit(now, &mut self.nodes[replica], v),
-            None => {
-                self.metrics.record_abort();
-                now
-            }
-        };
-        self.queue.schedule(
-            done_at,
-            Ev::TxnComplete {
-                replica,
-                txn,
-                committed: version.is_some(),
-            },
-        );
-    }
-
-    /// Frees the replica slot, then routes the outcome back to the client:
-    /// record + think on commit, retry or give up on abort.
-    fn on_txn_complete(&mut self, now: SimTime, replica: usize, txn: TxnId, committed: bool) {
-        self.nodes[replica].on_finish(now, committed, &mut self.queue);
-        self.balancer.complete(ReplicaId(replica));
-        let meta = self.txns.remove(&txn).expect("transaction metadata");
-        if committed {
-            let response_at = now + 2 * self.config.lan_hop_us;
-            self.metrics.record_completion_typed(
-                response_at,
-                meta.arrived,
-                meta.is_update,
-                meta.txn_type.0,
-            );
-            self.schedule_next_arrival(response_at, meta.client);
-        } else if meta.retries < self.clients.max_retries {
-            // Retry immediately with a fresh snapshot (possibly elsewhere).
-            self.submit_txn(
-                now,
-                meta.client,
-                meta.txn_type,
-                meta.arrived,
-                meta.retries + 1,
-            );
-        } else {
-            self.metrics.record_gave_up();
-            self.schedule_next_arrival(now, meta.client);
-        }
-    }
-
-    /// Schedules a client's next arrival after its think time.
-    fn schedule_next_arrival(&mut self, from: SimTime, client: usize) {
-        let think = self.clients.think(&mut self.rng);
-        self.queue
-            .schedule(from + think, Ev::ClientArrive { client });
-    }
-
-    /// Per-replica periodic work: node maintenance, propagation pull, and
-    /// (every fourth 250 ms round) a load-daemon sample for the balancer.
-    fn on_maintenance(&mut self, now: SimTime, replica: usize, round: u64) {
-        let node = &mut self.nodes[replica];
-        node.on_maintenance(now);
-        self.certifier.maintenance_pull(now, node);
-        if round % 4 == 3 {
-            let report = node.sample_load(now);
-            self.balancer.report(
-                ReplicaId(replica),
-                ResourceLoad {
-                    cpu: report.cpu,
-                    disk: report.disk,
-                },
-            );
-        }
-        self.queue.schedule(
-            now + 250_000,
-            Ev::Maintenance {
-                replica,
-                round: round + 1,
-            },
-        );
-    }
-
-    /// Resets the measurement window at the end of warm-up.
-    fn on_end_warmup(&mut self, now: SimTime) {
-        let (read, write) = self.disk_bytes();
-        self.metrics.start_window(now, read, write);
-        self.busy0 = self.busy_totals();
-        self.window_started = now;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::QueueDrained`] when the event queue empties
+    /// before `End` — a mis-scheduled experiment. The world stays
+    /// inspectable at the drained point.
+    pub fn run_to_end(&mut self) -> Result<(), RunError> {
+        self.driver.run_to_end(&mut self.state, &mut self.queue)
     }
 
     /// Installs an update filter on a replica (alternate drivers; the
     /// balancer tick normally does this itself).
     pub fn set_filter(&mut self, replica: usize, filter: UpdateFilter) {
-        self.nodes[replica].set_filter(filter);
+        self.state.set_filter(replica, filter);
     }
 }
 
@@ -416,7 +154,7 @@ mod tests {
     use crate::config::PolicySpec;
     use tashkent_workloads::tpcw::{self, TpcwScale};
 
-    fn tiny_world(policy: PolicySpec) -> World {
+    fn tiny_world(policy: PolicySpec, driver: DriverKind) -> World {
         let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
         let config = ClusterConfig {
             replicas: 2,
@@ -425,22 +163,22 @@ mod tests {
             ..ClusterConfig::paper_default()
         }
         .with_policy(policy);
-        World::new(config, workload, vec![mix])
+        World::with_driver(config, workload, vec![mix], driver)
     }
 
     fn run_secs(world: &mut World, warmup: u64, total: u64) {
         world.prime();
         world.schedule(SimTime::from_secs(warmup), Ev::EndWarmup);
         world.schedule(SimTime::from_secs(total), Ev::End);
-        world.run_to_end();
+        world.run_to_end().expect("End event scheduled");
     }
 
     #[test]
     fn transactions_flow_end_to_end() {
-        let mut w = tiny_world(PolicySpec::LeastConnections);
+        let mut w = tiny_world(PolicySpec::LeastConnections, DriverKind::Sequential);
         run_secs(&mut w, 2, 20);
         let (read, write) = w.disk_bytes();
-        let r = w.metrics.finish(w.now(), read, write, Vec::new());
+        let r = w.metrics().finish(w.now(), read, write, Vec::new());
         assert!(r.committed > 10, "committed {}", r.committed);
         assert!(r.tps > 0.5, "tps {}", r.tps);
         assert!(r.mean_response_s > 0.0);
@@ -448,7 +186,7 @@ mod tests {
 
     #[test]
     fn updates_propagate_to_all_replicas() {
-        let mut w = tiny_world(PolicySpec::LeastConnections);
+        let mut w = tiny_world(PolicySpec::LeastConnections, DriverKind::Sequential);
         run_secs(&mut w, 2, 30);
         let head = w.certifier().version();
         assert!(head.0 > 0, "some updates committed");
@@ -460,27 +198,63 @@ mod tests {
 
     #[test]
     fn malb_world_assigns_groups() {
-        let mut w = tiny_world(PolicySpec::malb_sc());
+        let mut w = tiny_world(PolicySpec::malb_sc(), DriverKind::Sequential);
         run_secs(&mut w, 2, 20);
         let snaps = w.group_snapshots();
         assert!(!snaps.is_empty());
         let types: usize = snaps.iter().map(|g| g.types.len()).sum();
         assert_eq!(types, 13, "all 13 TPC-W types grouped");
         let (read, write) = w.disk_bytes();
-        let r = w.metrics.finish(w.now(), read, write, w.group_snapshots());
+        let r = w
+            .metrics()
+            .finish(w.now(), read, write, w.group_snapshots());
         assert!(r.committed > 10);
+    }
+
+    fn run_fingerprint(driver: DriverKind) -> (u64, u64, u64, u64) {
+        let mut w = tiny_world(PolicySpec::LeastConnections, driver);
+        run_secs(&mut w, 2, 15);
+        let (read, write) = w.disk_bytes();
+        let r = w.metrics().finish(w.now(), read, write, Vec::new());
+        (r.committed, r.aborts, read, write)
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let run = || {
-            let mut w = tiny_world(PolicySpec::LeastConnections);
-            run_secs(&mut w, 2, 15);
-            let (read, write) = w.disk_bytes();
-            let r = w.metrics.finish(w.now(), read, write, Vec::new());
-            (r.committed, r.aborts, read, write)
-        };
-        assert_eq!(run(), run());
+        assert_eq!(
+            run_fingerprint(DriverKind::Sequential),
+            run_fingerprint(DriverKind::Sequential)
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs_parallel() {
+        // Two threads even on a single-core host: the merge, not the
+        // scheduler, defines the result.
+        let parallel = DriverKind::Parallel { threads: 2 };
+        assert_eq!(run_fingerprint(parallel), run_fingerprint(parallel));
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential() {
+        assert_eq!(
+            run_fingerprint(DriverKind::Sequential),
+            run_fingerprint(DriverKind::Parallel { threads: 2 })
+        );
+    }
+
+    #[test]
+    fn drained_queue_is_an_error_not_a_panic() {
+        let mut w = tiny_world(PolicySpec::LeastConnections, DriverKind::Sequential);
+        // No priming, no End event: one lone event, then the queue drains.
+        w.schedule(SimTime::from_secs(1), Ev::FreezeLb);
+        let err = w.run_to_end().unwrap_err();
+        assert_eq!(
+            err,
+            RunError::QueueDrained {
+                at: SimTime::from_secs(1)
+            }
+        );
     }
 
     #[test]
@@ -498,11 +272,11 @@ mod tests {
         w.schedule(SimTime::from_secs(1), Ev::EndWarmup);
         w.schedule(SimTime::from_secs(10), Ev::MixSwitch { mix: 1 });
         w.schedule(SimTime::from_secs(30), Ev::End);
-        w.run_to_end();
+        w.run_to_end().expect("End event scheduled");
         // After the switch to read-only-ish browsing, update volume is low:
         // the certifier version grows far slower than completions.
         let (read, write) = w.disk_bytes();
-        let r = w.metrics.finish(w.now(), read, write, Vec::new());
+        let r = w.metrics().finish(w.now(), read, write, Vec::new());
         assert!(r.committed > 0);
         assert!(
             (r.updates as f64) < 0.45 * r.committed as f64,

@@ -6,10 +6,14 @@ use std::collections::BinaryHeap;
 use crate::time::SimTime;
 
 /// An event scheduled for a point in simulated time.
+///
+/// `seq` is signed: normal scheduling counts up from zero, while
+/// [`EventQueue::merge_front`] counts down from −1 to restore a
+/// previously-popped event's seniority over everything still pending.
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
-    seq: u64,
+    seq: i64,
     event: E,
 }
 
@@ -59,7 +63,8 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
+    next_seq: i64,
+    front_seq: i64,
     now: SimTime,
 }
 
@@ -75,6 +80,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            front_seq: -1,
             now: SimTime::ZERO,
         }
     }
@@ -112,6 +118,67 @@ impl<E> EventQueue<E> {
     /// Returns the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.at)
+    }
+
+    /// Returns the next event (timestamp and a borrow) without popping it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|s| (s.at, &s.event))
+    }
+
+    /// Pops the earliest event only when `accept` approves it, **without
+    /// advancing the clock**.
+    ///
+    /// This is half of the windowed-lookahead interface: a driver that
+    /// executes a batch of events concurrently pops the batch with `pop_if`
+    /// (so `now` stays at the window start), processes each event logically
+    /// at its own timestamp, and re-inserts the events the batch produced
+    /// with [`EventQueue::merge`]. Events the predicate rejects stay queued
+    /// and bound the window.
+    pub fn pop_if(&mut self, accept: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let head = self.heap.peek()?;
+        if !accept(head.at, &head.event) {
+            return None;
+        }
+        let s = self.heap.pop().expect("peeked event vanished");
+        Some((s.at, s.event))
+    }
+
+    /// Merges an event produced by windowed lookahead execution back into
+    /// the queue at absolute time `at`.
+    ///
+    /// The other half of the windowed interface: events generated while a
+    /// window executed off-queue re-enter here, **in the order the
+    /// sequential execution would have inserted them**, so same-timestamp
+    /// ties keep popping in sequential FIFO order. `at` must not precede the
+    /// window start (the clock), which holds by construction because every
+    /// merged event carries a timestamp at or after its source event.
+    pub fn merge(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "windowed merge scheduled into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.schedule(at, event);
+    }
+
+    /// Restores a previously-popped event, preserving its seniority: it
+    /// pops **before** every event currently pending at the same timestamp
+    /// (it was scheduled before all of them — the pop order proves it) and
+    /// before anything merged or scheduled afterwards.
+    ///
+    /// When restoring several events, call in **reverse** pop order so the
+    /// earliest-popped event ends up most senior. This completes the
+    /// windowed interface: lookahead events a window popped but could not
+    /// safely execute re-enter exactly where the sequential order had them.
+    pub fn merge_front(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "windowed merge_front scheduled into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.front_seq;
+        self.front_seq -= 1;
+        self.heap.push(Scheduled { at, seq, event });
     }
 
     /// Returns the number of pending events.
@@ -197,6 +264,61 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_micros(9), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+        assert_eq!(q.peek(), Some((SimTime::from_micros(9), &())));
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pop_if_respects_predicate_and_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), "a");
+        q.schedule(SimTime::from_micros(9), "b");
+        // Rejected: stays queued.
+        assert_eq!(q.pop_if(|_, e| *e == "b"), None);
+        assert_eq!(q.len(), 2);
+        // Accepted: popped, but the clock does not advance.
+        assert_eq!(
+            q.pop_if(|_, e| *e == "a"),
+            Some((SimTime::from_micros(5), "a"))
+        );
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(
+            q.pop_if(|t, _| t <= SimTime::from_micros(9)),
+            Some((SimTime::from_micros(9), "b"))
+        );
+        assert_eq!(q.pop_if(|_, _| true), None);
+    }
+
+    #[test]
+    fn merge_front_restores_seniority() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(9);
+        // Original order: a, b, stopper, then later-scheduled d.
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(t, "stopper");
+        // A windowed driver pops a and b, executes neither, and restores
+        // them in reverse pop order; d arrives afterwards.
+        assert_eq!(q.pop_if(|_, e| *e == "a"), Some((t, "a")));
+        assert_eq!(q.pop_if(|_, e| *e == "b"), Some((t, "b")));
+        q.merge_front(t, "b");
+        q.merge_front(t, "a");
+        q.schedule(t, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "stopper", "d"]);
+    }
+
+    #[test]
+    fn merge_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        q.schedule(t, 0);
+        // A windowed driver merging events in sequential insertion order
+        // keeps the tie-break: pre-existing events pop first, then merged
+        // events in merge order.
+        q.merge(t, 1);
+        q.merge(t, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 }

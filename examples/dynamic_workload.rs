@@ -21,7 +21,9 @@ fn main() {
         measured_secs: 240,
         ..ScenarioKnobs::default()
     };
-    let result = scenario.run(&knobs);
+    let result = scenario
+        .run(&knobs)
+        .expect("scenario runs to its End event");
 
     println!("throughput over time (10 s buckets):");
     for (t, tps) in result.timeseries(10.0) {

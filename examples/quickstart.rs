@@ -29,7 +29,7 @@ fn main() {
             ..ScenarioKnobs::default()
         }
         .with_policy(policy);
-        let result = tpcw.run(&knobs);
+        let result = tpcw.run(&knobs).expect("scenario runs to its End event");
         println!(
             "{:<18} {:>7.1} tps  {:>6.0} ms mean response  {:>5.1} KB read/txn",
             policy.label(),

@@ -24,7 +24,7 @@ fn main() {
             ..ScenarioKnobs::default()
         }
         .with_policy(policy);
-        let r = rubis.run(&knobs);
+        let r = rubis.run(&knobs).expect("scenario runs to its End event");
         println!(
             "{:<18} {:>7.1} tps  read/txn {:>5.0} KB  mean resp {:>5.0} ms",
             policy.label(),

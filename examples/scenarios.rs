@@ -28,7 +28,7 @@ fn main() {
         knobs.measured_secs
     );
     for s in &scenarios {
-        let r = s.run(&knobs);
+        let r = s.run(&knobs).expect("scenario runs to its End event");
         println!(
             "  {:<20} {:>7.1} tps  {:>6.0} ms mean response  {:>4} groups  {:>5.1}% aborts",
             s.name(),

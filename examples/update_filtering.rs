@@ -23,7 +23,8 @@ fn main() {
             ..ClusterConfig::paper_default()
         }
         .with_policy(policy);
-        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(40, 120));
+        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(40, 120))
+            .expect("scenario runs to its End event");
         println!(
             "{:<14} {:>7.1} tps  write/txn {:>5.1} KB  read/txn {:>5.1} KB  filters installed: {}",
             policy.label(),

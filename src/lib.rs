@@ -24,7 +24,8 @@
 //!     ..ClusterConfig::paper_default()
 //! }
 //! .with_policy(PolicySpec::malb_sc());
-//! let result = run(Experiment::new(config, workload, mix).with_window(5, 20));
+//! let result = run(Experiment::new(config, workload, mix).with_window(5, 20))
+//!     .expect("experiment schedules an End event");
 //! assert!(result.tps > 0.0);
 //! ```
 //!
@@ -35,8 +36,25 @@
 //! use tashkent::cluster::{run_scenario, PolicySpec, ScenarioKnobs};
 //!
 //! let knobs = ScenarioKnobs::smoke().with_policy(PolicySpec::malb_sc());
-//! let result = run_scenario("tpcw-steady-state", &knobs);
+//! let result = run_scenario("tpcw-steady-state", &knobs).expect("scenario runs to its End event");
 //! assert!(result.tps > 0.0);
+//! ```
+//!
+//! Runs are driver-independent: the windowed multi-threaded
+//! [`cluster::ParallelDriver`] produces bit-identical results to the
+//! sequential reference driver, only faster on multi-core hosts:
+//!
+//! ```
+//! use tashkent::cluster::{run_scenario, DriverKind, ScenarioKnobs};
+//!
+//! let knobs = ScenarioKnobs::smoke();
+//! let sequential = run_scenario("tpcw-steady-state", &knobs).unwrap();
+//! let parallel = run_scenario(
+//!     "tpcw-steady-state",
+//!     &knobs.clone().with_driver(DriverKind::Parallel { threads: 2 }),
+//! )
+//! .unwrap();
+//! assert_eq!(sequential.committed, parallel.committed);
 //! ```
 
 /// The discrete-event simulation kernel (time, events, RNG, statistics).
@@ -67,8 +85,8 @@ pub use tashkent_cluster as cluster;
 /// Commonly used types, re-exported flat.
 pub mod prelude {
     pub use tashkent_cluster::{
-        calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, Experiment,
-        PolicySpec, RunResult, Scenario, ScenarioKnobs,
+        calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, DriverKind,
+        Experiment, PolicySpec, RunError, RunResult, Scenario, ScenarioKnobs,
     };
     pub use tashkent_core::{EstimationMode, LoadBalancer, MalbConfig, WorkingSetEstimator};
     pub use tashkent_engine::{TxnTypeId, Version};

@@ -1,0 +1,120 @@
+//! Cross-driver equivalence: the windowed multi-threaded
+//! [`ParallelDriver`] must be observationally identical to the sequential
+//! reference driver — same committed/abort counts, same disk traffic, same
+//! response statistics — for every workload, policy, and seed.
+//!
+//! This is the contract that makes the driver a pure performance knob: any
+//! divergence is a bug in the lookahead window or the deterministic merge,
+//! never an acceptable approximation.
+
+use tashkent::cluster::{run_scenario, DriverKind, PolicySpec, RunResult, ScenarioKnobs};
+
+/// The fields a run is judged by, exact to the bit.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    committed: u64,
+    updates: u64,
+    aborts: u64,
+    retries_exhausted: u64,
+    read_kb_per_txn: u64,
+    write_kb_per_txn: u64,
+    mean_response_us: u64,
+    completions: usize,
+}
+
+impl Fingerprint {
+    fn of(r: &RunResult) -> Self {
+        Fingerprint {
+            committed: r.committed,
+            updates: r.updates,
+            aborts: r.aborts,
+            retries_exhausted: r.retries_exhausted,
+            // Exact equality on the underlying byte counters: kb/txn is a
+            // pure function of (bytes, committed), both integers.
+            read_kb_per_txn: r.read_kb_per_txn.to_bits(),
+            write_kb_per_txn: r.write_kb_per_txn.to_bits(),
+            mean_response_us: (r.mean_response_s * 1e6).round() as u64,
+            completions: r.completions.len(),
+        }
+    }
+}
+
+fn assert_drivers_agree(scenario: &str, knobs: ScenarioKnobs) {
+    let sequential = run_scenario(scenario, &knobs.clone().with_driver(DriverKind::Sequential))
+        .expect("sequential run completes");
+    // Force two workers even on a single-core host so the mpsc shard path
+    // (not just the inline fallback) is exercised.
+    let parallel = run_scenario(
+        scenario,
+        &knobs
+            .clone()
+            .with_driver(DriverKind::Parallel { threads: 2 }),
+    )
+    .expect("parallel run completes");
+    assert_eq!(
+        Fingerprint::of(&sequential),
+        Fingerprint::of(&parallel),
+        "drivers diverged on {scenario} with seed {}",
+        knobs.seed
+    );
+    assert_eq!(
+        sequential.completions, parallel.completions,
+        "completion timestamps diverged on {scenario} with seed {}",
+        knobs.seed
+    );
+}
+
+#[test]
+fn tpcw_runs_identically_under_both_drivers_across_seeds() {
+    for seed in [1, 7, 42] {
+        assert_drivers_agree("tpcw-steady-state", ScenarioKnobs::smoke().with_seed(seed));
+    }
+}
+
+#[test]
+fn rubis_runs_identically_under_both_drivers_across_seeds() {
+    for seed in [3, 11, 42] {
+        assert_drivers_agree("rubis-auction", ScenarioKnobs::smoke().with_seed(seed));
+    }
+}
+
+#[test]
+fn malb_with_filtering_runs_identically_under_both_drivers() {
+    // Update filtering exercises the certifier round-trip and filter
+    // installs — the paths with the trickiest window barriers.
+    assert_drivers_agree(
+        "tpcw-steady-state",
+        ScenarioKnobs::smoke().with_policy(PolicySpec::malb_sc_uf()),
+    );
+}
+
+#[test]
+fn wider_cluster_runs_identically_under_both_drivers() {
+    // More replicas per window: multi-shard merges every window.
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 4,
+        ..ScenarioKnobs::smoke()
+    };
+    assert_drivers_agree("tpcw-steady-state", knobs);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let knobs = ScenarioKnobs::smoke();
+    let two = run_scenario(
+        "tpcw-steady-state",
+        &knobs
+            .clone()
+            .with_driver(DriverKind::Parallel { threads: 2 }),
+    )
+    .expect("2-thread run completes");
+    let four = run_scenario(
+        "tpcw-steady-state",
+        &knobs
+            .clone()
+            .with_driver(DriverKind::Parallel { threads: 4 }),
+    )
+    .expect("4-thread run completes");
+    assert_eq!(Fingerprint::of(&two), Fingerprint::of(&four));
+}

@@ -26,7 +26,8 @@ fn every_policy_completes_transactions() {
         let r = run(
             Experiment::new(small_config(policy), workload.clone(), mix.clone())
                 .with_window(10, 30),
-        );
+        )
+        .expect("experiment runs to its End event");
         assert!(r.tps > 1.0, "{}: tps {}", policy.label(), r.tps);
         assert!(
             r.mean_response_s > 0.0 && r.mean_response_s < 30.0,
@@ -43,7 +44,8 @@ fn runs_are_deterministic_per_seed() {
     let go = |seed| {
         let mut config = small_config(PolicySpec::malb_sc());
         config.seed = seed;
-        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(10, 30));
+        let r = run(Experiment::new(config, workload.clone(), mix.clone()).with_window(10, 30))
+            .expect("experiment runs to its End event");
         (r.committed, r.aborts, r.updates)
     };
     assert_eq!(go(1), go(1), "same seed, same run");
@@ -56,7 +58,8 @@ fn updates_commit_and_propagate_consistently() {
     let r = run(
         Experiment::new(small_config(PolicySpec::LeastConnections), workload, mix)
             .with_window(10, 40),
-    );
+    )
+    .expect("experiment runs to its End event");
     // Ordering mix is ~50 % updates.
     let frac = r.updates as f64 / r.committed.max(1) as f64;
     assert!(
@@ -117,8 +120,10 @@ fn malb_beats_least_connections_on_contrived_thrash() {
         workload.clone(),
         mix.clone(),
     )
-    .with_window(30, 90));
-    let malb = run(Experiment::new(mk(PolicySpec::malb_sc()), workload, mix).with_window(30, 90));
+    .with_window(30, 90))
+    .expect("experiment runs to its End event");
+    let malb = run(Experiment::new(mk(PolicySpec::malb_sc()), workload, mix).with_window(30, 90))
+        .expect("experiment runs to its End event");
     assert!(
         malb.tps > 1.5 * lc.tps,
         "MALB {} vs LC {}: separation must beat colocation",
@@ -182,7 +187,8 @@ fn update_filtering_reduces_applied_items() {
     }
     .with_policy(PolicySpec::malb_sc_uf());
     config.seed = 9;
-    let r = run(Experiment::new(config, workload, mix).with_window(60, 60));
+    let r = run(Experiment::new(config, workload, mix).with_window(60, 60))
+        .expect("experiment runs to its End event");
     assert!(r.lb.filters_installed, "filters must install once stable");
     assert!(r.tps > 1.0);
 }
@@ -197,7 +203,8 @@ fn rubis_bidding_runs_under_malb() {
         ..ClusterConfig::paper_default()
     }
     .with_policy(PolicySpec::malb_sc());
-    let r = run(Experiment::new(config, workload, mix).with_window(15, 45));
+    let r = run(Experiment::new(config, workload, mix).with_window(15, 45))
+        .expect("experiment runs to its End event");
     assert!(r.tps > 1.0, "tps {}", r.tps);
     // AboutMe exists in some group.
     assert!(r

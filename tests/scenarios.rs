@@ -24,7 +24,7 @@ fn every_registered_scenario_runs_at_smoke_scale() {
         "registry must hold the three paper scenarios"
     );
     for s in &scenarios {
-        let r = s.run(&knobs);
+        let r = s.run(&knobs).expect("scenario runs to its End event");
         assert!(r.committed > 0, "{}: nothing committed", s.name());
         assert!(r.tps > 0.1, "{}: tps {}", s.name(), r.tps);
         assert!(
@@ -51,8 +51,8 @@ fn same_seed_same_metrics_summary() {
     // the same knobs must produce identical Metrics summaries.
     for name in ["tpcw-steady-state", "rubis-auction", "dynamic-reconfig"] {
         let knobs = ScenarioKnobs::smoke().with_seed(1234);
-        let a = run_scenario(name, &knobs);
-        let b = run_scenario(name, &knobs);
+        let a = run_scenario(name, &knobs).expect("scenario runs to its End event");
+        let b = run_scenario(name, &knobs).expect("scenario runs to its End event");
         assert_eq!(summary(&a), summary(&b), "{name}: runs diverged");
         assert_eq!(
             a.completions, b.completions,
@@ -63,8 +63,10 @@ fn same_seed_same_metrics_summary() {
 
 #[test]
 fn different_seeds_diverge() {
-    let a = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke().with_seed(1));
-    let b = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke().with_seed(2));
+    let a = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke().with_seed(1))
+        .expect("scenario runs to its End event");
+    let b = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke().with_seed(2))
+        .expect("scenario runs to its End event");
     assert_ne!(
         summary(&a),
         summary(&b),
@@ -75,10 +77,11 @@ fn different_seeds_diverge() {
 #[test]
 fn policy_knob_reaches_the_cluster() {
     let knobs = ScenarioKnobs::smoke().with_policy(PolicySpec::RoundRobin);
-    let r = run_scenario("tpcw-steady-state", &knobs);
+    let r = run_scenario("tpcw-steady-state", &knobs).expect("scenario runs to its End event");
     // Round-robin has no MALB groups; the MALB default would produce some.
     assert!(r.assignments.is_empty());
-    let malb = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke());
+    let malb = run_scenario("tpcw-steady-state", &ScenarioKnobs::smoke())
+        .expect("scenario runs to its End event");
     assert!(!malb.assignments.is_empty());
 }
 
@@ -90,7 +93,7 @@ fn dynamic_reconfig_switches_mixes() {
         measured_secs: 45,
         ..ScenarioKnobs::smoke()
     };
-    let r = run_scenario("dynamic-reconfig", &knobs);
+    let r = run_scenario("dynamic-reconfig", &knobs).expect("scenario runs to its End event");
     assert!(r.committed > 0);
     let frac = r.updates as f64 / r.committed.max(1) as f64;
     assert!(
