@@ -67,25 +67,12 @@ fn main() {
     save_csv("fig06_dynamic_timeseries", &csv);
 
     // Plateau summary: mean tps in the middle of each phase.
-    let plateau = |ts: &[(f64, f64)], from: f64, to: f64| {
-        let vals: Vec<f64> = ts
-            .iter()
-            .filter(|(t, _)| *t >= from && *t < to)
-            .map(|(_, v)| *v)
-            .collect();
-        if vals.is_empty() {
-            0.0
-        } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        }
-    };
     let w = warmup as f64;
     let p = phase as f64;
-    let shop1 = plateau(&ts, w + p * 0.3, w + p);
-    let browse = plateau(&ts, w + p * 1.3, w + 2.0 * p);
-    let shop2 = plateau(&ts, w + p * 2.3, w + 3.0 * p);
-    let frozen_ts = frozen.timeseries(30.0);
-    let frozen_browse = plateau(&frozen_ts, w + p * 1.3, w + 2.0 * p);
+    let shop1 = dynamic.plateau(30.0, w + p * 0.3, w + p);
+    let browse = dynamic.plateau(30.0, w + p * 1.3, w + 2.0 * p);
+    let shop2 = dynamic.plateau(30.0, w + p * 2.3, w + 3.0 * p);
+    let frozen_browse = frozen.plateau(30.0, w + p * 1.3, w + 2.0 * p);
 
     println!("\n  plateaus (ours):");
     println!(

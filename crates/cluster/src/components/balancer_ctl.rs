@@ -67,6 +67,16 @@ impl BalancerCtl {
         self.lb.freeze()
     }
 
+    /// Marks a replica dead: dispatch and MALB allocation route around it.
+    pub fn replica_failed(&mut self, replica: ReplicaId) {
+        self.lb.replica_failed(replica)
+    }
+
+    /// Marks a replica alive again after recovery; it rejoins dispatch.
+    pub fn replica_recovered(&mut self, replica: ReplicaId) {
+        self.lb.replica_recovered(replica)
+    }
+
     /// Runs one rebalance tick and schedules the next one; returns the
     /// update filters the reconfiguration wants installed, for the cluster
     /// state to apply to the affected nodes.

@@ -1,8 +1,8 @@
 //! The replicas' round-trip to the certifier.
 
 use tashkent_certifier::{
-    Certifier, CertifierParams, CertifyOutcome, CommittedWriteset, PropagationAction,
-    PropagationPolicy,
+    Certifier, CertifierGroup, CertifierParams, CertifyOutcome, CommittedWriteset, GroupEvent,
+    PropagationAction, PropagationPolicy,
 };
 use tashkent_engine::{TxnId, Version, Writeset};
 use tashkent_sim::{EventQueue, SimTime};
@@ -10,21 +10,29 @@ use tashkent_sim::{EventQueue, SimTime};
 use crate::components::ClusterNode;
 use crate::events::Ev;
 
-/// Wraps the [`Certifier`] together with the propagation policy and the
+/// Wraps the [`Certifier`] together with the propagation policy, the
+/// leader/backup [`CertifierGroup`] (§4.4 fault tolerance), and the
 /// per-replica contact bookkeeping it needs, handling both halves of the
 /// certification round-trip plus the periodic propagation pulls.
 pub struct CertifierLink {
     certifier: Certifier,
+    group: CertifierGroup,
+    /// Certification requests arriving before this instant wait for the
+    /// newly-elected leader (set by a leader kill's failover delay).
+    available_at: SimTime,
     propagation: PropagationPolicy,
     last_contact: Vec<SimTime>,
     lan_hop_us: u64,
 }
 
 impl CertifierLink {
-    /// Builds the link for `replicas` nodes, `lan_hop_us` away.
+    /// Builds the link for `replicas` nodes, `lan_hop_us` away, fronted by
+    /// the paper's leader-plus-two-backups certifier group.
     pub fn new(params: CertifierParams, replicas: usize, lan_hop_us: u64) -> Self {
         CertifierLink {
             certifier: Certifier::new(params),
+            group: CertifierGroup::paper_default(),
+            available_at: SimTime::ZERO,
             propagation: PropagationPolicy::default(),
             last_contact: vec![SimTime::ZERO; replicas],
             lan_hop_us,
@@ -34,6 +42,23 @@ impl CertifierLink {
     /// The wrapped certifier (tests and metrics).
     pub fn inner(&self) -> &Certifier {
         &self.certifier
+    }
+
+    /// The certifier group's membership and leadership (tests and metrics).
+    pub fn group(&self) -> &CertifierGroup {
+        &self.group
+    }
+
+    /// Kills group member `member`. A leader kill elects a backup and
+    /// delays certification responses until the new leader serves; the
+    /// log — and thus every commit — survives (it is replicated to the
+    /// backups).
+    pub fn on_kill(&mut self, now: SimTime, member: usize) -> Option<GroupEvent> {
+        let ev = self.group.kill(now, member);
+        if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
+            self.available_at = self.available_at.max(available_at);
+        }
+        ev
     }
 
     /// Head of the global commit order.
@@ -52,6 +77,21 @@ impl CertifierLink {
         ws: Writeset,
         queue: &mut EventQueue<Ev>,
     ) {
+        if !self.group.is_available() {
+            // Every member is dead: the service is gone, the request fails
+            // at the client like a conflict (it will retry, then give up).
+            queue.schedule(
+                now + self.lan_hop_us,
+                Ev::CertifyReturn {
+                    replica,
+                    txn,
+                    version: None,
+                },
+            );
+            return;
+        }
+        // A request landing in a failover gap waits for the new leader.
+        let now = now.max(self.available_at);
         match self.certifier.certify(now, ws) {
             CertifyOutcome::Committed {
                 version,
@@ -107,6 +147,21 @@ impl CertifierLink {
         let t = node.apply_writesets(now, &pending);
         node.commit_local(version);
         t
+    }
+
+    /// Recovery catch-up (§3 standard recovery): replays onto `node` every
+    /// writeset it missed from the certifier's persistent log, in commit
+    /// order, and returns when the replay work completes. The node's cold
+    /// cache pays the page reads back through its disk model.
+    pub fn catch_up(&mut self, now: SimTime, node: &mut ClusterNode) -> SimTime {
+        let pending = self.certifier.writesets_since(node.applied());
+        let done = if pending.is_empty() {
+            now
+        } else {
+            node.apply_writesets(now, pending)
+        };
+        self.last_contact[node.id()] = now;
+        done
     }
 
     /// Periodic propagation: pulls (or prods) pending writesets onto a

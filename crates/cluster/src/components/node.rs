@@ -12,6 +12,7 @@ pub struct ClusterNode {
     id: usize,
     node: ReplicaNode,
     lan_hop_us: u64,
+    up: bool,
 }
 
 impl ClusterNode {
@@ -22,12 +23,34 @@ impl ClusterNode {
             id,
             node,
             lan_hop_us,
+            up: true,
         }
     }
 
     /// Replica index within the cluster.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Whether the replica is serving (not crashed).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Crashes the replica: cold cache, in-flight work dropped, admission
+    /// queue drained. The cluster state sweeps its own transaction metadata
+    /// for orphans (the node's running set misses transactions awaiting
+    /// certification), so the dropped list is discarded here.
+    pub fn crash(&mut self) {
+        self.up = false;
+        self.node.crash();
+    }
+
+    /// Marks the replica up again. The durable prefix (its applied version)
+    /// survives the crash; the caller replays the certifier log from there
+    /// — the cache stays cold either way.
+    pub fn mark_recovered(&mut self) {
+        self.up = true;
     }
 
     /// The wrapped replica (tests and metrics).
@@ -78,6 +101,7 @@ impl ClusterNode {
         executor: TxnExecutor,
         queue: &mut EventQueue<Ev>,
     ) {
+        debug_assert!(self.up, "balancer dispatched to a crashed replica");
         if self.node.submit(executor) {
             queue.schedule(
                 now + 2 * self.lan_hop_us,
@@ -91,22 +115,30 @@ impl ClusterNode {
     }
 
     /// Advances a transaction by one quantum and schedules what follows:
-    /// another step, local completion, or the certifier round-trip.
+    /// another step, local completion, or the certifier round-trip. Stale
+    /// steps (transactions a crash dropped) schedule nothing.
     pub fn on_step(&mut self, now: SimTime, txn: TxnId, queue: &mut EventQueue<Ev>) {
-        let (at, ev) = self.step_child(now, txn);
-        queue.schedule(at, ev);
+        if let Some((at, ev)) = self.step_child(now, txn) {
+            queue.schedule(at, ev);
+        }
     }
 
     /// Advances a transaction by one quantum and returns the single
-    /// follow-up event instead of scheduling it.
+    /// follow-up event instead of scheduling it, or `None` for a *stale*
+    /// step — one whose transaction a crash dropped (its step event was
+    /// already queued when the replica went down).
     ///
     /// This is the queue-free core of [`ClusterNode::on_step`]: the parallel
     /// driver runs it on worker threads (each worker owns the node for the
     /// window) and merges the produced event streams back into the shared
-    /// queue deterministically.
-    pub fn step_child(&mut self, now: SimTime, txn: TxnId) -> (SimTime, Ev) {
+    /// queue deterministically. Returning `None` for stale steps keeps the
+    /// method total, so both drivers skip them identically.
+    pub fn step_child(&mut self, now: SimTime, txn: TxnId) -> Option<(SimTime, Ev)> {
+        if !self.node.is_running(txn) {
+            return None;
+        }
         let replica = self.id;
-        match self.node.step(txn, now) {
+        Some(match self.node.step(txn, now) {
             StepOutcome::Busy(t) => (t, Ev::StepTxn { replica, txn }),
             StepOutcome::Done(t) => (
                 t,
@@ -119,7 +151,7 @@ impl ClusterNode {
             StepOutcome::ReadyToCommit(t, ws) => {
                 (t + self.lan_hop_us, Ev::CertifySend { replica, txn, ws })
             }
-        }
+        })
     }
 
     /// Frees the Gatekeeper slot after a completion; a queued transaction

@@ -42,6 +42,18 @@
 //!   `t + lan_hop_us` (the certifier's answer applies remote writesets), so
 //!   the producing worker stops its replica at that time.
 //!
+//! Failure-injection events (`ReplicaCrash`, `ReplicaRecover`,
+//! `CertifierKill`) are window barriers for free: windows only ever pop
+//! `StepTxn` events, so a queued fault event bounds the window like any
+//! other non-step event — no window-generated event executes at or past its
+//! timestamp, and no batch event can follow it in FIFO order (the queue pops
+//! time-ordered, so every batch event was at or before the fault's instant
+//! and ahead of it in seniority). The one crash-specific wrinkle is *stale*
+//! steps: a crash drops a replica's in-flight transactions while their step
+//! events are still queued, so `step_child` is total — it returns `None` for
+//! a transaction that no longer exists, and both drivers skip such events
+//! identically (the shard transcript records them as `ChildOut::Stale`).
+//!
 //! Within one replica a worker executes events in the exact sequential
 //! order, so the replica's RNG draws, buffer-pool state, and CPU/disk
 //! queues evolve identically. The merge then reconstructs the global
@@ -173,6 +185,10 @@ enum ChildOut {
     Local(TxnId),
     /// An event handed back to the coordinator for the deterministic merge.
     Emit(Ev),
+    /// A stale step: its transaction was dropped by a crash before the
+    /// already-queued step event fired. The sequential driver schedules
+    /// nothing for it, so the merge emits nothing either.
+    Stale,
 }
 
 /// Transcript record for one processed window item, in processing order.
@@ -249,7 +265,16 @@ fn run_shard(mut job: Job) -> ShardResult {
             break;
         }
         agenda.pop();
-        let (child_at, child_ev) = job.node.step_child(key.at, TxnId(txn));
+        let Some((child_at, child_ev)) = job.node.step_child(key.at, TxnId(txn)) else {
+            // Stale step (transaction dropped by a crash): sequentially it
+            // schedules nothing, so it consumes no generation rank and
+            // raises no barrier.
+            steps.push(StepRec {
+                child_at: key.at,
+                child: ChildOut::Stale,
+            });
+            continue;
+        };
         let ckey = Key {
             at: child_at,
             rank: next_rank,
@@ -394,14 +419,22 @@ fn merge_window(
         let rec = steps[slot]
             .next()
             .expect("transcript shorter than replayed items");
-        let ckey = Key {
-            at: rec.child_at,
-            rank: next_rank,
-        };
-        next_rank += 1;
         match rec.child {
-            ChildOut::Local(ctxn) => heap.push(Reverse((ckey, replica, ctxn.0))),
-            ChildOut::Emit(ev) => queue.merge(rec.child_at, ev),
+            ChildOut::Local(ctxn) => {
+                let ckey = Key {
+                    at: rec.child_at,
+                    rank: next_rank,
+                };
+                next_rank += 1;
+                heap.push(Reverse((ckey, replica, ctxn.0)));
+            }
+            ChildOut::Emit(ev) => {
+                next_rank += 1;
+                queue.merge(rec.child_at, ev);
+            }
+            // A stale step scheduled nothing sequentially: no rank, no
+            // emission.
+            ChildOut::Stale => {}
         }
     }
     // Reverse order: `merge_front` makes each insert the most senior, so
@@ -709,6 +742,163 @@ mod tests {
             fingerprint(Box::new(SequentialDriver)),
             fingerprint(Box::new(pooled)),
         );
+    }
+
+    /// A 3-replica state + queue pair for merge-order tests.
+    fn tiny_state() -> (ClusterState, EventQueue<Ev>) {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let config = ClusterConfig {
+            replicas: 3,
+            clients: 3,
+            ..ClusterConfig::paper_default()
+        };
+        (
+            ClusterState::new(config, workload, vec![mix]),
+            EventQueue::new(),
+        )
+    }
+
+    /// Drains the queue into `(time, txn-or-marker)` pairs: `TxnComplete`
+    /// and `StepTxn` map to their transaction id, `LbTick` to `u64::MAX`.
+    fn drain(queue: &mut EventQueue<Ev>) -> Vec<(SimTime, u64)> {
+        std::iter::from_fn(|| queue.pop())
+            .map(|(at, ev)| match ev {
+                Ev::TxnComplete { txn, .. } | Ev::StepTxn { txn, .. } => (at, txn.0),
+                Ev::LbTick => (at, u64::MAX),
+                other => panic!("unexpected event in merge test: {other:?}"),
+            })
+            .collect()
+    }
+
+    fn emit_complete(replica: usize, txn: u64, at: SimTime) -> StepRec {
+        StepRec {
+            child_at: at,
+            child: ChildOut::Emit(Ev::TxnComplete {
+                replica,
+                txn: TxnId(txn),
+                committed: true,
+            }),
+        }
+    }
+
+    /// Regression for the `merge_window` same-microsecond tie corner: two
+    /// shards emitting at an *identical* timestamp must replay in batch pop
+    /// order, and both must stay junior to an event that was already queued
+    /// at that instant (the window stopper) — exactly the sequential
+    /// insertion order.
+    #[test]
+    fn same_instant_cross_shard_emissions_replay_in_pop_order() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(100);
+        // Sequential schedule order: step(0), step(1), then the stopper.
+        for (replica, txn) in [(0usize, 7000u64), (1, 7001)] {
+            queue.schedule(
+                t,
+                Ev::StepTxn {
+                    replica,
+                    txn: TxnId(txn),
+                },
+            );
+        }
+        queue.schedule(t, Ev::LbTick);
+        // The window pops both steps (they are senior to the stopper).
+        let batch = [(t, 0usize, TxnId(7000)), (t, 1usize, TxnId(7001))];
+        queue
+            .pop_if(|_, ev| matches!(ev, Ev::StepTxn { .. }))
+            .unwrap();
+        queue
+            .pop_if(|_, ev| matches!(ev, Ev::StepTxn { .. }))
+            .unwrap();
+        let results = vec![
+            ShardResult {
+                replica: 0,
+                node: state.take_node(0),
+                steps: vec![emit_complete(0, 7000, t)],
+                unprocessed_batch: Vec::new(),
+            },
+            ShardResult {
+                replica: 1,
+                node: state.take_node(1),
+                steps: vec![emit_complete(1, 7001, t)],
+                unprocessed_batch: Vec::new(),
+            },
+        ];
+        merge_window(&batch, results, &mut state, &mut queue);
+        // Sequentially: the stopper's seq predates both emissions.
+        assert_eq!(drain(&mut queue), vec![(t, u64::MAX), (t, 7000), (t, 7001)]);
+    }
+
+    /// Same-instant emissions from shards whose batch events *interleave*
+    /// (replica 0, replica 1, replica 0 again at one timestamp) must merge
+    /// in global batch-rank order, not per-shard order.
+    #[test]
+    fn same_instant_interleaved_shards_keep_global_rank_order() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(250);
+        let batch = [
+            (t, 0usize, TxnId(10)),
+            (t, 1usize, TxnId(11)),
+            (t, 0usize, TxnId(12)),
+        ];
+        let results = vec![
+            ShardResult {
+                replica: 0,
+                node: state.take_node(0),
+                steps: vec![emit_complete(0, 10, t), emit_complete(0, 12, t)],
+                unprocessed_batch: Vec::new(),
+            },
+            ShardResult {
+                replica: 1,
+                node: state.take_node(1),
+                steps: vec![emit_complete(1, 11, t)],
+                unprocessed_batch: Vec::new(),
+            },
+        ];
+        merge_window(&batch, results, &mut state, &mut queue);
+        assert_eq!(drain(&mut queue), vec![(t, 10), (t, 11), (t, 12)]);
+    }
+
+    /// Batch events a shard's barriers skipped must restore with their
+    /// original seniority even when they tie the stopper to the microsecond:
+    /// they pop before it, in their original order.
+    #[test]
+    fn same_instant_skipped_batch_events_restore_seniority() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(400);
+        queue.schedule(t, Ev::LbTick); // The stopper, queued behind the batch.
+        let batch = [(t, 0usize, TxnId(1)), (t, 0usize, TxnId(2))];
+        let results = vec![ShardResult {
+            replica: 0,
+            node: state.take_node(0),
+            steps: Vec::new(),
+            unprocessed_batch: vec![(0, TxnId(1)), (1, TxnId(2))],
+        }];
+        merge_window(&batch, results, &mut state, &mut queue);
+        assert_eq!(drain(&mut queue), vec![(t, 1), (t, 2), (t, u64::MAX)]);
+    }
+
+    /// Stale steps (crash-dropped transactions) consume their transcript
+    /// record without emitting anything; later emissions still land in
+    /// order.
+    #[test]
+    fn stale_steps_merge_to_nothing() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(50);
+        let batch = [(t, 0usize, TxnId(3)), (t, 0usize, TxnId(4))];
+        let results = vec![ShardResult {
+            replica: 0,
+            node: state.take_node(0),
+            steps: vec![
+                StepRec {
+                    child_at: t,
+                    child: ChildOut::Stale,
+                },
+                emit_complete(0, 4, t),
+            ],
+            unprocessed_batch: Vec::new(),
+        }];
+        merge_window(&batch, results, &mut state, &mut queue);
+        assert_eq!(drain(&mut queue), vec![(t, 4)]);
     }
 
     #[test]

@@ -15,11 +15,23 @@
 //! 4. `Maintenance` — per replica: background writes, propagation pulls
 //!    (500 ms), load-daemon samples (1 s);
 //! 5. `LbTick` — MALB rebalancing and (eventually) filter installation.
+//!
+//! Failure injection travels through the same queue: `ReplicaCrash` drops a
+//! replica's in-flight work and routes dispatch around it, `ReplicaRecover`
+//! replays the certifier log and rejoins dispatch with a cold cache, and
+//! `CertifierKill` kills a certifier-group member (a leader kill triggers
+//! the §4.4 backup election). Because they are ordinary events handled by
+//! [`crate::state::ClusterState::handle`], every driver observes identical
+//! failure timing; the parallel driver treats them — like every
+//! non-`StepTxn` event — as window barriers.
 
 use tashkent_engine::{TxnId, Version, Writeset};
 
 /// Events driving the simulation.
-#[derive(Debug)]
+///
+/// `Clone` exists so experiments can carry pre-built injection schedules
+/// (see `Experiment::injections`); events in flight are never cloned.
+#[derive(Debug, Clone)]
 pub enum Ev {
     /// A client submits its next transaction.
     ClientArrive {
@@ -76,6 +88,27 @@ pub enum Ev {
     },
     /// Freeze the balancer (static-configuration baseline).
     FreezeLb,
+    /// A replica fails: cold cache, in-flight work dropped, clients retry
+    /// elsewhere, the balancer routes around it. At least one replica must
+    /// stay alive for dispatch to have a target.
+    ReplicaCrash {
+        /// Replica index.
+        replica: usize,
+    },
+    /// A crashed replica rejoins: it replays the writesets it missed from
+    /// the certifier's persistent log (§3 standard recovery), then re-enters
+    /// dispatch with a cold cache.
+    ReplicaRecover {
+        /// Replica index.
+        replica: usize,
+    },
+    /// Kill a certifier-group member. Killing the leader elects a backup
+    /// after the failover delay; certification requests arriving in the gap
+    /// wait for the new leader (§4.4).
+    CertifierKill {
+        /// Group member index (the initial leader is member 0).
+        member: usize,
+    },
     /// End of warm-up: reset the measurement window.
     EndWarmup,
     /// End of run.

@@ -19,6 +19,8 @@ use crate::driver::{DriverKind, RunError};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
 
+pub use crate::failover::{Failover, FailoverSchedule};
+
 /// One experiment: a cluster configuration plus one or more workload-mix
 /// phases (multiple phases reproduce the Figure 6 mix switches).
 #[derive(Clone)]
@@ -35,6 +37,11 @@ pub struct Experiment {
     /// Freeze the balancer at this offset (static-configuration baseline),
     /// if set.
     pub freeze_at_secs: Option<u64>,
+    /// Fault injections (and any other extra events), scheduled verbatim at
+    /// absolute simulated times when the run starts. Ties with the phase /
+    /// warm-up / end events resolve in favour of the latter (injections are
+    /// scheduled last).
+    pub injections: Vec<(SimTime, Ev)>,
     /// Event-loop strategy. Every driver produces identical results; the
     /// parallel driver is faster for multi-replica runs on multi-core
     /// hosts.
@@ -51,6 +58,7 @@ impl Experiment {
             phases: vec![(270, mix)],
             warmup_secs: 90,
             freeze_at_secs: None,
+            injections: Vec::new(),
             driver: DriverKind::Sequential,
         }
     }
@@ -67,6 +75,13 @@ impl Experiment {
     /// Selects the event-loop driver.
     pub fn with_driver(mut self, driver: DriverKind) -> Self {
         self.driver = driver;
+        self
+    }
+
+    /// Appends a fault injection (or any extra event) at an absolute
+    /// simulated time.
+    pub fn with_injection(mut self, at: SimTime, ev: Ev) -> Self {
+        self.injections.push((at, ev));
         self
     }
 
@@ -101,6 +116,9 @@ pub fn run(exp: Experiment) -> Result<RunResult, RunError> {
     }
     world.schedule(SimTime::from_secs(exp.warmup_secs), Ev::EndWarmup);
     world.schedule(SimTime::from_secs(t), Ev::End);
+    for (at, ev) in exp.injections {
+        world.schedule(at, ev);
+    }
     world.run_to_end()?;
     Ok(world.finish_result())
 }
@@ -335,6 +353,7 @@ impl Scenario for DynamicReconfig {
             freeze_at_secs: self
                 .freeze
                 .then_some(knobs.warmup_secs + (phase / 2).max(1)),
+            injections: Vec::new(),
             driver: knobs.driver,
         }
     }
@@ -346,6 +365,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(TpcwSteadyState::default()),
         Box::new(RubisAuctionMix::default()),
         Box::new(DynamicReconfig::default()),
+        Box::new(Failover::default()),
     ]
 }
 
@@ -451,6 +471,7 @@ mod tests {
             phases: vec![(15, ordering), (15, browsing)],
             warmup_secs: 5,
             freeze_at_secs: None,
+            injections: Vec::new(),
             driver: DriverKind::Sequential,
         };
         assert_eq!(exp.total_secs(), 30);

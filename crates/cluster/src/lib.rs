@@ -34,6 +34,7 @@ pub mod config;
 pub mod driver;
 pub mod events;
 pub mod experiment;
+pub mod failover;
 pub mod metrics;
 pub mod state;
 pub mod world;
@@ -44,8 +45,9 @@ pub use driver::{Driver, DriverKind, ParallelDriver, RunError, SequentialDriver}
 pub use events::Ev;
 pub use experiment::{
     calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
-    Experiment, RubisAuctionMix, Scenario, ScenarioKnobs, TpcwSteadyState,
+    Experiment, Failover, FailoverSchedule, RubisAuctionMix, Scenario, ScenarioKnobs,
+    TpcwSteadyState,
 };
-pub use metrics::{GroupSnapshot, Metrics, RunResult};
+pub use metrics::{FaultEvent, FaultKind, GroupSnapshot, Metrics, RunResult};
 pub use state::ClusterState;
 pub use world::World;

@@ -13,6 +13,30 @@ pub struct GroupSnapshot {
     pub load: f64,
 }
 
+/// What failed (or healed) at a [`FaultEvent`]'s instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A replica crashed (index).
+    ReplicaCrash(usize),
+    /// A replica finished log-replay recovery and rejoined dispatch (index).
+    ReplicaRecover(usize),
+    /// The certifier group elected a new leader (index) after a kill.
+    CertifierFailover(usize),
+}
+
+/// One failure-injection event, as it actually took effect during the run.
+///
+/// The fault log is part of the run's observable result: cross-driver
+/// equivalence includes crash/recover timing, so a driver that reordered
+/// failure handling would be caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault took effect.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
 /// Live accounting during a run.
 #[derive(Debug, Clone)]
 pub struct Metrics {
@@ -30,6 +54,9 @@ pub struct Metrics {
     /// Disk byte counters at the start of the measurement window.
     read_bytes0: u64,
     write_bytes0: u64,
+    /// Injected faults as they took effect (whole run, not just the
+    /// measurement window).
+    faults: Vec<FaultEvent>,
 }
 
 impl Default for Metrics {
@@ -53,16 +80,30 @@ impl Metrics {
             per_type: Vec::new(),
             read_bytes0: 0,
             write_bytes0: 0,
+            faults: Vec::new(),
         }
     }
 
     /// Restarts the measurement window (end of warm-up): clears counters and
-    /// snapshots the cluster-wide disk byte counters.
+    /// snapshots the cluster-wide disk byte counters. The fault log spans
+    /// the whole run, so it survives the reset.
     pub fn start_window(&mut self, now: SimTime, read_bytes: u64, write_bytes: u64) {
+        let faults = std::mem::take(&mut self.faults);
         *self = Metrics::new();
+        self.faults = faults;
         self.window_start = now;
         self.read_bytes0 = read_bytes;
         self.write_bytes0 = write_bytes;
+    }
+
+    /// Records an injected fault as it takes effect.
+    pub fn record_fault(&mut self, at: SimTime, kind: FaultKind) {
+        self.faults.push(FaultEvent { at, kind });
+    }
+
+    /// Injected faults so far, in effect order.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
     }
 
     /// Records a committed (or read-only completed) transaction.
@@ -148,6 +189,7 @@ impl Metrics {
             cpu_util: 0.0,
             disk_util: 0.0,
             lb: LbSummary::default(),
+            faults: self.faults.clone(),
             per_type: self
                 .per_type
                 .iter()
@@ -195,6 +237,9 @@ pub struct RunResult {
     /// Load-balancer activity over the whole run (filled by
     /// `World::finish_result`).
     pub lb: LbSummary,
+    /// Injected faults as they took effect, in order, over the whole run
+    /// (crashes, recoveries, certifier failovers).
+    pub faults: Vec<FaultEvent>,
     /// Per-type `(count, mean response s, max response s)` indexed by type
     /// id (types never completed may be missing from the tail).
     pub per_type: Vec<(u64, f64, f64)>,
@@ -237,6 +282,24 @@ impl RunResult {
             .enumerate()
             .map(|(i, c)| (start + i as f64 * bucket_s, *c as f64 / bucket_s))
             .collect()
+    }
+
+    /// Mean throughput over the `bucket_s`-second buckets starting in
+    /// `[from_s, to_s)` — the plateau readings the failover/reconfiguration
+    /// figures and tests compare. Returns 0 when no bucket starts in the
+    /// window.
+    pub fn plateau(&self, bucket_s: f64, from_s: f64, to_s: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .timeseries(bucket_s)
+            .into_iter()
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .map(|(_, tps)| tps)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
     }
 
     /// Abort rate relative to commit attempts.
@@ -316,6 +379,23 @@ mod tests {
         assert_eq!(ts.len(), 2);
         assert!((ts[0].1 - 1.0).abs() < 1e-9, "first bucket {:?}", ts[0]);
         assert_eq!(ts[1].1, 0.0);
+    }
+
+    #[test]
+    fn plateau_averages_buckets_in_window() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 0, 0);
+        // 2 tps for 10 s, then 4 tps for 10 s.
+        for i in 0..20 {
+            m.record_completion(SimTime::from_millis(i * 500), SimTime::ZERO, false);
+        }
+        for i in 0..40 {
+            m.record_completion(SimTime::from_millis(10_000 + i * 250), SimTime::ZERO, false);
+        }
+        let r = m.finish(SimTime::from_secs(20), 0, 0, Vec::new());
+        assert!((r.plateau(5.0, 0.0, 10.0) - 2.0).abs() < 1e-9);
+        assert!((r.plateau(5.0, 10.0, 20.0) - 4.0).abs() < 1e-9);
+        assert_eq!(r.plateau(5.0, 50.0, 60.0), 0.0, "empty window is 0");
     }
 
     #[test]

@@ -37,6 +37,9 @@ struct TxnMeta {
     arrived: SimTime,
     retries: u32,
     is_update: bool,
+    /// Replica the transaction was dispatched to — a crash there orphans
+    /// the transaction and the client retries elsewhere.
+    replica: usize,
 }
 
 /// Components plus cross-cutting transaction/client/metrics state — the
@@ -220,6 +223,11 @@ impl ClusterState {
         self.certifier.inner()
     }
 
+    /// The certifier group's membership and leadership (tests and metrics).
+    pub fn certifier_group(&self) -> &tashkent_certifier::CertifierGroup {
+        self.certifier.group()
+    }
+
     /// Total CPU and disk busy microseconds across replicas.
     fn busy_totals(&self) -> (u64, u64) {
         let mut cpu = 0;
@@ -311,6 +319,16 @@ impl ClusterState {
             }
             Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
             Ev::FreezeLb => self.balancer.freeze(),
+            Ev::ReplicaCrash { replica } => self.on_replica_crash(now, replica, queue),
+            Ev::ReplicaRecover { replica } => self.on_replica_recover(now, replica),
+            Ev::CertifierKill { member } => {
+                if let Some(tashkent_certifier::GroupEvent::FailedOver { leader, .. }) =
+                    self.certifier.on_kill(now, member)
+                {
+                    self.metrics
+                        .record_fault(now, crate::metrics::FaultKind::CertifierFailover(leader));
+                }
+            }
             Ev::EndWarmup => self.on_end_warmup(now),
             Ev::End => self.ended = true,
         }
@@ -344,9 +362,88 @@ impl ClusterState {
                 arrived,
                 retries,
                 is_update,
+                replica,
             },
         );
         node.submit(now, txn, executor, queue);
+    }
+
+    /// Crashes a replica: cold cache, admission queue drained, every
+    /// in-flight transaction orphaned. Clients whose transactions were on
+    /// the replica observe the connection drop and immediately retry —
+    /// dispatched by the balancer, which now routes around the dead node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replica` is the last live replica: dispatch needs a
+    /// target, so a fault plan that kills the whole cluster is a mis-built
+    /// experiment — failing here beats garbage metrics later.
+    fn on_replica_crash(&mut self, now: SimTime, replica: usize, queue: &mut EventQueue<Ev>) {
+        if !self.node(replica).is_up() {
+            return;
+        }
+        let survivors = self
+            .present_nodes()
+            .filter(|n| n.is_up() && n.id() != replica)
+            .count();
+        assert!(
+            survivors > 0,
+            "cannot crash replica {replica}: it is the last live replica \
+             (at least one must stay up for dispatch)"
+        );
+        self.node_mut(replica).crash();
+        self.balancer.replica_failed(ReplicaId(replica));
+        self.metrics
+            .record_fault(now, crate::metrics::FaultKind::ReplicaCrash(replica));
+        // Orphan sweep, sorted for determinism (HashMap iteration is not).
+        // Events already queued for these transactions (steps, certifier
+        // responses, completions) become stale and are ignored on arrival.
+        let mut orphans: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, meta)| meta.replica == replica)
+            .map(|(txn, _)| *txn)
+            .collect();
+        orphans.sort_unstable();
+        for txn in orphans {
+            let meta = self.txns.remove(&txn).expect("orphan metadata");
+            self.balancer.complete(ReplicaId(replica));
+            if meta.retries < self.clients.max_retries {
+                self.submit_txn(
+                    now,
+                    meta.client,
+                    meta.txn_type,
+                    meta.arrived,
+                    meta.retries + 1,
+                    queue,
+                );
+            } else {
+                self.metrics.record_gave_up();
+                self.schedule_next_arrival(now, meta.client, queue);
+            }
+        }
+    }
+
+    /// Recovers a crashed replica: the durable prefix (its applied version)
+    /// survived, so §3 standard recovery replays only the writesets it
+    /// missed from the certifier's persistent log — paying cold-cache page
+    /// reads — then the replica rejoins dispatch.
+    fn on_replica_recover(&mut self, now: SimTime, replica: usize) {
+        let node = self.nodes[replica]
+            .as_mut()
+            .expect("node leased to a driver shard");
+        if node.is_up() {
+            return;
+        }
+        node.mark_recovered();
+        // The replay's CPU and disk work is charged through the node's
+        // queueing models at `now`, so transactions dispatched to the
+        // rejoining replica queue behind it — the completion time itself
+        // needs no separate event.
+        let _replay_done = self.certifier.catch_up(now, node);
+        self.balancer.replica_recovered(ReplicaId(replica));
+        self.metrics
+            .record_fault(now, crate::metrics::FaultKind::ReplicaRecover(replica));
     }
 
     fn on_client_arrive(&mut self, now: SimTime, client: usize, queue: &mut EventQueue<Ev>) {
@@ -366,6 +463,13 @@ impl ClusterState {
         version: Option<Version>,
         queue: &mut EventQueue<Ev>,
     ) {
+        if !self.txns.contains_key(&txn) {
+            // Orphaned by a crash on the origin replica: the client already
+            // retried elsewhere. A commit still exists in the certifier's
+            // log and reaches the replica through recovery replay or
+            // propagation, so the response is simply dropped.
+            return;
+        }
         let done_at = match version {
             Some(v) => {
                 let node = self.nodes[replica]
@@ -398,9 +502,13 @@ impl ClusterState {
         committed: bool,
         queue: &mut EventQueue<Ev>,
     ) {
+        let Some(meta) = self.txns.remove(&txn) else {
+            // Orphaned by a crash: the Gatekeeper slot and the balancer
+            // connection were both released in the orphan sweep.
+            return;
+        };
         self.node_mut(replica).on_finish(now, committed, queue);
         self.balancer.complete(ReplicaId(replica));
-        let meta = self.txns.remove(&txn).expect("transaction metadata");
         if committed {
             let response_at = now + 2 * self.config.lan_hop_us;
             self.metrics.record_completion_typed(
@@ -444,17 +552,21 @@ impl ClusterState {
         let node = self.nodes[replica]
             .as_mut()
             .expect("node leased to a driver shard");
-        node.on_maintenance(now);
-        self.certifier.maintenance_pull(now, node);
-        if round % 4 == 3 {
-            let report = node.sample_load(now);
-            self.balancer.report(
-                ReplicaId(replica),
-                ResourceLoad {
-                    cpu: report.cpu,
-                    disk: report.disk,
-                },
-            );
+        // A crashed replica does no maintenance, but the periodic chain
+        // keeps ticking so it resumes seamlessly after recovery.
+        if node.is_up() {
+            node.on_maintenance(now);
+            self.certifier.maintenance_pull(now, node);
+            if round % 4 == 3 {
+                let report = node.sample_load(now);
+                self.balancer.report(
+                    ReplicaId(replica),
+                    ResourceLoad {
+                        cpu: report.cpu,
+                        disk: report.disk,
+                    },
+                );
+            }
         }
         queue.schedule(
             now + 250_000,

@@ -119,6 +119,11 @@ impl World {
         self.state.certifier()
     }
 
+    /// The certifier group's membership and leadership (tests and metrics).
+    pub fn certifier_group(&self) -> &tashkent_certifier::CertifierGroup {
+        self.state.certifier_group()
+    }
+
     /// Finalizes the run into a [`RunResult`], including mean CPU/disk
     /// utilizations over the measurement window.
     pub fn finish_result(&self) -> RunResult {

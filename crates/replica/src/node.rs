@@ -198,6 +198,13 @@ impl ReplicaNode {
         self.filter = filter;
     }
 
+    /// Whether `txn` is executing (or queued) on this replica. A crash
+    /// drops all running transactions, so step events scheduled before the
+    /// crash may refer to transactions that no longer exist.
+    pub fn is_running(&self, txn: TxnId) -> bool {
+        self.running.contains_key(&txn)
+    }
+
     /// Submits a transaction; returns `true` when admitted (step it now) or
     /// `false` when queued behind the Gatekeeper.
     pub fn submit(&mut self, executor: TxnExecutor) -> bool {

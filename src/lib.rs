@@ -85,8 +85,9 @@ pub use tashkent_cluster as cluster;
 /// Commonly used types, re-exported flat.
 pub mod prelude {
     pub use tashkent_cluster::{
-        calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, DriverKind,
-        Experiment, PolicySpec, RunError, RunResult, Scenario, ScenarioKnobs,
+        calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, DriverKind, Ev,
+        Experiment, Failover, FailoverSchedule, FaultEvent, FaultKind, PolicySpec, RunError,
+        RunResult, Scenario, ScenarioKnobs, World,
     };
     pub use tashkent_core::{EstimationMode, LoadBalancer, MalbConfig, WorkingSetEstimator};
     pub use tashkent_engine::{TxnTypeId, Version};

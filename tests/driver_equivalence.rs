@@ -7,7 +7,9 @@
 //! divergence is a bug in the lookahead window or the deterministic merge,
 //! never an acceptable approximation.
 
-use tashkent::cluster::{run_scenario, DriverKind, PolicySpec, RunResult, ScenarioKnobs};
+use tashkent::cluster::{
+    run_scenario, DriverKind, Failover, FaultEvent, PolicySpec, RunResult, Scenario, ScenarioKnobs,
+};
 
 /// The fields a run is judged by, exact to the bit.
 #[derive(Debug, PartialEq)]
@@ -20,6 +22,8 @@ struct Fingerprint {
     write_kb_per_txn: u64,
     mean_response_us: u64,
     completions: usize,
+    /// Crash/recover/failover events with their exact effect times.
+    faults: Vec<FaultEvent>,
 }
 
 impl Fingerprint {
@@ -35,6 +39,7 @@ impl Fingerprint {
             write_kb_per_txn: r.write_kb_per_txn.to_bits(),
             mean_response_us: (r.mean_response_s * 1e6).round() as u64,
             completions: r.completions.len(),
+            faults: r.faults.clone(),
         }
     }
 }
@@ -97,6 +102,86 @@ fn wider_cluster_runs_identically_under_both_drivers() {
         ..ScenarioKnobs::smoke()
     };
     assert_drivers_agree("tpcw-steady-state", knobs);
+}
+
+#[test]
+fn failover_runs_identically_under_both_drivers_across_seeds_and_threads() {
+    // The failure path is the trickiest window territory: crash events
+    // orphan queued steps (which must merge to nothing), recovery replays
+    // the certifier log between windows, and the fault log's timing is part
+    // of the fingerprint. 3+ seeds, and every parallel width against the
+    // same sequential reference.
+    for seed in [5, 21, 42] {
+        let knobs = ScenarioKnobs::smoke().with_seed(seed);
+        let sequential = run_scenario(
+            "failover",
+            &knobs.clone().with_driver(DriverKind::Sequential),
+        )
+        .expect("sequential failover run completes");
+        assert!(
+            !sequential.faults.is_empty(),
+            "failover scenario must inject faults"
+        );
+        for threads in [2, 4, 8] {
+            let parallel = run_scenario(
+                "failover",
+                &knobs.clone().with_driver(DriverKind::Parallel { threads }),
+            )
+            .expect("parallel failover run completes");
+            assert_eq!(
+                Fingerprint::of(&sequential),
+                Fingerprint::of(&parallel),
+                "drivers diverged on failover with seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                sequential.completions, parallel.completions,
+                "completion timestamps diverged on failover with seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_victim_failover_on_a_wider_cluster_runs_identically() {
+    // More replicas → multi-shard windows straddle the crash/recover
+    // barriers; crash half the cluster at once so several shards carry
+    // stale steps into the same windows (the registered scenario's default
+    // crashes only one replica, which can't cover the multi-shard stale
+    // merge).
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 4,
+        ..ScenarioKnobs::smoke()
+    };
+    let scenario = Failover {
+        crashes: 2,
+        ..Failover::default()
+    };
+    let sequential = scenario
+        .run(&knobs.clone().with_driver(DriverKind::Sequential))
+        .expect("sequential multi-victim run completes");
+    assert_eq!(
+        sequential
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, tashkent::cluster::FaultKind::ReplicaCrash(_)))
+            .count(),
+        2,
+        "both victims must actually crash"
+    );
+    let parallel = scenario
+        .run(
+            &knobs
+                .clone()
+                .with_driver(DriverKind::Parallel { threads: 2 }),
+        )
+        .expect("parallel multi-victim run completes");
+    assert_eq!(
+        Fingerprint::of(&sequential),
+        Fingerprint::of(&parallel),
+        "drivers diverged on the multi-victim failover run"
+    );
+    assert_eq!(sequential.completions, parallel.completions);
 }
 
 #[test]

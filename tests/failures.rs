@@ -1,7 +1,10 @@
 //! Failure-injection integration tests: replica crash/recovery, certifier
-//! failover, and balancer soft state (§3 recovery, §4.2.1 fault tolerance).
+//! failover, and balancer soft state (§3 recovery, §4.2.1 fault tolerance)
+//! — both at the component level and end-to-end through the `failover`
+//! scenario in the shared harness.
 
 use tashkent::certifier::{Certifier, CertifierGroup, CertifyOutcome, GroupEvent};
+use tashkent::cluster::{Ev, Failover, FaultKind, Scenario, ScenarioKnobs, World};
 use tashkent::core::LoadBalancer;
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent::replica::{ReplicaConfig, ReplicaNode};
@@ -110,6 +113,119 @@ fn balancer_soft_state_is_reconstructible() {
     for r in 0..4 {
         assert_eq!(choices.iter().filter(|c| **c == r).count(), 2);
     }
+}
+
+/// Knobs sized so the `failover` scenario has real plateaus on both sides
+/// of the outage: enough warm-up for steady state, enough post-recovery
+/// tail to measure.
+fn failover_knobs() -> ScenarioKnobs {
+    ScenarioKnobs {
+        replicas: 3,
+        clients_per_replica: 4,
+        warmup_secs: 15,
+        measured_secs: 80,
+        ..ScenarioKnobs::smoke()
+    }
+}
+
+#[test]
+fn failover_scenario_recovers_throughput() {
+    // Crash at warmup + measured/4 = 35 s, recover at 45 s, leader kill at
+    // 65 s. Post-recovery throughput must return to within 10 % of the
+    // pre-crash steady state — the scenario's headline assertion.
+    let knobs = failover_knobs();
+    let sched = Failover::schedule(&knobs);
+    let r = Failover::default()
+        .run(&knobs)
+        .expect("failover scenario runs to its End event");
+
+    let pre = r.plateau(5.0, knobs.warmup_secs as f64, sched.crash_at_secs as f64);
+    // Leave one settle bucket after recovery before measuring.
+    let post = r.plateau(
+        5.0,
+        sched.recover_at_secs as f64 + 5.0,
+        (knobs.warmup_secs + knobs.measured_secs) as f64,
+    );
+    assert!(pre > 1.0, "pre-crash steady state too idle: {pre} tps");
+    assert!(
+        post >= 0.9 * pre,
+        "post-recovery throughput {post:.1} tps did not return to within \
+         10% of the pre-crash steady state {pre:.1} tps"
+    );
+
+    // The fault log carries the exact schedule.
+    let kinds: Vec<FaultKind> = r.faults.iter().map(|f| f.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FaultKind::ReplicaCrash(2),
+            FaultKind::ReplicaRecover(2),
+            FaultKind::CertifierFailover(1),
+        ]
+    );
+    assert_eq!(r.faults[0].at, SimTime::from_secs(sched.crash_at_secs));
+    assert_eq!(r.faults[1].at, SimTime::from_secs(sched.recover_at_secs));
+}
+
+#[test]
+fn crashed_replica_rejoins_consistent_through_the_harness() {
+    // Drive the crash/recover pair through World directly and stop right
+    // at the recovery instant: the victim must have replayed the certifier
+    // log exactly to its head, with a cold cache doing real reads.
+    let exp = Failover::default().experiment(&failover_knobs());
+    let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
+    world.prime();
+    world.schedule(SimTime::from_secs(4), Ev::ReplicaCrash { replica: 2 });
+    world.schedule(SimTime::from_secs(9), Ev::ReplicaRecover { replica: 2 });
+    world.schedule(SimTime::from_secs(9), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    assert!(world.node(2).is_up());
+    assert_eq!(
+        world.replica(2).applied(),
+        world.certifier().version(),
+        "recovery replays the certifier log to its head"
+    );
+    assert!(
+        world.certifier().version().0 > 0,
+        "the outage window must have committed updates to replay"
+    );
+}
+
+#[test]
+fn certifier_leader_kill_through_the_harness_fails_over() {
+    let exp = Failover::default().experiment(&failover_knobs());
+    let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
+    world.prime();
+    world.schedule(SimTime::from_secs(3), Ev::CertifierKill { member: 0 });
+    world.schedule(SimTime::from_secs(10), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    let group = world.certifier_group();
+    assert_eq!(group.leader(), Some(1), "backup elected");
+    assert_eq!(group.failovers(), 1);
+    assert!(
+        world.certifier().version().0 > 0,
+        "certification keeps serving after the failover delay"
+    );
+}
+
+#[test]
+fn crash_and_recover_are_idempotent_through_the_harness() {
+    // Double crash and double recover must be no-ops: only one fault pair
+    // lands in the log, and the run still completes.
+    let exp = Failover::default().experiment(&failover_knobs());
+    let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
+    world.prime();
+    world.schedule(SimTime::from_secs(3), Ev::ReplicaCrash { replica: 1 });
+    world.schedule(SimTime::from_secs(4), Ev::ReplicaCrash { replica: 1 });
+    world.schedule(SimTime::from_secs(6), Ev::ReplicaRecover { replica: 1 });
+    world.schedule(SimTime::from_secs(7), Ev::ReplicaRecover { replica: 1 });
+    world.schedule(SimTime::from_secs(10), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    let kinds: Vec<FaultKind> = world.metrics().faults().iter().map(|f| f.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![FaultKind::ReplicaCrash(1), FaultKind::ReplicaRecover(1)]
+    );
 }
 
 #[test]

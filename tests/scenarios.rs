@@ -20,8 +20,8 @@ fn every_registered_scenario_runs_at_smoke_scale() {
     let knobs = ScenarioKnobs::smoke();
     let scenarios = registry();
     assert!(
-        scenarios.len() >= 3,
-        "registry must hold the three paper scenarios"
+        scenarios.len() >= 4,
+        "registry must hold the three paper scenarios plus failover"
     );
     for s in &scenarios {
         let r = s.run(&knobs).expect("scenario runs to its End event");
@@ -37,8 +37,13 @@ fn every_registered_scenario_runs_at_smoke_scale() {
 }
 
 #[test]
-fn registry_covers_the_three_paper_scenarios() {
-    for name in ["tpcw-steady-state", "rubis-auction", "dynamic-reconfig"] {
+fn registry_covers_the_built_in_scenarios() {
+    for name in [
+        "tpcw-steady-state",
+        "rubis-auction",
+        "dynamic-reconfig",
+        "failover",
+    ] {
         let s = scenario(name).unwrap_or_else(|| panic!("{name} missing from registry"));
         assert_eq!(s.name(), name);
         assert!(!s.summary().is_empty());
@@ -49,7 +54,12 @@ fn registry_covers_the_three_paper_scenarios() {
 fn same_seed_same_metrics_summary() {
     // The deterministic-seed smoke test: two runs of the same scenario with
     // the same knobs must produce identical Metrics summaries.
-    for name in ["tpcw-steady-state", "rubis-auction", "dynamic-reconfig"] {
+    for name in [
+        "tpcw-steady-state",
+        "rubis-auction",
+        "dynamic-reconfig",
+        "failover",
+    ] {
         let knobs = ScenarioKnobs::smoke().with_seed(1234);
         let a = run_scenario(name, &knobs).expect("scenario runs to its End event");
         let b = run_scenario(name, &knobs).expect("scenario runs to its End event");
