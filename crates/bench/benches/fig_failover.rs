@@ -44,6 +44,9 @@ fn main() {
             FaultKind::ReplicaCrash(r) => format!("replica {r} crashed"),
             FaultKind::ReplicaRecover(r) => format!("replica {r} recovered (log replayed)"),
             FaultKind::CertifierFailover(l) => format!("certifier failed over to member {l}"),
+            FaultKind::Rereplicate { group, to } => {
+                format!("relation group {group} re-replicated onto replica {to}")
+            }
         };
         println!("  {:>6.0}s {label}", f.at.as_secs_f64());
     }

@@ -52,6 +52,13 @@ impl BalancerCtl {
         self.lb.dispatch(txn_type)
     }
 
+    /// Installs (or clears) partial-replication eligibility masks: dispatch
+    /// then routes each transaction type only to replicas holding its whole
+    /// relation group, and MALB allocation weighs only resident replicas.
+    pub fn set_type_eligibility(&mut self, masks: Option<Vec<Vec<bool>>>) {
+        self.lb.set_type_eligibility(masks)
+    }
+
     /// Notes a completion on `replica` (connection counting).
     pub fn complete(&mut self, replica: ReplicaId) {
         self.lb.complete(replica)

@@ -1,19 +1,29 @@
 //! The replicas' round-trip to the certifier.
 
+use std::collections::BTreeSet;
+
 use tashkent_certifier::{
     Certifier, CertifierGroup, CertifierParams, CertifyOutcome, CommittedWriteset, GroupEvent,
     PropagationAction, PropagationPolicy,
 };
-use tashkent_engine::{TxnId, Version, Writeset};
+use tashkent_engine::{TxnId, Version, Writeset, WS_HEADER_BYTES, WS_ITEM_BYTES};
 use tashkent_sim::{EventQueue, SimTime};
+use tashkent_storage::RelationId;
 
 use crate::components::ClusterNode;
 use crate::events::Ev;
+use crate::placement::{PlacementMap, WS_TICK_BYTES};
 
 /// Wraps the [`Certifier`] together with the propagation policy, the
 /// leader/backup [`CertifierGroup`] (§4.4 fault tolerance), and the
 /// per-replica contact bookkeeping it needs, handling both halves of the
 /// certification round-trip plus the periodic propagation pulls.
+///
+/// Under partial replication the link is also the traffic gate: a committed
+/// writeset's pages ship only to its holders; a non-holder receives a bare
+/// version tick. The `sent`/`saved` byte counters measure exactly that
+/// split (the node-side [`tashkent_replica::UpdateFilter`] then skips the
+/// withheld items at zero cost, so behaviour and accounting agree).
 pub struct CertifierLink {
     certifier: Certifier,
     group: CertifierGroup,
@@ -23,6 +33,12 @@ pub struct CertifierLink {
     propagation: PropagationPolicy,
     last_contact: Vec<SimTime>,
     lan_hop_us: u64,
+    /// Writeset bytes actually shipped to replicas (holder items, headers,
+    /// version ticks, backfill traffic).
+    sent_bytes: u64,
+    /// Writeset bytes withheld from non-holders — traffic saved vs full
+    /// replication.
+    saved_bytes: u64,
 }
 
 impl CertifierLink {
@@ -36,7 +52,29 @@ impl CertifierLink {
             propagation: PropagationPolicy::default(),
             last_contact: vec![SimTime::ZERO; replicas],
             lan_hop_us,
+            sent_bytes: 0,
+            saved_bytes: 0,
         }
+    }
+
+    /// Cumulative propagation traffic `(shipped, saved)` in bytes: what was
+    /// actually sent to replicas, and what partial replication withheld
+    /// from non-holders. Saved is zero under full replication.
+    pub fn propagation_bytes(&self) -> (u64, u64) {
+        (self.sent_bytes, self.saved_bytes)
+    }
+
+    /// Accounts the delivery of `pending` writesets to `replica`, adding to
+    /// the shipped/saved counters (see [`delivery_bytes`]).
+    fn account_delivery(
+        &mut self,
+        replica: usize,
+        pending: &[CommittedWriteset],
+        placement: Option<&PlacementMap>,
+    ) {
+        let (sent, saved) = delivery_bytes(replica, pending, placement);
+        self.sent_bytes += sent;
+        self.saved_bytes += saved;
     }
 
     /// The wrapped certifier (tests and metrics).
@@ -133,6 +171,7 @@ impl CertifierLink {
         now: SimTime,
         node: &mut ClusterNode,
         version: Version,
+        placement: Option<&PlacementMap>,
     ) -> SimTime {
         if node.applied() >= version {
             return now;
@@ -144,6 +183,7 @@ impl CertifierLink {
             .filter(|cw| cw.version < version)
             .cloned()
             .collect();
+        self.account_delivery(node.id(), &pending, placement);
         let t = node.apply_writesets(now, &pending);
         node.commit_local(version);
         t
@@ -152,21 +192,66 @@ impl CertifierLink {
     /// Recovery catch-up (§3 standard recovery): replays onto `node` every
     /// writeset it missed from the certifier's persistent log, in commit
     /// order, and returns when the replay work completes. The node's cold
-    /// cache pays the page reads back through its disk model.
-    pub fn catch_up(&mut self, now: SimTime, node: &mut ClusterNode) -> SimTime {
+    /// cache pays the page reads back through its disk model. Under partial
+    /// replication only held groups travel as pages — the rest of the log
+    /// reaches the node as version ticks its filter skips for free.
+    pub fn catch_up(
+        &mut self,
+        now: SimTime,
+        node: &mut ClusterNode,
+        placement: Option<&PlacementMap>,
+    ) -> SimTime {
         let pending = self.certifier.writesets_since(node.applied());
         let done = if pending.is_empty() {
             now
         } else {
-            node.apply_writesets(now, pending)
+            let (sent, saved) = delivery_bytes(node.id(), pending, placement);
+            let done = node.apply_writesets(now, pending);
+            self.sent_bytes += sent;
+            self.saved_bytes += saved;
+            done
         };
+        self.last_contact[node.id()] = now;
+        done
+    }
+
+    /// Re-replication backfill (partial replication): ships the log's items
+    /// for `rels` — versions up to the node's applied version; later ones
+    /// arrive through normal propagation once its filter widens — and
+    /// re-applies them so the node's pages for those relations are current.
+    /// Returns when the backfill work completes.
+    pub fn backfill(
+        &mut self,
+        now: SimTime,
+        node: &mut ClusterNode,
+        rels: &BTreeSet<RelationId>,
+    ) -> SimTime {
+        let upto =
+            (node.applied().0 as usize).min(self.certifier.writesets_since(Version(0)).len());
+        let before = node.replica().stats();
+        let done = node.backfill_writesets(
+            now,
+            &self.certifier.writesets_since(Version(0))[..upto],
+            rels,
+        );
+        // The node's backfill counters are the single source of truth for
+        // what was actually re-applied; the shipped bytes derive from them.
+        let after = node.replica().stats();
+        let shipped_ws = after.writesets_backfilled - before.writesets_backfilled;
+        let shipped_items = after.items_backfilled - before.items_backfilled;
+        self.sent_bytes += shipped_ws * WS_HEADER_BYTES + shipped_items * WS_ITEM_BYTES;
         self.last_contact[node.id()] = now;
         done
     }
 
     /// Periodic propagation: pulls (or prods) pending writesets onto a
     /// replica per the paper's 500 ms / 25-commit rules.
-    pub fn maintenance_pull(&mut self, now: SimTime, node: &mut ClusterNode) {
+    pub fn maintenance_pull(
+        &mut self,
+        now: SimTime,
+        node: &mut ClusterNode,
+        placement: Option<&PlacementMap>,
+    ) {
         let action = self.propagation.decide(
             now,
             self.last_contact[node.id()],
@@ -174,12 +259,47 @@ impl CertifierLink {
             self.certifier.version(),
         );
         if action != PropagationAction::None {
-            let pending: Vec<CommittedWriteset> =
-                self.certifier.writesets_since(node.applied()).to_vec();
+            let pending = self.certifier.writesets_since(node.applied());
             if !pending.is_empty() {
-                node.apply_writesets(now, &pending);
+                let (sent, saved) = delivery_bytes(node.id(), pending, placement);
+                node.apply_writesets(now, pending);
+                self.sent_bytes += sent;
+                self.saved_bytes += saved;
                 self.last_contact[node.id()] = now;
             }
         }
     }
+}
+
+/// The bytes delivering `pending` writesets to `replica` puts on the wire
+/// `(shipped, saved)`: a replica holding at least one of a writeset's
+/// relations receives the held items (header + per-item bytes); one holding
+/// none of them receives only a version tick. Under full replication
+/// (`placement` absent) everything ships and nothing is saved.
+fn delivery_bytes(
+    replica: usize,
+    pending: &[CommittedWriteset],
+    placement: Option<&PlacementMap>,
+) -> (u64, u64) {
+    let (mut sent, mut saved) = (0u64, 0u64);
+    for cw in pending {
+        let total = cw.writeset.items.len() as u64;
+        let held = match placement {
+            None => total,
+            Some(p) => cw
+                .writeset
+                .items
+                .iter()
+                .filter(|i| p.holds(replica, i.rel))
+                .count() as u64,
+        };
+        if total > 0 && held == 0 {
+            sent += WS_TICK_BYTES;
+            saved += cw.writeset.bytes() - WS_TICK_BYTES;
+        } else {
+            sent += WS_HEADER_BYTES + held * WS_ITEM_BYTES;
+            saved += (total - held) * WS_ITEM_BYTES;
+        }
+    }
+    (sent, saved)
 }

@@ -87,6 +87,18 @@ impl ClusterNode {
         self.node.commit_local(version)
     }
 
+    /// Re-replication backfill (partial replication): re-applies the log
+    /// items touching `rels` so this replica can join their holder set;
+    /// returns the completion time.
+    pub fn backfill_writesets(
+        &mut self,
+        now: SimTime,
+        writesets: &[tashkent_certifier::CommittedWriteset],
+        rels: &std::collections::BTreeSet<tashkent_storage::RelationId>,
+    ) -> SimTime {
+        self.node.backfill_writesets(now, writesets, rels)
+    }
+
     /// Installs an update filter (from the balancer's reconfiguration).
     pub fn set_filter(&mut self, filter: UpdateFilter) {
         self.node.set_filter(filter)

@@ -6,6 +6,35 @@ use tashkent_replica::ReplicaConfig;
 use tashkent_sim::SimTime;
 use tashkent_storage::{DiskParams, WriterConfig, PAGE_SIZE};
 
+/// How the database is placed across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementSpec {
+    /// Every replica stores the full database (the paper's deployment).
+    #[default]
+    Full,
+    /// Partial replication (Sutra & Shapiro 2008 direction): each relation
+    /// group lives on a holder subset of `min_copies` replicas; dispatch
+    /// routes transactions only to holders and the certifier propagates
+    /// writeset pages only to holders (non-holders get a version tick).
+    /// `min_copies >= replicas` degenerates to full replication and
+    /// reproduces `Full` results bit for bit.
+    Partial {
+        /// Minimum up-to-date copies per relation group (clamped to
+        /// `[1, replicas]`).
+        min_copies: usize,
+    },
+}
+
+impl PlacementSpec {
+    /// Label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            PlacementSpec::Full => "full".into(),
+            PlacementSpec::Partial { min_copies } => format!("partial(min_copies={min_copies})"),
+        }
+    }
+}
+
 /// Which load-balancing policy the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicySpec {
@@ -100,8 +129,19 @@ pub struct ClusterConfig {
     pub rebalance_period: SimTime,
     /// Rounds of allocation stability before filters install.
     pub stable_rounds_for_filter: u32,
-    /// Minimum up-to-date copies per transaction group under filtering.
+    /// Minimum up-to-date copies per transaction group for §3 *update
+    /// filtering*'s standby lists (a MALB knob; every replica still stores
+    /// the full database). Distinct from — and unrelated to — the
+    /// `min_copies` inside [`PlacementSpec::Partial`], which governs the
+    /// partial-replication durability constraint; under non-degenerate
+    /// partial placement the placement filter is authoritative and this
+    /// knob's filter lists are not installed.
     pub min_copies: usize,
+    /// Database placement: full replication, or partial replication with a
+    /// per-relation-group `min_copies` durability constraint (see
+    /// [`PlacementSpec::Partial`]; not the update-filtering `min_copies`
+    /// field above).
+    pub placement: PlacementSpec,
     /// Overrides the allocator's merge threshold (e.g. `Some(0.0)` disables
     /// group merging — the §5.3 ablation).
     pub merge_threshold_override: Option<f64>,
@@ -129,6 +169,7 @@ impl ClusterConfig {
             rebalance_period: SimTime::from_secs(5),
             stable_rounds_for_filter: 10,
             min_copies: 2,
+            placement: PlacementSpec::Full,
             merge_threshold_override: None,
             seed: 42,
         }

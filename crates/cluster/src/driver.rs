@@ -13,12 +13,11 @@
 //!   Runs of consecutive node-local `StepTxn` events are popped as a
 //!   *lookahead window* and sharded by replica across `std::thread` workers
 //!   over `mpsc` channels; each worker advances its replica's transactions
-//!   independently, and the per-shard event streams are then merged back
-//!   into the queue in exactly the order the sequential driver would have
-//!   produced. Results are identical to [`SequentialDriver`] in every
-//!   configuration the cross-driver equivalence suite exercises; the one
-//!   theoretical same-microsecond tie corner the reconstruction does not
-//!   cover is documented on `merge_window`. Only wall-clock time differs.
+//!   independently, and the per-shard transcripts are then replayed back in
+//!   exactly the sequential pop order — including same-microsecond FIFO
+//!   ties, which `merge_window` reconstructs via generation stamps.
+//!   Results are identical to [`SequentialDriver`] for every seed and
+//!   configuration; only wall-clock time differs.
 //!
 //! # Why `StepTxn` windows are safe
 //!
@@ -56,12 +55,14 @@
 //!
 //! Within one replica a worker executes events in the exact sequential
 //! order, so the replica's RNG draws, buffer-pool state, and CPU/disk
-//! queues evolve identically. The merge then reconstructs the global
-//! insertion order of everything the window produced (see `merge_window`):
-//! emissions re-enter the queue at their generation position and skipped
-//! batch events are restored with their original seniority, preserving the
-//! queue's FIFO tie-breaking. See `merge_window` for the one conservative
-//! corner in the reconstruction.
+//! queues evolve identically. The merge then replays everything the window
+//! produced in the exact sequential pop order (see `merge_window`):
+//! emissions junior to the window stopper re-enter the queue at their
+//! generation position, while everything senior to it — skipped batch
+//! events and pre-stopper emissions — is *executed inline* at its precise
+//! slot, interleaved with any events that execution schedules, so even
+//! same-microsecond FIFO ties resolve exactly as sequential insertion
+//! would.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -83,10 +84,9 @@ pub enum DriverKind {
     #[default]
     Sequential,
     /// The windowed multi-threaded driver. Produces results identical to
-    /// the sequential reference (enforced by the cross-driver equivalence
-    /// tests; see [`crate::driver`] docs for the one theoretical tie
-    /// corner); faster on multi-core hosts for multi-replica
-    /// configurations.
+    /// the sequential reference — same-microsecond FIFO ties included
+    /// (enforced by the cross-driver equivalence tests); faster on
+    /// multi-core hosts for multi-replica configurations.
     Parallel {
         /// Worker thread count; `0` picks the host's available parallelism.
         threads: usize,
@@ -337,30 +337,86 @@ fn run_shard(mut job: Job) -> ShardResult {
     }
 }
 
-/// Replays per-shard transcripts into the global sequential insertion
-/// order.
+/// What a replay entry does when its turn in the sequential order comes.
+enum Replay {
+    /// A window item (batch event or in-window generated child): consume
+    /// its shard's next transcript record — or, when the shard's barriers
+    /// skipped it (batch events only), execute it inline.
+    Item(TxnId),
+    /// An emission senior to the window stopper: handle it inline at its
+    /// exact sequential pop position.
+    Handle(Ev),
+}
+
+/// One pending element of the window replay.
+///
+/// `key` orders entries exactly as the sequential pop would (timestamp,
+/// then generation rank). `stamp` is the queue's sequence counter at the
+/// entry's *generation* instant — where sequential execution would have
+/// inserted it — so a same-instant tie against an event scheduled during
+/// the replay resolves exactly as the sequential FIFO would: the entry is
+/// senior to every event scheduled at or after its stamp.
+struct ReplayEntry {
+    key: Key,
+    stamp: i64,
+    replica: usize,
+    action: Replay,
+}
+
+impl PartialEq for ReplayEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for ReplayEntry {}
+
+impl PartialOrd for ReplayEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReplayEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key) // Ranks are unique, so keys are total.
+    }
+}
+
+/// Replays per-shard transcripts in the exact global sequential order.
 ///
 /// The sequential driver would have interleaved the window's events across
 /// replicas by `(timestamp, queue sequence)`; sequence numbers are assigned
-/// at insertion, so reproducing the *insertion order* reproduces every
-/// later tie-break. The merge walks a heap of window items keyed like the
-/// sequential pop order, consumes each replica's transcript in step, and
-/// assigns generated events their global generation rank — re-inserting
-/// every emission at its generation position, so window-produced events
-/// carry the same relative order sequential insertion would have given
-/// them, and restoring barrier-skipped batch events with their original
-/// seniority.
+/// at insertion. The replay walks a heap of window entries keyed like the
+/// sequential pop order and consumes each replica's transcript in step.
+/// Everything the stopper — the first event still queued behind the window
+/// — is junior to goes back to the queue: emissions at or past its
+/// timestamp re-enter via [`EventQueue::merge`] at their generation
+/// position (every window item pops sequentially *before* the stopper, so
+/// their insertions all precede any post-stopper processing — the relative
+/// order is exact). Everything *senior* to the stopper is executed inline
+/// right here, at its precise slot in the sequential order:
 ///
-/// One corner is conservative rather than reconstructed: an emitted shared
-/// event (a completion or certification) is *processed* by the driver loop
-/// after the merge, so events **it** schedules receive later sequence
-/// numbers than all window emissions, whereas sequentially they interleave
-/// by generation. The shard barriers make every state-bearing interaction
-/// (same-replica ordering, certifier/balancer/client mutation order) exact
-/// regardless; the residue is a same-microsecond FIFO tie between one of
-/// those late-scheduled events and a window emission generated after the
-/// shared event's pop position — possible in principle, not observed across
-/// the cross-driver equivalence suite, and bounded by the window span.
+/// * a batch event the shard's barriers skipped runs through
+///   [`ClusterState::handle`] at its own key — by then every emission that
+///   raised the barrier has itself been handled, which is exactly the
+///   sequential state;
+/// * a pre-stopper emission (completion, certification send, overflow step)
+///   is handled at its key, after its shard's transcript is necessarily
+///   exhausted (each shard stops at its consequence barriers, so no
+///   in-window work on that replica follows the emission's key).
+///
+/// Inline handling *schedules* events; those may land before later replay
+/// entries, and sequentially they would pop in between. The loop therefore
+/// interleaves the two streams: before each replay entry, any queue event
+/// that sequentially precedes it — earlier timestamp, or an equal
+/// timestamp with a sequence number below the entry's generation stamp —
+/// is popped and handled first. Pre-existing queue events never qualify
+/// (every replay entry is senior to the stopper by construction), so the
+/// interleave only ever runs events the replay itself produced. This
+/// closes the historical same-microsecond tie corner: follow-ups of
+/// inline-handled emissions now receive their sequence numbers at the
+/// emission's pop position, exactly as sequential insertion would.
 fn merge_window(
     batch: &[(SimTime, usize, TxnId)],
     results: Vec<ShardResult>,
@@ -368,6 +424,11 @@ fn merge_window(
     queue: &mut EventQueue<Ev>,
 ) {
     let child_rank_base = batch.len() as u64;
+    // The stopper: the first event still queued behind the window. Batch
+    // events are senior to it by FIFO even at equal timestamps; generated
+    // children are strictly earlier; emissions may land at or past it.
+    let stop_ts = queue.peek_time();
+    let pre_stopper = |at: SimTime| stop_ts.is_none_or(|s| at < s);
     // Index transcripts by replica; return the leased nodes.
     let mut steps: Vec<std::vec::IntoIter<StepRec>> = Vec::with_capacity(results.len());
     let mut unprocessed: Vec<std::iter::Peekable<std::vec::IntoIter<(u64, TxnId)>>> =
@@ -380,73 +441,104 @@ fn merge_window(
         state.put_node(r.replica, r.node);
     }
 
-    // Seed the replay with every batch event at its pop rank.
-    let mut heap: BinaryHeap<Reverse<(Key, usize, u64)>> = batch
+    // Seed the replay with every batch event at its pop rank. Batch events
+    // predate everything the replay can schedule, hence the MIN stamp.
+    let mut heap: BinaryHeap<Reverse<ReplayEntry>> = batch
         .iter()
         .enumerate()
         .map(|(rank, (at, replica, txn))| {
-            Reverse((
-                Key {
+            Reverse(ReplayEntry {
+                key: Key {
                     at: *at,
                     rank: rank as u64,
                 },
-                *replica,
-                txn.0,
-            ))
+                stamp: i64::MIN,
+                replica: *replica,
+                action: Replay::Item(*txn),
+            })
         })
         .collect();
     let mut next_rank = child_rank_base;
-    // Batch events the shards' barriers skipped, in replay (key) order.
-    let mut restored: Vec<(SimTime, usize, u64)> = Vec::new();
-    while let Some(Reverse((key, replica, txn))) = heap.pop() {
-        let slot = slot_of[replica];
-        debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
-        if key.rank < child_rank_base
-            && unprocessed[slot]
-                .peek()
-                .is_some_and(|(rank, _)| *rank == key.rank)
+    while let Some(Reverse(top)) = heap.peek() {
+        // Interleave: events the inline handling scheduled that
+        // sequentially precede the next replay entry pop first.
+        let (top_at, top_stamp) = (top.key.at, top.stamp);
+        if queue
+            .peek_key()
+            .is_some_and(|(at, seq)| at < top_at || (at == top_at && seq < top_stamp))
         {
-            // A batch event the shard's barriers skipped: back to the
-            // queue. It must keep its *original* seniority — sequentially
-            // it pops before every event still pending at its timestamp
-            // (e.g. the non-step event that bounded the window) and before
-            // every window-generated event — so it is restored through
-            // `merge_front` after the loop, not `merge`.
-            unprocessed[slot].next();
-            restored.push((key.at, replica, txn));
+            let (at, ev) = queue.pop().expect("peeked event vanished");
+            state.handle(at, ev, queue);
             continue;
         }
-        let rec = steps[slot]
-            .next()
-            .expect("transcript shorter than replayed items");
-        match rec.child {
-            ChildOut::Local(ctxn) => {
-                let ckey = Key {
-                    at: rec.child_at,
-                    rank: next_rank,
-                };
-                next_rank += 1;
-                heap.push(Reverse((ckey, replica, ctxn.0)));
+        let Reverse(entry) = heap.pop().expect("peeked entry vanished");
+        match entry.action {
+            Replay::Item(txn) => {
+                let slot = slot_of[entry.replica];
+                debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
+                if entry.key.rank < child_rank_base
+                    && unprocessed[slot]
+                        .peek()
+                        .is_some_and(|(rank, _)| *rank == entry.key.rank)
+                {
+                    // A batch event the shard's barriers skipped: its
+                    // sequential turn is exactly now — execute it inline.
+                    unprocessed[slot].next();
+                    state.handle(
+                        entry.key.at,
+                        Ev::StepTxn {
+                            replica: entry.replica,
+                            txn,
+                        },
+                        queue,
+                    );
+                    continue;
+                }
+                let rec = steps[slot]
+                    .next()
+                    .expect("transcript shorter than replayed items");
+                match rec.child {
+                    ChildOut::Local(ctxn) => {
+                        let key = Key {
+                            at: rec.child_at,
+                            rank: next_rank,
+                        };
+                        next_rank += 1;
+                        heap.push(Reverse(ReplayEntry {
+                            key,
+                            stamp: queue.next_seq(),
+                            replica: entry.replica,
+                            action: Replay::Item(ctxn),
+                        }));
+                    }
+                    ChildOut::Emit(ev) => {
+                        let key = Key {
+                            at: rec.child_at,
+                            rank: next_rank,
+                        };
+                        next_rank += 1;
+                        if pre_stopper(rec.child_at) {
+                            heap.push(Reverse(ReplayEntry {
+                                key,
+                                stamp: queue.next_seq(),
+                                replica: entry.replica,
+                                action: Replay::Handle(ev),
+                            }));
+                        } else {
+                            queue.merge(rec.child_at, ev);
+                        }
+                    }
+                    // A stale step scheduled nothing sequentially: no
+                    // emission, nothing to replay.
+                    ChildOut::Stale => {}
+                }
             }
-            ChildOut::Emit(ev) => {
-                next_rank += 1;
-                queue.merge(rec.child_at, ev);
-            }
-            // A stale step scheduled nothing sequentially: no rank, no
-            // emission.
-            ChildOut::Stale => {}
+            Replay::Handle(ev) => state.handle(entry.key.at, ev, queue),
         }
-    }
-    // Reverse order: `merge_front` makes each insert the most senior, so
-    // the earliest-popped restored event must be inserted last.
-    for (at, replica, txn) in restored.into_iter().rev() {
-        queue.merge_front(
-            at,
-            Ev::StepTxn {
-                replica,
-                txn: TxnId(txn),
-            },
-        );
+        if state.ended() {
+            // Nothing past an End would have executed sequentially either.
+            return;
+        }
     }
     debug_assert!(
         steps.iter_mut().all(|s| s.next().is_none()),
@@ -830,11 +922,14 @@ mod tests {
 
     /// Same-instant emissions from shards whose batch events *interleave*
     /// (replica 0, replica 1, replica 0 again at one timestamp) must merge
-    /// in global batch-rank order, not per-shard order.
+    /// in global batch-rank order, not per-shard order. The stopper bounds
+    /// the window at the same instant, so the emissions take the queue
+    /// path; being junior, they pop after it.
     #[test]
     fn same_instant_interleaved_shards_keep_global_rank_order() {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(250);
+        queue.schedule(t, Ev::LbTick); // The stopper, bounding the window.
         let batch = [
             (t, 0usize, TxnId(10)),
             (t, 1usize, TxnId(11)),
@@ -855,14 +950,21 @@ mod tests {
             },
         ];
         merge_window(&batch, results, &mut state, &mut queue);
-        assert_eq!(drain(&mut queue), vec![(t, 10), (t, 11), (t, 12)]);
+        assert_eq!(
+            drain(&mut queue),
+            vec![(t, u64::MAX), (t, 10), (t, 11), (t, 12)]
+        );
     }
 
-    /// Batch events a shard's barriers skipped must restore with their
-    /// original seniority even when they tie the stopper to the microsecond:
-    /// they pop before it, in their original order.
+    /// Batch events a shard's barriers skipped execute *inline* during the
+    /// replay, at their exact sequential slot — senior to the stopper even
+    /// at a same-microsecond tie. Here the skipped transactions no longer
+    /// exist (the crash-dropped shape), so their inline execution is a
+    /// stale no-op and only the stopper remains queued; with live
+    /// transactions the inline path is exercised end-to-end by the
+    /// cross-driver equivalence suite.
     #[test]
-    fn same_instant_skipped_batch_events_restore_seniority() {
+    fn skipped_batch_events_execute_inline_during_the_replay() {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(400);
         queue.schedule(t, Ev::LbTick); // The stopper, queued behind the batch.
@@ -874,16 +976,40 @@ mod tests {
             unprocessed_batch: vec![(0, TxnId(1)), (1, TxnId(2))],
         }];
         merge_window(&batch, results, &mut state, &mut queue);
-        assert_eq!(drain(&mut queue), vec![(t, 1), (t, 2), (t, u64::MAX)]);
+        assert_eq!(drain(&mut queue), vec![(t, u64::MAX)]);
+    }
+
+    /// An emission strictly senior to the stopper is handled inline during
+    /// the replay (so its follow-ups get their sequence numbers at its pop
+    /// position — the closed tie corner), never merged into the queue.
+    /// Here the completion refers to a transaction the state does not know
+    /// (the orphaned shape), so the inline handling is a no-op and only the
+    /// stopper remains.
+    #[test]
+    fn pre_stopper_emissions_are_handled_inline_not_queued() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(100);
+        let stop = SimTime::from_micros(500);
+        queue.schedule(stop, Ev::LbTick); // Stopper well past the emission.
+        let batch = [(t, 0usize, TxnId(7))];
+        let results = vec![ShardResult {
+            replica: 0,
+            node: state.take_node(0),
+            steps: vec![emit_complete(0, 7, t)],
+            unprocessed_batch: Vec::new(),
+        }];
+        merge_window(&batch, results, &mut state, &mut queue);
+        assert_eq!(drain(&mut queue), vec![(stop, u64::MAX)]);
     }
 
     /// Stale steps (crash-dropped transactions) consume their transcript
     /// record without emitting anything; later emissions still land in
-    /// order.
+    /// order behind the same-instant stopper.
     #[test]
     fn stale_steps_merge_to_nothing() {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(50);
+        queue.schedule(t, Ev::LbTick); // The stopper, bounding the window.
         let batch = [(t, 0usize, TxnId(3)), (t, 0usize, TxnId(4))];
         let results = vec![ShardResult {
             replica: 0,
@@ -898,7 +1024,7 @@ mod tests {
             unprocessed_batch: Vec::new(),
         }];
         merge_window(&batch, results, &mut state, &mut queue);
-        assert_eq!(drain(&mut queue), vec![(t, 4)]);
+        assert_eq!(drain(&mut queue), vec![(t, u64::MAX), (t, 4)]);
     }
 
     #[test]

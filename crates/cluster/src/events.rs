@@ -109,6 +109,18 @@ pub enum Ev {
         /// Group member index (the initial leader is member 0).
         member: usize,
     },
+    /// Under partial replication: copy a relation group onto one more live
+    /// replica, backfilling its pages from the certifier's persistent log
+    /// and widening dispatch eligibility. A no-op under full replication or
+    /// when every live replica already holds the group. The crash handler
+    /// re-replicates under-`min_copies` groups synchronously (so dispatch
+    /// never lacks a holder); this event is the injectable form for
+    /// scenarios and tests. Like every non-`StepTxn` event, the parallel
+    /// driver treats it as a window barrier.
+    Rereplicate {
+        /// Relation-group index in the run's `PlacementMap`.
+        group: usize,
+    },
     /// End of warm-up: reset the measurement window.
     EndWarmup,
     /// End of run.

@@ -14,12 +14,13 @@ use tashkent_sim::SimTime;
 use tashkent_workloads::tpcw::TpcwScale;
 use tashkent_workloads::{rubis, tpcw, Mix, Workload};
 
-use crate::config::{ClusterConfig, PolicySpec};
+use crate::config::{ClusterConfig, PlacementSpec, PolicySpec};
 use crate::driver::{DriverKind, RunError};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
 
 pub use crate::failover::{Failover, FailoverSchedule};
+pub use crate::partial::PartialReplication;
 
 /// One experiment: a cluster configuration plus one or more workload-mix
 /// phases (multiple phases reproduce the Figure 6 mix switches).
@@ -149,6 +150,10 @@ pub struct ScenarioKnobs {
     /// Event-loop strategy (identical results either way; parallel is
     /// faster for multi-replica runs on multi-core hosts).
     pub driver: DriverKind,
+    /// Partial replication: holder copies per relation group. `None` keeps
+    /// full replication; `Some(n)` with `n >= replicas` is the degenerate
+    /// full-replication case and reproduces `None` results bit for bit.
+    pub min_copies: Option<usize>,
 }
 
 impl Default for ScenarioKnobs {
@@ -163,6 +168,7 @@ impl Default for ScenarioKnobs {
             measured_secs: 180,
             seed: 42,
             driver: DriverKind::Sequential,
+            min_copies: None,
         }
     }
 }
@@ -198,6 +204,12 @@ impl ScenarioKnobs {
         self
     }
 
+    /// Sets (or clears) the partial-replication durability constraint.
+    pub fn with_min_copies(mut self, min_copies: Option<usize>) -> Self {
+        self.min_copies = min_copies;
+        self
+    }
+
     /// The cluster configuration these knobs describe, under `default`
     /// policy when no override is set.
     pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
@@ -208,6 +220,10 @@ impl ScenarioKnobs {
         config.replicas = self.replicas;
         config.think_mean_us = self.think_mean_us;
         config.seed = self.seed;
+        config.placement = match self.min_copies {
+            Some(min_copies) => PlacementSpec::Partial { min_copies },
+            None => PlacementSpec::Full,
+        };
         config
     }
 }
@@ -366,6 +382,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(RubisAuctionMix::default()),
         Box::new(DynamicReconfig::default()),
         Box::new(Failover::default()),
+        Box::new(PartialReplication::default()),
     ]
 }
 

@@ -36,11 +36,13 @@ pub mod events;
 pub mod experiment;
 pub mod failover;
 pub mod metrics;
+pub mod partial;
+pub mod placement;
 pub mod state;
 pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
-pub use config::{ClusterConfig, PolicySpec};
+pub use config::{ClusterConfig, PlacementSpec, PolicySpec};
 pub use driver::{Driver, DriverKind, ParallelDriver, RunError, SequentialDriver};
 pub use events::Ev;
 pub use experiment::{
@@ -49,5 +51,7 @@ pub use experiment::{
     TpcwSteadyState,
 };
 pub use metrics::{FaultEvent, FaultKind, GroupSnapshot, Metrics, RunResult};
+pub use partial::PartialReplication;
+pub use placement::{PlacementMap, RelationGroup, ReplicationPlanner, WS_TICK_BYTES};
 pub use state::ClusterState;
 pub use world::World;

@@ -22,6 +22,15 @@ pub enum FaultKind {
     ReplicaRecover(usize),
     /// The certifier group elected a new leader (index) after a kill.
     CertifierFailover(usize),
+    /// Partial replication: relation group `group` was re-replicated onto
+    /// replica `to` via certifier-log backfill (a crash dropped it below
+    /// `min_copies` live holders, or an explicit `Rereplicate` event fired).
+    Rereplicate {
+        /// Relation-group index in the run's placement map.
+        group: usize,
+        /// The replica that became a holder.
+        to: usize,
+    },
 }
 
 /// One failure-injection event, as it actually took effect during the run.
@@ -189,6 +198,8 @@ impl Metrics {
             cpu_util: 0.0,
             disk_util: 0.0,
             lb: LbSummary::default(),
+            propagated_ws_bytes: 0,
+            filtered_ws_bytes: 0,
             faults: self.faults.clone(),
             per_type: self
                 .per_type
@@ -237,6 +248,15 @@ pub struct RunResult {
     /// Load-balancer activity over the whole run (filled by
     /// `World::finish_result`).
     pub lb: LbSummary,
+    /// Writeset bytes actually shipped to replicas over the measurement
+    /// window: pages to holders, version ticks to non-holders (filled by
+    /// `World::finish_result`). Under full replication this equals the full
+    /// propagation volume.
+    pub propagated_ws_bytes: u64,
+    /// Writeset bytes partial replication withheld from non-holders over
+    /// the window — propagation traffic saved vs full replication (filled
+    /// by `World::finish_result`; zero under full replication).
+    pub filtered_ws_bytes: u64,
     /// Injected faults as they took effect, in order, over the whole run
     /// (crashes, recoveries, certifier failovers).
     pub faults: Vec<FaultEvent>,

@@ -25,9 +25,10 @@ use tashkent_sim::{EventQueue, SimRng, SimTime};
 use tashkent_workloads::{ClientPool, Mix, Workload};
 
 use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, PlacementSpec};
 use crate::events::Ev;
 use crate::metrics::{GroupSnapshot, Metrics};
+use crate::placement::{PlacementMap, ReplicationPlanner};
 
 /// Bookkeeping for one in-flight transaction.
 struct TxnMeta {
@@ -67,10 +68,18 @@ pub struct ClusterState {
     rng: SimRng,
     next_txn: u64,
     txns: HashMap<TxnId, TxnMeta>,
+    /// Partial replication: where every relation group lives. `None` under
+    /// full replication (every replica holds everything). When set, the
+    /// placement filter is authoritative on every node — it subsumes §3
+    /// update filtering (holder sets are the "keep current" lists).
+    placement: Option<PlacementMap>,
     /// Metrics accumulator.
     pub metrics: Metrics,
     /// CPU/disk busy totals at the start of the measurement window.
     busy0: (u64, u64),
+    /// Propagation byte counters `(sent, saved)` at the start of the
+    /// measurement window.
+    prop0: (u64, u64),
     window_started: SimTime,
     ended: bool,
 }
@@ -85,8 +94,8 @@ impl ClusterState {
     pub fn new(config: ClusterConfig, workload: Workload, mixes: Vec<Mix>) -> Self {
         assert!(!mixes.is_empty(), "cluster needs at least one mix");
         let mut rng = SimRng::seed_from(config.seed);
-        let balancer = BalancerCtl::build(&config, &workload, &mixes[0]);
-        let nodes: Vec<Option<Box<ClusterNode>>> = (0..config.replicas)
+        let mut balancer = BalancerCtl::build(&config, &workload, &mixes[0]);
+        let mut nodes: Vec<Option<Box<ClusterNode>>> = (0..config.replicas)
             .map(|id| {
                 Some(Box::new(ClusterNode::new(
                     id,
@@ -99,6 +108,24 @@ impl ClusterState {
                 )))
             })
             .collect();
+        // Partial replication: plan the group → holder-set assignment, then
+        // thread it through the layers — placement filters on the nodes (the
+        // "must not receive" tier) and per-type eligibility masks on the
+        // balancer (dispatch routes only to holders).
+        let placement = match config.placement {
+            PlacementSpec::Full => None,
+            PlacementSpec::Partial { min_copies } => {
+                Some(ReplicationPlanner::new(min_copies).plan(&workload, config.replicas))
+            }
+        };
+        if let Some(p) = &placement {
+            for (r, slot) in nodes.iter_mut().enumerate() {
+                slot.as_mut()
+                    .expect("nodes are present at build time")
+                    .set_filter(p.filter_for(r));
+            }
+            balancer.set_type_eligibility(Some(p.type_masks(workload.types.len())));
+        }
         let certifier = CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us);
         let clients = ClientPool::new(config.clients, config.think_mean_us);
         ClusterState {
@@ -109,12 +136,14 @@ impl ClusterState {
             rng,
             next_txn: 0,
             txns: HashMap::new(),
+            placement,
             metrics: Metrics::new(),
             active_mix: 0,
             config,
             workload,
             mixes,
             busy0: (0, 0),
+            prop0: (0, 0),
             window_started: SimTime::ZERO,
             ended: false,
         }
@@ -259,7 +288,16 @@ impl ClusterState {
             fallback: stats.fallback,
             filters_installed: self.balancer.inner().filters_installed(),
         };
+        let (sent, saved) = self.certifier.propagation_bytes();
+        result.propagated_ws_bytes = sent.saturating_sub(self.prop0.0);
+        result.filtered_ws_bytes = saved.saturating_sub(self.prop0.1);
         result
+    }
+
+    /// The partial-replication placement map, when the cluster runs one
+    /// (`None` under full replication).
+    pub fn placement(&self) -> Option<&PlacementMap> {
+        self.placement.as_ref()
     }
 
     /// Current group → replica assignments with type names resolved.
@@ -314,8 +352,28 @@ impl ClusterState {
             Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round, queue),
             Ev::LbTick => {
                 for (replica, filter) in self.balancer.on_tick(now, queue) {
-                    self.node_mut(replica.0).set_filter(filter);
+                    // Under partial replication, placement *subsumes* §3
+                    // update filtering: the holder sets already are the
+                    // "keep current" lists with an explicit `min_copies`,
+                    // and MALB's lists are placement-unaware — derived from
+                    // its own unit assignment, they may omit relations this
+                    // replica holds for durability. Narrowing below the
+                    // held set would silently break the invariant (a live
+                    // holder dropping its own group's pages), and widening
+                    // would apply items the certifier never shipped here.
+                    // The placement filter therefore stays authoritative.
+                    // The degenerate all-holders placement imposes no
+                    // constraint (it *is* full replication), so there §3
+                    // filtering applies unchanged — bit for bit.
+                    let effective = match &self.placement {
+                        Some(p) if !p.is_full() => p.filter_for(replica.0),
+                        _ => filter,
+                    };
+                    self.node_mut(replica.0).set_filter(effective);
                 }
+            }
+            Ev::Rereplicate { group } => {
+                self.rereplicate_group(now, group);
             }
             Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
             Ev::FreezeLb => self.balancer.freeze(),
@@ -348,6 +406,15 @@ impl ClusterState {
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
         let replica = self.balancer.dispatch(txn_type).0;
+        if let Some(p) = &self.placement {
+            // Partial replication's routing invariant: a transaction only
+            // ever runs where every relation it touches is resident.
+            assert!(
+                p.eligible(txn_type, replica),
+                "dispatch routed type {} to non-holder replica {replica}",
+                txn_type.0
+            );
+        }
         let plan = self.workload.types[txn_type.0 as usize].plan.clone();
         let is_update = plan.is_update();
         let node = self.nodes[replica]
@@ -395,6 +462,44 @@ impl ClusterState {
         self.balancer.replica_failed(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaCrash(replica));
+        // Durability invariant under partial replication: any group this
+        // crash leaves below `min_copies` live holders is re-replicated onto
+        // a survivor *now*, via certifier-log backfill, before the orphan
+        // sweep retries its clients — so dispatch always has a live holder
+        // and no committed writeset drops below the constraint (clamped by
+        // the number of live replicas).
+        if self.placement.is_some() {
+            let (min_copies, affected) = {
+                let p = self.placement.as_ref().expect("placement checked above");
+                let affected: Vec<usize> = (0..p.group_count())
+                    .filter(|g| p.holds_group(replica, *g))
+                    .collect();
+                (p.min_copies(), affected)
+            };
+            let live = self.present_nodes().filter(|n| n.is_up()).count();
+            for g in affected {
+                loop {
+                    let live_holders = {
+                        let p = self.placement.as_ref().expect("placement checked above");
+                        p.holders(g)
+                            .iter()
+                            .filter(|r| {
+                                self.nodes[**r]
+                                    .as_ref()
+                                    .expect("node leased to a driver shard")
+                                    .is_up()
+                            })
+                            .count()
+                    };
+                    if live_holders >= min_copies.min(live) {
+                        break;
+                    }
+                    if self.rereplicate_group(now, g).is_none() {
+                        break;
+                    }
+                }
+            }
+        }
         // Orphan sweep, sorted for determinism (HashMap iteration is not).
         // Events already queued for these transactions (steps, certifier
         // responses, completions) become stale and are ignored on arrival.
@@ -424,6 +529,58 @@ impl ClusterState {
         }
     }
 
+    /// Copies relation group `group` onto one more live replica: backfills
+    /// the group's pages from the certifier's persistent log (charged
+    /// through the target's CPU/disk models), widens the target's update
+    /// filter and the dispatch eligibility masks, and records the fault.
+    ///
+    /// The target is the live non-holder with the fewest placed pages (ties
+    /// to the lowest id) — deterministic, so both drivers re-replicate
+    /// identically. Returns the new holder, or `None` when placement is
+    /// full-replication or every live replica already holds the group.
+    fn rereplicate_group(&mut self, now: SimTime, group: usize) -> Option<usize> {
+        let (target, rels) = {
+            let p = self.placement.as_ref()?;
+            if group >= p.group_count() {
+                return None;
+            }
+            let target = (0..self.config.replicas)
+                .filter(|r| {
+                    self.nodes[*r]
+                        .as_ref()
+                        .expect("node leased to a driver shard")
+                        .is_up()
+                        && !p.holds_group(*r, group)
+                })
+                .min_by_key(|r| (p.held_pages(*r), *r))?;
+            // Only the relations the target does not already hold through
+            // other groups need backfilling — overlap makes close standbys
+            // cheap, exactly like §3's standby choice.
+            (target, p.missing_relations(target, group))
+        };
+        // Backfill before widening the filter: versions past the target's
+        // applied prefix arrive through normal propagation afterwards.
+        let node = self.nodes[target]
+            .as_mut()
+            .expect("node leased to a driver shard");
+        let _backfill_done = self.certifier.backfill(now, node, &rels);
+        let (filter, masks) = {
+            let p = self.placement.as_mut().expect("placement checked above");
+            p.add_holder(group, target);
+            (
+                p.filter_for(target),
+                p.type_masks(self.workload.types.len()),
+            )
+        };
+        self.node_mut(target).set_filter(filter);
+        self.balancer.set_type_eligibility(Some(masks));
+        self.metrics.record_fault(
+            now,
+            crate::metrics::FaultKind::Rereplicate { group, to: target },
+        );
+        Some(target)
+    }
+
     /// Recovers a crashed replica: the durable prefix (its applied version)
     /// survived, so §3 standard recovery replays only the writesets it
     /// missed from the certifier's persistent log — paying cold-cache page
@@ -439,8 +596,9 @@ impl ClusterState {
         // The replay's CPU and disk work is charged through the node's
         // queueing models at `now`, so transactions dispatched to the
         // rejoining replica queue behind it — the completion time itself
-        // needs no separate event.
-        let _replay_done = self.certifier.catch_up(now, node);
+        // needs no separate event. Under partial replication the replay
+        // carries pages only for held groups (the rest are version ticks).
+        let _replay_done = self.certifier.catch_up(now, node, self.placement.as_ref());
         self.balancer.replica_recovered(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaRecover(replica));
@@ -475,7 +633,8 @@ impl ClusterState {
                 let node = self.nodes[replica]
                     .as_mut()
                     .expect("node leased to a driver shard");
-                self.certifier.on_return_commit(now, node, v)
+                self.certifier
+                    .on_return_commit(now, node, v, self.placement.as_ref())
             }
             None => {
                 self.metrics.record_abort();
@@ -556,7 +715,8 @@ impl ClusterState {
         // keeps ticking so it resumes seamlessly after recovery.
         if node.is_up() {
             node.on_maintenance(now);
-            self.certifier.maintenance_pull(now, node);
+            self.certifier
+                .maintenance_pull(now, node, self.placement.as_ref());
             if round % 4 == 3 {
                 let report = node.sample_load(now);
                 self.balancer.report(
@@ -582,6 +742,7 @@ impl ClusterState {
         let (read, write) = self.disk_bytes();
         self.metrics.start_window(now, read, write);
         self.busy0 = self.busy_totals();
+        self.prop0 = self.certifier.propagation_bytes();
         self.window_started = now;
     }
 

@@ -135,6 +135,12 @@ impl World {
         self.state.group_snapshots()
     }
 
+    /// The partial-replication placement map, when the cluster runs one
+    /// (`None` under full replication).
+    pub fn placement(&self) -> Option<&crate::placement::PlacementMap> {
+        self.state.placement()
+    }
+
     /// Runs until the `End` event fires.
     ///
     /// # Errors

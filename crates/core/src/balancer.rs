@@ -212,8 +212,25 @@ pub struct LoadBalancer {
     conns: Vec<usize>,
     loads: Vec<ResourceLoad>,
     alive: Vec<bool>,
+    /// Partial-replication eligibility: `masks[t][r]` is whether replica `r`
+    /// holds every relation transaction type `t` touches. `None` (full
+    /// replication) leaves every decision exactly as before.
+    type_eligible: Option<Vec<Vec<bool>>>,
     policy: Policy,
     stats: DispatchStats,
+}
+
+/// Whether replica `r` may serve type `t` under an optional eligibility row.
+fn eligible_in(row: Option<&Vec<bool>>, r: usize) -> bool {
+    row.is_none_or(|m| m.get(r).copied().unwrap_or(true))
+}
+
+/// Immutable cluster signals a rebalance round reads: per-replica loads,
+/// liveness, and (under partial replication) per-type eligibility masks.
+struct ClusterView<'a> {
+    loads: &'a [ResourceLoad],
+    alive: &'a [bool],
+    elig: Option<&'a [Vec<bool>]>,
 }
 
 impl LoadBalancer {
@@ -311,9 +328,18 @@ impl LoadBalancer {
             conns: vec![0; n],
             loads: vec![ResourceLoad::default(); n],
             alive: vec![true; n],
+            type_eligible: None,
             policy,
             stats: DispatchStats::default(),
         }
+    }
+
+    /// Installs (or clears) partial-replication eligibility masks:
+    /// `masks[t][r]` says replica `r` holds every relation transaction type
+    /// `t` touches. Dispatch then never routes a type to a non-holder, and
+    /// MALB's allocation weighs only resident replicas when sizing groups.
+    pub fn set_type_eligibility(&mut self, masks: Option<Vec<Vec<bool>>>) {
+        self.type_eligible = masks;
     }
 
     /// Number of replicas.
@@ -342,15 +368,21 @@ impl LoadBalancer {
     }
 
     /// Chooses a replica for a transaction of `txn_type` and opens a
-    /// connection to it.
+    /// connection to it. Under partial replication (eligibility masks
+    /// installed), every policy restricts its choice to replicas holding the
+    /// type's whole relation group.
     pub fn dispatch(&mut self, txn_type: TxnTypeId) -> ReplicaId {
         self.stats.dispatched += 1;
+        let elig = self
+            .type_eligible
+            .as_ref()
+            .and_then(|m| m.get(txn_type.0 as usize));
         let choice = match &mut self.policy {
             Policy::RoundRobin { next } => {
                 let mut r = *next;
-                // Skip dead replicas.
+                // Skip dead and non-holder replicas.
                 for _ in 0..self.n {
-                    if self.alive[r] {
+                    if self.alive[r] && eligible_in(elig, r) {
                         break;
                     }
                     r = (r + 1) % self.n;
@@ -358,13 +390,13 @@ impl LoadBalancer {
                 *next = (r + 1) % self.n;
                 ReplicaId(r)
             }
-            Policy::LeastConnections => least_conn_alive(&self.conns, &self.alive),
+            Policy::LeastConnections => least_conn_alive(&self.conns, &self.alive, elig),
             Policy::Lard(lard) => {
-                // LARD sees live replicas' connection counts; dead replicas
-                // are masked with a saturating count.
+                // LARD sees live replicas' connection counts; dead and
+                // non-holder replicas are masked with a saturating count.
                 let mut masked = self.conns.clone();
                 for (i, alive) in self.alive.iter().enumerate() {
-                    if !alive {
+                    if !alive || !eligible_in(elig, i) {
                         masked[i] = usize::MAX;
                     }
                 }
@@ -383,19 +415,19 @@ impl LoadBalancer {
                             .replicas
                             .iter()
                             .copied()
-                            .filter(|r| self.alive[r.0])
+                            .filter(|r| self.alive[r.0] && eligible_in(elig, r.0))
                             .collect();
                         match live.iter().min_by_key(|r| (self.conns[r.0], r.0)).copied() {
                             Some(r) => r,
                             None => {
                                 self.stats.fallback += 1;
-                                least_conn_alive(&self.conns, &self.alive)
+                                least_conn_alive(&self.conns, &self.alive, elig)
                             }
                         }
                     }
                     None => {
                         self.stats.fallback += 1;
-                        least_conn_alive(&self.conns, &self.alive)
+                        least_conn_alive(&self.conns, &self.alive, elig)
                     }
                 }
             }
@@ -493,35 +525,43 @@ impl LoadBalancer {
 
     /// Runs one balancer tick at `now`: MALB rebalances (moves, merges,
     /// splits, fast re-allocation) and, once stable, installs update
-    /// filters. Other policies do nothing.
+    /// filters. Other policies do nothing. Under partial replication MALB's
+    /// load estimates weigh only *resident* replicas — ones holding every
+    /// relation a unit's types touch.
     pub fn tick(&mut self, now: SimTime) -> Vec<ReconfigAction> {
         let loads = self.loads.clone();
         let alive = self.alive.clone();
+        let elig = self.type_eligible.clone();
+        let view = ClusterView {
+            loads: &loads,
+            alive: &alive,
+            elig: elig.as_deref(),
+        };
         let stats = &mut self.stats;
         match &mut self.policy {
-            Policy::Malb(state) => state.0.tick(now, &loads, &alive, stats),
+            Policy::Malb(state) => state.0.tick(now, &view, stats),
             _ => Vec::new(),
         }
     }
 }
 
-/// Least-connections choice over live replicas.
-fn least_conn_alive(conns: &[usize], alive: &[bool]) -> ReplicaId {
+/// Least-connections choice over live (and, under partial replication,
+/// holder) replicas.
+fn least_conn_alive(conns: &[usize], alive: &[bool], elig: Option<&Vec<bool>>) -> ReplicaId {
     conns
         .iter()
         .enumerate()
-        .filter(|(i, _)| alive[*i])
+        .filter(|(i, _)| alive[*i] && eligible_in(elig, *i))
         .min_by_key(|(i, c)| (**c, *i))
         .map(|(i, _)| ReplicaId(i))
-        .expect("at least one live replica")
+        .expect("at least one live holder replica")
 }
 
 impl MalbState {
     fn tick(
         &mut self,
         now: SimTime,
-        loads: &[ResourceLoad],
-        alive: &[bool],
+        view: &ClusterView,
         stats: &mut DispatchStats,
     ) -> Vec<ReconfigAction> {
         let mut actions = Vec::new();
@@ -535,7 +575,7 @@ impl MalbState {
 
         let mut changed = false;
         if self.config.dynamic {
-            changed = self.rebalance(loads, alive, stats, &mut actions);
+            changed = self.rebalance(view, stats, &mut actions);
         }
 
         if changed {
@@ -562,7 +602,7 @@ impl MalbState {
                 }
                 per_group
             };
-            let all: Vec<ReplicaId> = (0..loads.len()).map(ReplicaId).collect();
+            let all: Vec<ReplicaId> = (0..view.loads.len()).map(ReplicaId).collect();
             let plans = filter_lists(
                 &self.groups,
                 &self.working_sets,
@@ -584,12 +624,11 @@ impl MalbState {
     /// Returns whether anything changed.
     fn rebalance(
         &mut self,
-        loads: &[ResourceLoad],
-        alive: &[bool],
+        view: &ClusterView,
         stats: &mut DispatchStats,
         actions: &mut Vec<ReconfigAction>,
     ) -> bool {
-        let unit_loads = self.unit_loads(loads, alive);
+        let unit_loads = self.unit_loads(view);
         if unit_loads.is_empty() {
             return false;
         }
@@ -603,7 +642,7 @@ impl MalbState {
         for (ui, unit) in self.units.iter().enumerate() {
             if unit.groups.len() > 1 && self.allocator.should_split(GroupId(ui), &unit_loads) {
                 self.merge_cooldown_until = self.round + 12;
-                return self.split_unit(ui, loads, alive, stats, actions);
+                return self.split_unit(ui, view, stats, actions);
             }
         }
 
@@ -634,7 +673,7 @@ impl MalbState {
                 }
             }
             if let Some((a, b)) = choice {
-                self.merge_units(a, b, loads, alive, stats, actions);
+                self.merge_units(a, b, view, stats, actions);
                 return true;
             }
         }
@@ -675,21 +714,45 @@ impl MalbState {
         union.values().sum::<u64>() <= self.config.capacity_pages
     }
 
-    fn unit_loads(&self, loads: &[ResourceLoad], alive: &[bool]) -> Vec<GroupLoads> {
+    /// Per-unit load estimates. Under partial replication (`elig` masks
+    /// installed) a unit is weighed over its *resident* replicas only — the
+    /// ones eligible for every transaction type the unit serves; a
+    /// non-resident replica parked in the unit neither serves its traffic
+    /// nor should count toward its capacity. When no live resident exists
+    /// the live set is used as a fallback so the allocator still sees the
+    /// unit.
+    fn unit_loads(&self, view: &ClusterView) -> Vec<GroupLoads> {
+        let resident = |unit: &Unit, r: usize| -> bool {
+            let Some(masks) = view.elig else { return true };
+            unit.groups
+                .iter()
+                .flat_map(|g| self.groups[*g].types.iter())
+                .all(|t| eligible_in(masks.get(t.0 as usize), r))
+        };
         self.units
             .iter()
             .enumerate()
             .map(|(ui, unit)| {
-                let live: Vec<&ReplicaId> = unit.replicas.iter().filter(|r| alive[r.0]).collect();
-                let load = if live.is_empty() {
+                let live: Vec<&ReplicaId> =
+                    unit.replicas.iter().filter(|r| view.alive[r.0]).collect();
+                let serving: Vec<&ReplicaId> = live
+                    .iter()
+                    .copied()
+                    .filter(|r| resident(unit, r.0))
+                    .collect();
+                let pool = if serving.is_empty() { &live } else { &serving };
+                let load = if pool.is_empty() {
                     0.0
                 } else {
-                    live.iter().map(|r| loads[r.0].bottleneck()).sum::<f64>() / live.len() as f64
+                    pool.iter()
+                        .map(|r| view.loads[r.0].bottleneck())
+                        .sum::<f64>()
+                        / pool.len() as f64
                 };
                 GroupLoads {
                     group: GroupId(ui),
                     load,
-                    replicas: live.len(),
+                    replicas: pool.len(),
                 }
             })
             .collect()
@@ -752,8 +815,7 @@ impl MalbState {
         &mut self,
         a: usize,
         b: usize,
-        loads: &[ResourceLoad],
-        alive: &[bool],
+        view: &ClusterView,
         stats: &mut DispatchStats,
         actions: &mut Vec<ReconfigAction>,
     ) {
@@ -763,7 +825,7 @@ impl MalbState {
         self.units[a].groups.append(&mut unit_b.groups);
         stats.merges += 1;
         // Freed replica(s) go to the currently most loaded unit.
-        let unit_loads = self.unit_loads(loads, alive);
+        let unit_loads = self.unit_loads(view);
         if let Some(most) = unit_loads
             .iter()
             .max_by(|x, y| x.load.total_cmp(&y.load).then(y.group.cmp(&x.group)))
@@ -780,12 +842,11 @@ impl MalbState {
     fn split_unit(
         &mut self,
         ui: usize,
-        loads: &[ResourceLoad],
-        alive: &[bool],
+        view: &ClusterView,
         stats: &mut DispatchStats,
         actions: &mut Vec<ReconfigAction>,
     ) -> bool {
-        let unit_loads = self.unit_loads(loads, alive);
+        let unit_loads = self.unit_loads(view);
         let donor = unit_loads
             .iter()
             .filter(|g| g.group.0 != ui && g.replicas > 1)
@@ -1193,6 +1254,42 @@ mod tests {
             assert!(lb.tick(SimTime::from_secs(s)).is_empty());
         }
         assert_eq!(lb.stats().moves, 0);
+    }
+
+    #[test]
+    fn eligibility_masks_restrict_every_policy() {
+        // Replica 0 holds type 0's group; replica 2 holds type 1's.
+        let masks = vec![vec![true, false, false], vec![false, false, true]];
+        let sets = vec![ws(0, &[(0, 40)]), ws(1, &[(1, 40)])];
+        let make = |which: u8| -> LoadBalancer {
+            let mut lb = match which {
+                0 => LoadBalancer::round_robin(3),
+                1 => LoadBalancer::least_connections(3),
+                2 => LoadBalancer::lard(3, LardConfig::default()),
+                _ => LoadBalancer::malb(3, sets.clone(), malb_config(100)),
+            };
+            lb.set_type_eligibility(Some(masks.clone()));
+            lb
+        };
+        for which in 0..4 {
+            let mut lb = make(which);
+            for i in 0..12 {
+                let t = TxnTypeId(i % 2);
+                let choice = lb.dispatch(t);
+                let expect = if t.0 == 0 { 0 } else { 2 };
+                assert_eq!(
+                    choice.0, expect,
+                    "policy {which} routed type {} to non-holder {}",
+                    t.0, choice.0
+                );
+            }
+        }
+        // Clearing the masks restores unrestricted dispatch.
+        let mut lb = make(1);
+        lb.set_type_eligibility(None);
+        lb.dispatch(TxnTypeId(0));
+        lb.dispatch(TxnTypeId(0));
+        assert!(lb.connections()[1] > 0, "replica 1 serves again");
     }
 
     #[test]

@@ -7,9 +7,8 @@ use crate::time::SimTime;
 
 /// An event scheduled for a point in simulated time.
 ///
-/// `seq` is signed: normal scheduling counts up from zero, while
-/// [`EventQueue::merge_front`] counts down from −1 to restore a
-/// previously-popped event's seniority over everything still pending.
+/// `seq` is signed so windowed replays can stamp entries senior to every
+/// pending event (see [`EventQueue::next_seq`]).
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
@@ -64,7 +63,6 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: i64,
-    front_seq: i64,
     now: SimTime,
 }
 
@@ -80,7 +78,6 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            front_seq: -1,
             now: SimTime::ZERO,
         }
     }
@@ -118,6 +115,27 @@ impl<E> EventQueue<E> {
     /// Returns the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.at)
+    }
+
+    /// Returns the next event's `(timestamp, sequence)` without popping it.
+    ///
+    /// Part of the windowed-lookahead interface: a replaying driver compares
+    /// the head's sequence against the generation stamps of window entries
+    /// to interleave both streams exactly as the sequential pop order would.
+    pub fn peek_key(&self) -> Option<(SimTime, i64)> {
+        self.heap.peek().map(|s| (s.at, s.seq))
+    }
+
+    /// The sequence number the next [`EventQueue::schedule`] will consume.
+    ///
+    /// Part of the windowed-lookahead interface: stamping a window-generated
+    /// entry with `next_seq()` at its generation instant records where the
+    /// sequential execution would have inserted it, so same-instant ties
+    /// against events scheduled *during* the replay resolve exactly as they
+    /// would sequentially (the entry is senior to every event scheduled at
+    /// or after its stamp).
+    pub fn next_seq(&self) -> i64 {
+        self.next_seq
     }
 
     /// Returns the next event (timestamp and a borrow) without popping it.
@@ -159,26 +177,6 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.schedule(at, event);
-    }
-
-    /// Restores a previously-popped event, preserving its seniority: it
-    /// pops **before** every event currently pending at the same timestamp
-    /// (it was scheduled before all of them — the pop order proves it) and
-    /// before anything merged or scheduled afterwards.
-    ///
-    /// When restoring several events, call in **reverse** pop order so the
-    /// earliest-popped event ends up most senior. This completes the
-    /// windowed interface: lookahead events a window popped but could not
-    /// safely execute re-enter exactly where the sequential order had them.
-    pub fn merge_front(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "windowed merge_front scheduled into the past: {at:?} < {:?}",
-            self.now
-        );
-        let seq = self.front_seq;
-        self.front_seq -= 1;
-        self.heap.push(Scheduled { at, seq, event });
     }
 
     /// Returns the number of pending events.
@@ -290,22 +288,17 @@ mod tests {
     }
 
     #[test]
-    fn merge_front_restores_seniority() {
+    fn next_seq_and_peek_key_expose_the_fifo_order() {
         let mut q = EventQueue::new();
         let t = SimTime::from_micros(9);
-        // Original order: a, b, stopper, then later-scheduled d.
-        q.schedule(t, "a");
-        q.schedule(t, "b");
-        q.schedule(t, "stopper");
-        // A windowed driver pops a and b, executes neither, and restores
-        // them in reverse pop order; d arrives afterwards.
-        assert_eq!(q.pop_if(|_, e| *e == "a"), Some((t, "a")));
-        assert_eq!(q.pop_if(|_, e| *e == "b"), Some((t, "b")));
-        q.merge_front(t, "b");
-        q.merge_front(t, "a");
-        q.schedule(t, "d");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "stopper", "d"]);
+        // A windowed replay stamps an entry with next_seq() at generation:
+        // the entry is senior to everything scheduled at or after the stamp.
+        let stamp = q.next_seq();
+        q.schedule(t, "later");
+        let (at, seq) = q.peek_key().expect("event pending");
+        assert_eq!(at, t);
+        assert!(stamp <= seq, "stamped entry is senior to the new event");
+        assert_eq!(q.next_seq(), seq + 1);
     }
 
     #[test]

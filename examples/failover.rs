@@ -44,6 +44,9 @@ fn main() {
             FaultKind::CertifierFailover(l) => {
                 format!("certifier leader died; member {l} elected after 200 ms")
             }
+            FaultKind::Rereplicate { group, to } => {
+                format!("relation group {group} re-replicated onto replica {to}")
+            }
         };
         println!("  {:>5.1}s  {label}", f.at.as_secs_f64());
     }

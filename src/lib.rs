@@ -86,8 +86,9 @@ pub use tashkent_cluster as cluster;
 pub mod prelude {
     pub use tashkent_cluster::{
         calibrate_standalone, registry, run, run_scenario, scenario, ClusterConfig, DriverKind, Ev,
-        Experiment, Failover, FailoverSchedule, FaultEvent, FaultKind, PolicySpec, RunError,
-        RunResult, Scenario, ScenarioKnobs, World,
+        Experiment, Failover, FailoverSchedule, FaultEvent, FaultKind, PartialReplication,
+        PlacementMap, PlacementSpec, PolicySpec, ReplicationPlanner, RunError, RunResult, Scenario,
+        ScenarioKnobs, World,
     };
     pub use tashkent_core::{EstimationMode, LoadBalancer, MalbConfig, WorkingSetEstimator};
     pub use tashkent_engine::{TxnTypeId, Version};

@@ -22,8 +22,12 @@ struct Fingerprint {
     write_kb_per_txn: u64,
     mean_response_us: u64,
     completions: usize,
-    /// Crash/recover/failover events with their exact effect times.
+    /// Crash/recover/failover/re-replication events with their exact
+    /// effect times.
     faults: Vec<FaultEvent>,
+    /// Partial-replication propagation accounting, exact to the byte.
+    propagated_ws_bytes: u64,
+    filtered_ws_bytes: u64,
 }
 
 impl Fingerprint {
@@ -40,6 +44,8 @@ impl Fingerprint {
             mean_response_us: (r.mean_response_s * 1e6).round() as u64,
             completions: r.completions.len(),
             faults: r.faults.clone(),
+            propagated_ws_bytes: r.propagated_ws_bytes,
+            filtered_ws_bytes: r.filtered_ws_bytes,
         }
     }
 }
@@ -182,6 +188,83 @@ fn multi_victim_failover_on_a_wider_cluster_runs_identically() {
         "drivers diverged on the multi-victim failover run"
     );
     assert_eq!(sequential.completions, parallel.completions);
+}
+
+#[test]
+fn partial_replication_runs_identically_under_both_drivers_across_seeds_and_threads() {
+    // Partial replication adds placement-restricted dispatch, holder-only
+    // propagation accounting (in the fingerprint, exact to the byte), and
+    // crash-triggered re-replication events (in the fault log) on top of
+    // the failover machinery. 2+ seeds, every parallel width against the
+    // same sequential reference.
+    for seed in [9, 42] {
+        let knobs = ScenarioKnobs {
+            replicas: 4,
+            clients_per_replica: 4,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_seed(seed);
+        let sequential = run_scenario(
+            "partial-replication",
+            &knobs.clone().with_driver(DriverKind::Sequential),
+        )
+        .expect("sequential partial-replication run completes");
+        assert!(
+            sequential
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, tashkent::cluster::FaultKind::Rereplicate { .. })),
+            "the crash must force re-replication events into the fingerprint"
+        );
+        assert!(sequential.filtered_ws_bytes > 0, "placement must filter");
+        for threads in [2, 4, 8] {
+            let parallel = run_scenario(
+                "partial-replication",
+                &knobs.clone().with_driver(DriverKind::Parallel { threads }),
+            )
+            .expect("parallel partial-replication run completes");
+            assert_eq!(
+                Fingerprint::of(&sequential),
+                Fingerprint::of(&parallel),
+                "drivers diverged on partial-replication with seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                sequential.completions, parallel.completions,
+                "completion timestamps diverged on partial-replication with seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn min_copies_at_cluster_size_reproduces_full_replication_bit_for_bit() {
+    // The degenerate `min_copies = cluster size` placement must be
+    // indistinguishable from full replication: same dispatch choices, same
+    // propagation, same bytes — for the existing scenarios, same seeds,
+    // both drivers, and with §3 update filtering still applying unchanged.
+    for (scenario, policy) in [
+        ("tpcw-steady-state", None),
+        ("tpcw-steady-state", Some(PolicySpec::malb_sc_uf())),
+        ("rubis-auction", None),
+    ] {
+        for driver in [DriverKind::Sequential, DriverKind::Parallel { threads: 2 }] {
+            let mut knobs = ScenarioKnobs::smoke().with_driver(driver);
+            knobs.policy = policy;
+            let full = run_scenario(scenario, &knobs).expect("full-replication run completes");
+            let degenerate = run_scenario(
+                scenario,
+                &knobs.clone().with_min_copies(Some(knobs.replicas)),
+            )
+            .expect("degenerate partial run completes");
+            assert_eq!(
+                Fingerprint::of(&full),
+                Fingerprint::of(&degenerate),
+                "min_copies = n diverged from full replication on {scenario} ({driver:?}, {policy:?})"
+            );
+            assert_eq!(full.completions, degenerate.completions);
+            assert_eq!(degenerate.filtered_ws_bytes, 0);
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,245 @@
+//! Property tests for partial replication (the placement subsystem):
+//!
+//! * **durability** — at every event boundary of a run, including across
+//!   the failover fault schedule, every relation group has at least
+//!   `min(min_copies, live replicas)` live holders, and every live holder
+//!   keeps the group's relations current (its update filter accepts them) —
+//!   together: every committed writeset stays durable on `min_copies` live
+//!   replicas, the crash handler re-replicating synchronously before any
+//!   client is retried;
+//! * **dispatch safety** — dispatch never routes a transaction to a
+//!   non-holder. The routing invariant is a hard assertion inside
+//!   `ClusterState::submit_txn`, so every run below doubles as a dispatch
+//!   property check across random fault schedules;
+//! * **re-replication** — the injectable `Ev::Rereplicate` widens a group's
+//!   holder set via certifier-log backfill, and recovery catch-up under
+//!   partial replication still lands the victim exactly on the certifier's
+//!   version (held groups as pages, the rest as version ticks).
+
+use proptest::prelude::*;
+use tashkent::cluster::{
+    ClusterState, Ev, Experiment, FaultKind, PartialReplication, Scenario, ScenarioKnobs,
+};
+use tashkent::sim::{EventQueue, SimTime};
+
+/// Builds the runnable state + queue for an experiment, mirroring what the
+/// experiment runner schedules (single-phase experiments only).
+fn build(exp: Experiment) -> (ClusterState, EventQueue<Ev>) {
+    assert_eq!(exp.phases.len(), 1, "helper supports single-phase runs");
+    let mixes = vec![exp.phases[0].1.clone()];
+    let total = exp.phases[0].0;
+    let mut state = ClusterState::new(exp.config, exp.workload, mixes);
+    let mut queue = EventQueue::new();
+    state.prime(&mut queue);
+    queue.schedule(SimTime::from_secs(exp.warmup_secs), Ev::EndWarmup);
+    queue.schedule(SimTime::from_secs(total), Ev::End);
+    for (at, ev) in exp.injections {
+        queue.schedule(at, ev);
+    }
+    (state, queue)
+}
+
+/// Checks the durability invariant on a state snapshot; `deep` also
+/// verifies that every live holder's filter keeps the group current.
+fn assert_durable(state: &ClusterState, deep: bool) {
+    let p = state.placement().expect("partial run has a placement");
+    let n = state.replica_count();
+    let live = (0..n).filter(|r| state.node(*r).is_up()).count();
+    let need = p.min_copies().min(live);
+    for g in 0..p.group_count() {
+        let live_holders = p
+            .holders(g)
+            .iter()
+            .filter(|r| state.node(**r).is_up())
+            .count();
+        assert!(
+            live_holders >= need,
+            "group {g}: {live_holders} live holders < {need}"
+        );
+        if deep {
+            for &r in p.holders(g) {
+                if !state.node(r).is_up() {
+                    continue;
+                }
+                for rel in &p.groups()[g].relations {
+                    assert!(
+                        state.replica(r).filter().accepts(*rel),
+                        "live holder {r} filters out {rel} of its group {g}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Drives the partial-replication scenario event by event and checks the
+/// durability invariant at every boundary — the crash handler must
+/// re-replicate synchronously, so there is never a window in which a group
+/// sits below its constraint.
+#[test]
+fn durability_holds_at_every_event_across_the_failover_schedule() {
+    for seed in [1, 42] {
+        let knobs = ScenarioKnobs {
+            replicas: 4,
+            clients_per_replica: 3,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_seed(seed);
+        let exp = PartialReplication::default().experiment(&knobs);
+        let (mut state, mut queue) = build(exp);
+        assert_durable(&state, true);
+        let mut faults_seen = 0;
+        while !state.ended() {
+            let (now, ev) = queue.pop().expect("End event scheduled");
+            state.handle(now, ev, &mut queue);
+            // The deep (filter) check runs whenever the fault log grows;
+            // the holder-count check runs at every single event boundary.
+            let faults = state.metrics.faults().len();
+            assert_durable(&state, faults != faults_seen);
+            faults_seen = faults;
+        }
+        assert!(
+            state
+                .metrics
+                .faults()
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::Rereplicate { .. })),
+            "seed {seed}: the crash must have forced re-replication"
+        );
+        assert_durable(&state, true);
+    }
+}
+
+/// The injectable `Ev::Rereplicate` widens the holder set mid-run: the new
+/// holder becomes eligible for the group's types, its filter accepts the
+/// group's relations, and the fault log records the copy.
+#[test]
+fn rereplicate_event_widens_the_holder_set() {
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 3,
+        ..ScenarioKnobs::smoke()
+    };
+    let scenario = PartialReplication {
+        faults: false,
+        ..PartialReplication::default()
+    };
+    let exp = scenario
+        .experiment(&knobs)
+        .with_injection(SimTime::from_secs(3), Ev::Rereplicate { group: 0 });
+    let (mut state, mut queue) = build(exp);
+    while !state.ended() {
+        let (now, ev) = queue.pop().expect("End event scheduled");
+        state.handle(now, ev, &mut queue);
+    }
+
+    let p = state.placement().expect("partial run has a placement");
+    assert_eq!(
+        p.holders(0).len(),
+        p.min_copies() + 1,
+        "the event must add exactly one holder"
+    );
+    let added = state
+        .metrics
+        .faults()
+        .iter()
+        .find_map(|f| match f.kind {
+            FaultKind::Rereplicate { group: 0, to } => Some(to),
+            _ => None,
+        })
+        .expect("re-replication recorded in the fault log");
+    assert!(p.holds_group(added, 0));
+    for t in &p.groups()[0].types {
+        assert!(p.eligible(*t, added), "new holder not eligible for {t}");
+    }
+    for rel in &p.groups()[0].relations {
+        assert!(state.replica(added).filter().accepts(*rel));
+    }
+}
+
+/// MALB with update filtering on top of partial replication: MALB's filter
+/// lists are placement-unaware, so they must never narrow a holder below
+/// its held set — placement subsumes them. Regression for a bug where the
+/// composed filter let live holders reject their own groups' relations,
+/// silently voiding the durability invariant once MALB stabilized and
+/// installed its lists.
+#[test]
+fn malb_update_filtering_never_narrows_a_holder_below_its_held_set() {
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 3,
+        warmup_secs: 5,
+        // Long enough for MALB to stabilize (10 rebalance rounds at the 5 s
+        // period) and install its filter lists mid-run.
+        measured_secs: 120,
+        ..ScenarioKnobs::smoke()
+    }
+    .with_policy(tashkent::cluster::PolicySpec::malb_sc_uf());
+    let scenario = PartialReplication {
+        faults: false,
+        ..PartialReplication::default()
+    };
+    let (mut state, mut queue) = build(scenario.experiment(&knobs));
+    while !state.ended() {
+        let (now, ev) = queue.pop().expect("End event scheduled");
+        state.handle(now, ev, &mut queue);
+    }
+    assert!(
+        state.balancer().filters_installed(),
+        "MALB must have installed its update filters for the regression to bite"
+    );
+    // Every live holder still keeps every relation of its groups current.
+    assert_durable(&state, true);
+}
+
+proptest! {
+    /// Random fault schedules over a partially-replicated cluster: the run
+    /// completes (dispatch safety is asserted inside the cluster on every
+    /// submit), the durability invariant holds at the end, and the
+    /// recovered victim has applied exactly the certifier's version — the
+    /// run ends the instant recovery completes, so catch-up under partial
+    /// replication (held pages + version ticks) cannot hide a partial
+    /// replay.
+    #[test]
+    fn random_faults_preserve_durability_and_catch_up(
+        seed in 1u64..200,
+        min_copies in 1usize..4,
+        crash_at in 2u64..5,
+        downtime in 1u64..3,
+        victim in 0usize..3,
+    ) {
+        let knobs = ScenarioKnobs {
+            replicas: 3,
+            clients_per_replica: 3,
+            warmup_secs: 1,
+            measured_secs: crash_at + downtime,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_seed(seed)
+        .with_min_copies(Some(min_copies));
+        let exp = PartialReplication {
+            faults: false,
+            ..PartialReplication::default()
+        }
+        .experiment(&knobs);
+        let (mut state, mut queue) = build(exp);
+        let recover_at = crash_at + downtime;
+        queue.schedule(SimTime::from_secs(crash_at), Ev::ReplicaCrash { replica: victim });
+        queue.schedule(SimTime::from_secs(recover_at), Ev::ReplicaRecover { replica: victim });
+        // Same instant, scheduled after the recovery: FIFO ends the run the
+        // moment catch-up finishes (the build()-scheduled End never fires).
+        queue.schedule(SimTime::from_secs(recover_at), Ev::End);
+        while !state.ended() {
+            let (now, ev) = queue.pop().expect("End event scheduled");
+            state.handle(now, ev, &mut queue);
+        }
+        assert_durable(&state, true);
+        prop_assert!(state.node(victim).is_up());
+        prop_assert_eq!(
+            state.replica(victim).applied(),
+            state.certifier().version(),
+            "partial-replication catch-up must land on the certifier version (seed {})",
+            seed
+        );
+    }
+}

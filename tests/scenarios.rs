@@ -20,8 +20,8 @@ fn every_registered_scenario_runs_at_smoke_scale() {
     let knobs = ScenarioKnobs::smoke();
     let scenarios = registry();
     assert!(
-        scenarios.len() >= 4,
-        "registry must hold the three paper scenarios plus failover"
+        scenarios.len() >= 5,
+        "registry must hold the three paper scenarios plus failover and partial replication"
     );
     for s in &scenarios {
         let r = s.run(&knobs).expect("scenario runs to its End event");
@@ -43,6 +43,7 @@ fn registry_covers_the_built_in_scenarios() {
         "rubis-auction",
         "dynamic-reconfig",
         "failover",
+        "partial-replication",
     ] {
         let s = scenario(name).unwrap_or_else(|| panic!("{name} missing from registry"));
         assert_eq!(s.name(), name);
@@ -59,6 +60,7 @@ fn same_seed_same_metrics_summary() {
         "rubis-auction",
         "dynamic-reconfig",
         "failover",
+        "partial-replication",
     ] {
         let knobs = ScenarioKnobs::smoke().with_seed(1234);
         let a = run_scenario(name, &knobs).expect("scenario runs to its End event");
