@@ -1,66 +1,201 @@
-//! Wall-clock comparison of the sequential vs windowed-parallel drivers.
+//! Wall-clock comparison of the sequential vs windowed-parallel drivers,
+//! with a machine-readable JSON report.
 //!
-//! Runs the same paper-scale experiment (16 replicas, TPC-W ordering,
-//! MALB-SC) under both drivers, checks the results are bit-identical, and
-//! prints wall-clock times. On a host with ≥ 4 cores the parallel driver
-//! should win clearly; on one core it degrades to the inline windowed path
-//! with small overhead.
+//! Runs a Figure 3 full-size configuration (MidDB 1.8 GB, 512 MB RAM,
+//! 16 replicas, TPC-W ordering; LARD by default — the fig03 point whose
+//! hot-replica concentration yields the densest event stream) under the
+//! sequential driver once and the parallel driver at each requested
+//! thread count, checks the results are bit-identical, and reports
+//! wall-clock times plus the parallel driver's window statistics (mean
+//! window size, deferred stoppers, pooling, log2 size histogram). The
+//! JSON lands in `bench_results/driver_bench.json`, seeding the repo's
+//! perf trajectory.
 //!
-//! Usage: `cargo run --release -p tashkent-bench --bin driver_bench [threads]`
+//! Usage: `cargo run --release -p tashkent-bench --bin driver_bench
+//! [threads...]` (default thread counts: 2 4).
+//!
+//! Environment:
+//! * `TASHKENT_BENCH_WINDOW` — simulated window (`full`/`quick`/`smoke`).
+//! * `TASHKENT_BENCH_POLICY` — dispatch policy for the measured config
+//!   (`leastconn` | `lard` | `malb-sc`; default `lard`, the fig03 point
+//!   whose hot-replica concentration yields the densest windows).
+//! * `TASHKENT_BENCH_CPR` — clients per replica (default: the calibrated
+//!   85%-of-peak table entry). Raising it pushes the cluster into the
+//!   overload regime the fig 8–10 sweeps cover, where every Gatekeeper
+//!   slot is busy and event density — and so window size — peaks.
+//! * `TASHKENT_BENCH_MIN_WINDOW` — when set, exit non-zero if the mean
+//!   window size *including lone steps as windows of one* falls below
+//!   this floor (the conservative gauge: a regression that shatters
+//!   windows into singles cannot hide behind large surviving windows).
+//!   The CI perf-smoke step asserts on window size, not wall clock, so
+//!   shared runners cannot flake it.
 
-use std::time::Instant;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-use tashkent_bench::{clients_per_replica, window};
-use tashkent_cluster::{run_scenario, DriverKind, PolicySpec, ScenarioKnobs};
+use tashkent_bench::{clients_per_replica, save_json, window};
+use tashkent_cluster::{
+    DriverKind, DriverStats, PolicySpec, RunResult, Scenario, ScenarioKnobs, TpcwSteadyState,
+};
+use tashkent_workloads::tpcw::TpcwScale;
+
+/// One driver run: wall clock plus the result it produced.
+struct Timed {
+    wall: Duration,
+    result: RunResult,
+}
+
+fn run(scenario: &TpcwSteadyState, knobs: &ScenarioKnobs, driver: DriverKind) -> Timed {
+    let t = Instant::now();
+    let result = scenario
+        .run(&knobs.clone().with_driver(driver))
+        .expect("driver_bench run completes");
+    Timed {
+        wall: t.elapsed(),
+        result,
+    }
+}
+
+fn fingerprint(r: &RunResult) -> (u64, u64, u64) {
+    (r.committed, r.aborts, r.updates)
+}
+
+fn hist_json(stats: &DriverStats) -> String {
+    let entries: Vec<String> = stats.size_hist.iter().map(u64::to_string).collect();
+    format!("[{}]", entries.join(","))
+}
 
 fn main() {
-    let threads: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0);
+    // Malformed input must fail loudly: a silent fallback would measure —
+    // and gate CI on — a different configuration than the one requested.
+    let threads: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| {
+                a.parse()
+                    .unwrap_or_else(|_| panic!("thread-count argument must be a number, got {a:?}"))
+            })
+            .collect();
+        if args.is_empty() {
+            vec![2, 4]
+        } else {
+            args
+        }
+    };
     let (warmup, measured) = window();
+    let (policy, policy_name) = match std::env::var("TASHKENT_BENCH_POLICY").as_deref() {
+        Ok("leastconn") => (PolicySpec::LeastConnections, "leastconn"),
+        Ok("malb-sc") => (PolicySpec::malb_sc(), "malb-sc"),
+        Ok("lard") | Err(_) => (PolicySpec::Lard, "lard"),
+        Ok(other) => {
+            panic!("TASHKENT_BENCH_POLICY must be `leastconn`, `lard`, or `malb-sc`, got {other:?}")
+        }
+    };
+    let scenario = TpcwSteadyState {
+        scale: TpcwScale::Mid,
+        mix: "ordering",
+    };
+    let cpr = match std::env::var("TASHKENT_BENCH_CPR") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("TASHKENT_BENCH_CPR must be a number, got {v:?}")),
+        Err(_) => clients_per_replica("tpcw", "ordering"),
+    };
     let knobs = ScenarioKnobs {
         replicas: 16,
-        clients_per_replica: clients_per_replica("tpcw", "ordering"),
+        clients_per_replica: cpr,
         warmup_secs: warmup,
         measured_secs: measured,
         ..ScenarioKnobs::default()
     }
-    .with_policy(PolicySpec::malb_sc());
+    .with_policy(policy);
 
-    let t = Instant::now();
-    let seq = run_scenario(
-        "tpcw-steady-state",
-        &knobs.clone().with_driver(DriverKind::Sequential),
-    )
-    .expect("sequential run completes");
-    let seq_wall = t.elapsed();
-
-    let t = Instant::now();
-    let par = run_scenario(
-        "tpcw-steady-state",
-        &knobs.clone().with_driver(DriverKind::Parallel { threads }),
-    )
-    .expect("parallel run completes");
-    let par_wall = t.elapsed();
-
-    assert_eq!(
-        (seq.committed, seq.aborts, seq.updates),
-        (par.committed, par.aborts, par.updates),
-        "drivers must produce identical results"
-    );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let seq = run(&scenario, &knobs, DriverKind::Sequential);
     println!(
-        "16 replicas x {}s simulated, {} committed txns, host cores: {cores}",
+        "fig03 shape (MidDB, 512MB, 16 replicas, {policy_name}), {}s simulated, \
+         {} committed txns, host cores: {cores}",
         warmup + measured,
-        seq.committed
+        seq.result.committed
     );
-    println!("  sequential: {seq_wall:?}");
-    println!(
-        "  parallel:   {par_wall:?} ({} threads) -> {:.2}x",
-        if threads == 0 { cores } else { threads },
-        seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9)
+    println!("  sequential: {:?}", seq.wall);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": \"tpcw-mid-ordering-{policy_name}-16r\","
     );
+    let _ = writeln!(json, "  \"warmup_secs\": {warmup},");
+    let _ = writeln!(json, "  \"measured_secs\": {measured},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"committed\": {},", seq.result.committed);
+    let _ = writeln!(json, "  \"sequential_wall_us\": {},", seq.wall.as_micros());
+    let _ = writeln!(json, "  \"parallel\": [");
+
+    let mut worst_mean = f64::INFINITY;
+    for (i, &t) in threads.iter().enumerate() {
+        let par = run(&scenario, &knobs, DriverKind::Parallel { threads: t });
+        assert_eq!(
+            fingerprint(&seq.result),
+            fingerprint(&par.result),
+            "drivers must produce identical results ({t} threads)"
+        );
+        let stats = par
+            .result
+            .driver_stats
+            .expect("parallel runs always record window stats");
+        let mean = stats.mean_window_items();
+        worst_mean = worst_mean.min(stats.mean_window_incl_singles());
+        println!(
+            "  parallel:   {:?} ({t} threads) -> {:.2}x | {:.2} items/window \
+             ({:.2} incl. singles), {} deferred, {} pooled of {} windows",
+            par.wall,
+            seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
+            mean,
+            stats.mean_window_incl_singles(),
+            stats.deferred,
+            stats.pooled,
+            stats.windows,
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {t},");
+        let _ = writeln!(json, "      \"wall_us\": {},", par.wall.as_micros());
+        let _ = writeln!(json, "      \"windows\": {},", stats.windows);
+        let _ = writeln!(json, "      \"singles\": {},", stats.singles);
+        let _ = writeln!(json, "      \"items\": {},", stats.items);
+        let _ = writeln!(json, "      \"steps\": {},", stats.steps);
+        let _ = writeln!(json, "      \"deferred\": {},", stats.deferred);
+        let _ = writeln!(json, "      \"shards\": {},", stats.shards);
+        let _ = writeln!(json, "      \"pooled\": {},", stats.pooled);
+        let _ = writeln!(json, "      \"mean_window_items\": {mean:.4},");
+        let _ = writeln!(
+            json,
+            "      \"mean_window_incl_singles\": {:.4},",
+            stats.mean_window_incl_singles()
+        );
+        let _ = writeln!(json, "      \"size_hist\": {}", hist_json(&stats));
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < threads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    save_json("driver_bench", &json);
+
+    if let Ok(floor) = std::env::var("TASHKENT_BENCH_MIN_WINDOW") {
+        let floor: f64 = floor
+            .parse()
+            .expect("TASHKENT_BENCH_MIN_WINDOW must be a number");
+        assert!(
+            worst_mean >= floor,
+            "mean window size (incl. singles) regressed: {worst_mean:.2} < floor {floor} \
+             (deferred-stopper windows should keep windows large; see \
+             crates/cluster/src/driver.rs)"
+        );
+        println!("  window-size floor {floor} held (worst mean incl. singles {worst_mean:.2})");
+    }
 }

@@ -216,9 +216,19 @@ pub fn print_table(title: &str, unit: &str, rows: &[Row]) -> String {
 
 /// Writes CSV results under `bench_results/`.
 pub fn save_csv(name: &str, body: &str) {
+    save_with_ext(name, "csv", body);
+}
+
+/// Writes a JSON report under `bench_results/` (machine-readable bench
+/// output, e.g. `driver_bench.json`).
+pub fn save_json(name: &str, body: &str) {
+    save_with_ext(name, "json", body);
+}
+
+fn save_with_ext(name: &str, ext: &str, body: &str) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
     if fs::create_dir_all(&dir).is_ok() {
-        let _ = fs::write(dir.join(format!("{name}.csv")), body);
+        let _ = fs::write(dir.join(format!("{name}.{ext}")), body);
     }
 }
 

@@ -9,60 +9,113 @@
 //! * [`SequentialDriver`] — pops one event at a time in `(timestamp, FIFO)`
 //!   order. This is the reference semantics: bit-for-bit the behaviour of
 //!   the original single-threaded `World` loop.
-//! * [`ParallelDriver`] — a conservative parallel discrete-event driver.
-//!   Runs of consecutive node-local `StepTxn` events are popped as a
-//!   *lookahead window* and sharded by replica across `std::thread` workers
-//!   over `mpsc` channels; each worker advances its replica's transactions
-//!   independently, and the per-shard transcripts are then replayed back in
-//!   exactly the sequential pop order — including same-microsecond FIFO
-//!   ties, which `merge_window` reconstructs via generation stamps.
-//!   Results are identical to [`SequentialDriver`] for every seed and
-//!   configuration; only wall-clock time differs.
+//! * [`ParallelDriver`] — a windowed parallel discrete-event driver. Runs
+//!   of consecutive window-compatible events are popped as a *lookahead
+//!   window*: `StepTxn` events are sharded by replica across `std::thread`
+//!   workers over `mpsc` channels, while single-component stoppers
+//!   (certifier sends, certifier returns, committed completions,
+//!   maintenance rounds) are **deferred** into the merge instead of ending
+//!   the window. The merge then replays everything — worker transcripts,
+//!   deferred stoppers, and the events their handling schedules — in
+//!   exactly the sequential pop order, including same-microsecond FIFO
+//!   ties, which it reconstructs via generation stamps. Results are
+//!   identical to [`SequentialDriver`] for every seed and configuration;
+//!   only wall-clock time differs.
 //!
-//! # Why `StepTxn` windows are safe
+//! # The window lifecycle
+//!
+//! 1. **Formation.** A window opens on a popped `StepTxn` at `t0` and keeps
+//!    popping while the queue head is *window-compatible*: any event at or
+//!    before the horizon `t0 + 4·lan_hop_us` whose [`Ev::footprint`] is not
+//!    [`Footprint::Global`]. Steps join their replica's shard; everything
+//!    else becomes a *deferred stopper* carried by the coordinator. Each
+//!    popped event records its pop rank — its position in the sequential
+//!    pop order. The first `Footprint::Global` event (balancer tick,
+//!    fault, placement change, run control) or the first event past the
+//!    horizon stays queued and bounds the window as the *true stopper*.
+//! 2. **Sharding.** Each shard leases its replica's node and advances that
+//!    replica's transactions independently (worker threads when the window
+//!    is big enough to pay for the channel hop, inline otherwise),
+//!    recording a transcript. Shards observe *barriers* (below) that stop
+//!    them exactly where a deferred stopper or an emitted consequence would
+//!    sequentially intervene on their replica.
+//! 3. **Merge.** The coordinator replays the window in the exact global
+//!    sequential order — batch events and deferred stoppers by pop rank,
+//!    generated events at their generation positions — executing deferred
+//!    stoppers and pre-stopper emissions inline through
+//!    [`ClusterState::handle`] and interleaving any events that handling
+//!    schedules (see [`merge_window`]). Emissions at or past the true
+//!    stopper re-enter the queue at their sequential insertion position.
+//!
+//! # Why windows are exact
 //!
 //! Every cross-component interaction travels the simulated LAN and pays at
-//! least one `lan_hop_us` of latency, and a transaction step's effects reach
-//! *another* replica only through the client (`TxnComplete` → retry/think →
-//! submit, two hops) or the certifier (`CertifySend` → `CertifyReturn`, two
-//! hops). Processing a step at time `t` therefore cannot influence any other
-//! replica before `t + 2·lan_hop_us` — the conservative lookahead bound. A
-//! window starting at `t0` may freely execute `StepTxn` events up to
-//! `t0 + 2·lan_hop_us` in parallel across replicas, subject to *barriers*
-//! that protect same-timestamp interleavings:
+//! least one `lan_hop_us` of latency. The certifier round-trip
+//! (`CertifySend` → `CertifyReturn`) returns to the *origin* replica, so
+//! the only path by which window work reaches another replica's node runs
+//! through the client: a completion's response travels replica → balancer
+//! → client (two hops — commits, aborts, and given-up retries alike, see
+//! [`Ev::TxnRetry`]), and the client's next submission travels client →
+//! balancer → replica (two more) before the first `StepTxn` on the new
+//! replica fires. The submission itself only registers the transaction at
+//! the Gatekeeper — state no worker reads. Work at time `t` therefore
+//! cannot influence any *shard-visible* state on another replica before
+//! `t + 4·lan_hop_us`: the lookahead bound, anchored at the window start
+//! `t0`.
 //!
-//! * events still queued behind the window (the first non-`StepTxn` event)
-//!   execute before any window-generated event at the same or later time, so
-//!   workers run generated events only strictly before that timestamp;
-//! * a `TxnComplete` produced inside the window touches its own replica the
-//!   moment it is handled (slot recycling, retries), so the producing worker
-//!   stops its replica at that key;
-//! * a `CertifySend` produced at `t` returns to its replica no earlier than
-//!   `t + lan_hop_us` (the certifier's answer applies remote writesets), so
-//!   the producing worker stops its replica at that time.
+//! Worker shards touch *only* their leased replica's node (CPU/disk/buffer
+//! models, per-node RNG, executor state); every other handler runs on the
+//! coordinator, in exact sequential order, during the merge. The only
+//! hazard is therefore an event whose handler touches a node while that
+//! node's shard would run past it. Window formation prevents it with
+//! **per-shard barriers**, keys in the sequential order `(timestamp, pop
+//! rank)` past which a shard must not execute:
 //!
-//! Failure-injection events (`ReplicaCrash`, `ReplicaRecover`,
-//! `CertifierKill`) are window barriers for free: windows only ever pop
-//! `StepTxn` events, so a queued fault event bounds the window like any
-//! other non-step event — no window-generated event executes at or past its
-//! timestamp, and no batch event can follow it in FIFO order (the queue pops
-//! time-ordered, so every batch event was at or before the fault's instant
-//! and ahead of it in seniority). The one crash-specific wrinkle is *stale*
-//! steps: a crash drops a replica's in-flight transactions while their step
-//! events are still queued, so `step_child` is total — it returns `None` for
-//! a transaction that no longer exists, and both drivers skip such events
-//! identically (the shard transcript records them as `ChildOut::Stale`).
+//! * a deferred `CertifyReturn{r}`, `TxnComplete{r}`, or `Maintenance{r}`
+//!   touches replica `r` at its own instant, so shard `r` is barred from
+//!   the stopper's own key;
+//! * a deferred `CertifySend{r}` touches only certifier state, but its
+//!   answer reaches `r` no earlier than one hop later — shard `r` is
+//!   barred from `(t + lan_hop_us, rank)`;
+//! * a deferred `ClientArrive` or `TxnRetry` dispatches to a replica the
+//!   balancer only picks during the merge, and the submitted transaction's
+//!   first step fires two hops later — *every* shard is barred from
+//!   `(t + 2·lan_hop_us, rank)`;
+//! * the same rules apply to consequences *emitted by the shard itself*
+//!   (a completion bars its replica at its key; a certifier send one hop
+//!   later), exactly as before deferral;
+//! * generated events run only strictly before the true stopper's
+//!   timestamp (at a tie they would lose FIFO to it).
 //!
-//! Within one replica a worker executes events in the exact sequential
-//! order, so the replica's RNG draws, buffer-pool state, and CPU/disk
-//! queues evolve identically. The merge then replays everything the window
-//! produced in the exact sequential pop order (see `merge_window`):
-//! emissions junior to the window stopper re-enter the queue at their
-//! generation position, while everything senior to it — skipped batch
-//! events and pre-stopper emissions — is *executed inline* at its precise
-//! slot, interleaved with any events that execution schedules, so even
-//! same-microsecond FIFO ties resolve exactly as sequential insertion
-//! would.
+//! Barriers are conservative, not lossy: batch events a barrier skipped and
+//! children it demoted are executed inline by the merge at their precise
+//! sequential slot, after every senior deferred stopper and emission has
+//! been handled — which is exactly the sequential state.
+//!
+//! The merge's interleaving closes the same-microsecond tie corner for
+//! deferred stoppers just as PR 4 closed it for emissions: a window entry
+//! carries the queue's sequence counter at its *generation* instant
+//! ([`EventQueue::next_seq`]), so an event scheduled during the replay pops
+//! before a window entry only when its sequence number is below the entry's
+//! stamp — the exact FIFO order sequential insertion would have produced.
+//! Deferred stoppers and batch events predate everything the replay can
+//! schedule and carry the minimum stamp.
+//!
+//! Failure events (`ReplicaCrash`, `ReplicaRecover`, `CertifierKill`,
+//! `Rereplicate`) are `Footprint::Global` and still bound windows as true
+//! stoppers. The crash-specific wrinkle is *stale* steps: a crash drops a
+//! replica's in-flight transactions while their step events are still
+//! queued, so `step_child` is total — it returns `None` for a transaction
+//! that no longer exists, and both drivers skip such events identically
+//! (the shard transcript records them as `ChildOut::Stale`).
+//!
+//! # Observability
+//!
+//! The driver always collects [`DriverStats`] (window counts, sizes,
+//! deferral and pooling counters, a log₂ size histogram) into
+//! [`ClusterState::driver_stats`], which [`crate::metrics::RunResult`]
+//! carries as `driver_stats`. Setting `TASHKENT_DRIVER_STATS` additionally
+//! prints a summary to stderr at the end of the run.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -74,7 +127,7 @@ use tashkent_engine::TxnId;
 use tashkent_sim::{EventQueue, SimTime};
 
 use crate::components::ClusterNode;
-use crate::events::Ev;
+use crate::events::{Ev, Footprint};
 use crate::state::ClusterState;
 
 /// Which driver an experiment runs under.
@@ -91,6 +144,18 @@ pub enum DriverKind {
         /// Worker thread count; `0` picks the host's available parallelism.
         threads: usize,
     },
+    /// The windowed driver with an explicit dispatch threshold: windows
+    /// with at least `min_dispatch` step events go through the worker
+    /// pool. `min_dispatch = 0` forces every multi-shard window — however
+    /// tiny — through the `mpsc` channel path; the equivalence suites use
+    /// it as a stress mode, since production thresholds keep small windows
+    /// inline on the coordinator.
+    ParallelTuned {
+        /// Worker thread count; `0` picks the host's available parallelism.
+        threads: usize,
+        /// Smallest step count dispatched to worker threads.
+        min_dispatch: usize,
+    },
 }
 
 impl DriverKind {
@@ -104,6 +169,10 @@ impl DriverKind {
         match self {
             DriverKind::Sequential => Box::new(SequentialDriver),
             DriverKind::Parallel { threads } => Box::new(ParallelDriver::new(threads)),
+            DriverKind::ParallelTuned {
+                threads,
+                min_dispatch,
+            } => Box::new(ParallelDriver::new(threads).with_min_dispatch(min_dispatch)),
         }
     }
 }
@@ -167,15 +236,84 @@ impl Driver for SequentialDriver {
     }
 }
 
+/// Number of log₂ buckets in the window-size histogram (sizes 1, 2–3, 4–7,
+/// … up to `2^11 = 2048` and beyond in the last bucket).
+pub const WINDOW_HIST_BUCKETS: usize = 12;
+
+/// Per-run window accounting, always collected by [`ParallelDriver`] and
+/// surfaced through [`crate::metrics::RunResult::driver_stats`]. Setting
+/// `TASHKENT_DRIVER_STATS` prints a summary to stderr at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Formed windows (two or more popped events).
+    pub windows: u64,
+    /// Lone steps handled without forming a window.
+    pub singles: u64,
+    /// Events popped into formed windows (steps + deferred stoppers).
+    pub items: u64,
+    /// `StepTxn` events popped into formed windows.
+    pub steps: u64,
+    /// Stoppers deferred into the merge instead of ending a window.
+    pub deferred: u64,
+    /// Shards executed across all formed windows.
+    pub shards: u64,
+    /// Windows dispatched to the worker-thread pool.
+    pub pooled: u64,
+    /// Window sizes (including singles as size 1), log₂-bucketed: bucket
+    /// `i` counts windows of `2^i ..= 2^(i+1) - 1` events.
+    pub size_hist: [u64; WINDOW_HIST_BUCKETS],
+}
+
+impl DriverStats {
+    /// Mean events per formed window (the main parallelism gauge; excludes
+    /// lone steps, which never reach the window machinery).
+    pub fn mean_window_items(&self) -> f64 {
+        self.items as f64 / self.windows.max(1) as f64
+    }
+
+    /// Mean events per window counting lone steps as windows of one — the
+    /// conservative gauge the CI floor asserts on.
+    pub fn mean_window_incl_singles(&self) -> f64 {
+        (self.items + self.singles) as f64 / (self.windows + self.singles).max(1) as f64
+    }
+
+    fn observe_single(&mut self) {
+        self.singles += 1;
+        self.size_hist[0] += 1;
+    }
+
+    fn observe_window(&mut self, steps: u64, deferred: u64, shards: u64, pooled: bool) {
+        let size = steps + deferred;
+        self.windows += 1;
+        self.items += size;
+        self.steps += steps;
+        self.deferred += deferred;
+        self.shards += shards;
+        self.pooled += u64::from(pooled);
+        let bucket = (63 - size.max(1).leading_zeros() as usize).min(WINDOW_HIST_BUCKETS - 1);
+        self.size_hist[bucket] += 1;
+    }
+}
+
 /// Orders window items exactly as the sequential driver would pop them:
-/// by timestamp, ties broken by insertion rank. Batch events carry their
-/// pop rank (`0..batch_len`); events generated during the window rank after
-/// every batch event, in generation order — mirroring the queue's monotone
-/// sequence numbers.
+/// by timestamp, ties broken by insertion rank. Batch events (steps and
+/// deferred stoppers) carry their pop rank (`0..batch_len`); events
+/// generated during the window rank after every batch event, in generation
+/// order — mirroring the queue's monotone sequence numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     at: SimTime,
     rank: u64,
+}
+
+/// One popped window event, in pop order.
+#[derive(Debug)]
+enum WinItem {
+    /// A `StepTxn`, sharded to its replica's worker.
+    Step { replica: usize, txn: TxnId },
+    /// A deferred stopper: executed inline by the merge at its exact slot
+    /// in the sequential pop order.
+    Deferred(Ev),
 }
 
 /// What a processed step produced.
@@ -197,44 +335,60 @@ struct StepRec {
     child: ChildOut,
 }
 
-/// One replica's work for a window, leased to a worker.
+/// One replica's work for a window, leased to a worker. The `items`,
+/// `steps`, and `unprocessed` vectors are recycled scratch buffers: handed
+/// out empty-with-capacity, returned through [`ShardResult`].
 struct Job {
     replica: usize,
     node: Box<ClusterNode>,
-    /// `(key, txn)` of this replica's batch events, key-ascending.
+    /// `(key, txn)` of this replica's batch steps, key-ascending.
     items: Vec<(Key, TxnId)>,
-    /// Latest timestamp the window may touch (`t0 + 2·lan_hop_us`).
+    /// Latest timestamp the window may touch (`t0 + 4·lan_hop_us`).
     horizon: SimTime,
     /// Timestamp of the first event still queued behind the window; the
     /// worker must not execute *generated* events at or past it.
     stop_ts: SimTime,
-    /// Ranks at and above this mark generated children (== batch length).
+    /// Earliest key at which a deferred stopper touches this replica (its
+    /// own key for node-touching stoppers, one hop later for certifier
+    /// sends); nothing on this shard may run at or past it.
+    defer_barrier: Option<Key>,
+    /// Ranks at and above this mark generated children (== batch length,
+    /// deferred stoppers included).
     child_rank_base: u64,
     /// One-way LAN latency: the minimum delay before a `CertifySend` can
     /// come back to this replica.
     lan_hop_us: u64,
+    /// Recycled transcript buffer (empty on entry).
+    steps: Vec<StepRec>,
+    /// Recycled skipped-batch buffer (empty on entry).
+    unprocessed: Vec<(u64, TxnId)>,
 }
 
 /// A worker's answer: the node back, plus everything needed to replay its
-/// shard of the window into the global insertion order.
+/// shard of the window into the global insertion order (and the drained
+/// `items` buffer, returned for recycling).
 struct ShardResult {
     replica: usize,
     node: Box<ClusterNode>,
+    /// The job's batch buffer, drained — returned to the coordinator pool.
+    items: Vec<(Key, TxnId)>,
     /// One record per processed item, in processing order.
     steps: Vec<StepRec>,
     /// Ranks of batch events the barriers prevented the worker from
-    /// processing, ascending; they re-enter the queue through the merge.
+    /// processing, ascending; the merge executes them inline.
     unprocessed_batch: Vec<(u64, TxnId)>,
 }
 
 /// Executes one replica's share of a lookahead window.
 ///
-/// The agenda is a mini event queue over this replica only. Batch events
-/// were popped ahead of every other queued event, so they may run up to the
-/// window limits; generated `StepTxn` children join the agenda while they
-/// stay *strictly* inside them (at a limit they could tie with an event the
-/// window defers, and a generated event loses every tie), everything else
-/// is emitted for the merge. Emissions lower the shard's barrier:
+/// The agenda is a mini event queue over this replica only (`agenda` is a
+/// recycled heap, empty on entry and exit). Batch steps were popped ahead
+/// of every other queued event, so they may run up to the window limits;
+/// generated `StepTxn` children join the agenda while they stay *strictly*
+/// inside them (at a limit they could tie with an event the window defers,
+/// and a generated event loses every tie), everything else is emitted for
+/// the merge. The shard's barrier starts at the job's deferred-stopper
+/// barrier and is lowered further by its own emissions:
 ///
 /// * a `TxnComplete` touches this replica the moment the merge handles it
 ///   (slot recycling, retries), so nothing on this replica may run at or
@@ -243,18 +397,17 @@ struct ShardResult {
 ///   `t + lan_hop_us` (conflicts return immediately; commits after
 ///   durability), which applies remote writesets on this replica — so
 ///   nothing may run past that time either.
-fn run_shard(mut job: Job) -> ShardResult {
+fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) -> ShardResult {
     // Agenda entries: (key, raw txn id, transcript index of the generating
     // step for children, or usize::MAX for batch events).
-    let mut agenda: BinaryHeap<Reverse<(Key, u64, usize)>> = job
-        .items
-        .iter()
-        .map(|(key, txn)| Reverse((*key, txn.0, usize::MAX)))
-        .collect();
-    let mut steps: Vec<StepRec> = Vec::with_capacity(job.items.len() * 2);
-    let mut unprocessed_batch: Vec<(u64, TxnId)> = Vec::new();
+    debug_assert!(agenda.is_empty(), "agenda scratch not drained");
+    for (key, txn) in job.items.drain(..) {
+        agenda.push(Reverse((key, txn.0, usize::MAX)));
+    }
+    let mut steps = std::mem::take(&mut job.steps);
+    let mut unprocessed_batch = std::mem::take(&mut job.unprocessed);
     let mut next_rank = job.child_rank_base;
-    let mut barrier: Option<Key> = None;
+    let mut barrier: Option<Key> = job.defer_barrier;
 
     while let Some(&Reverse((key, txn, _))) = agenda.peek() {
         let is_batch = key.rank < job.child_rank_base;
@@ -328,10 +481,12 @@ fn run_shard(mut job: Job) -> ShardResult {
             });
         }
     }
+    unprocessed_batch.sort_unstable_by_key(|(rank, _)| *rank);
 
     ShardResult {
         replica: job.replica,
         node: job.node,
+        items: job.items,
         steps,
         unprocessed_batch,
     }
@@ -339,23 +494,24 @@ fn run_shard(mut job: Job) -> ShardResult {
 
 /// What a replay entry does when its turn in the sequential order comes.
 enum Replay {
-    /// A window item (batch event or in-window generated child): consume
+    /// A window step (batch event or in-window generated child): consume
     /// its shard's next transcript record — or, when the shard's barriers
     /// skipped it (batch events only), execute it inline.
     Item(TxnId),
-    /// An emission senior to the window stopper: handle it inline at its
-    /// exact sequential pop position.
+    /// A deferred stopper or an emission senior to the true stopper: handle
+    /// it inline at its exact sequential pop position.
     Handle(Ev),
 }
 
 /// One pending element of the window replay.
 ///
 /// `key` orders entries exactly as the sequential pop would (timestamp,
-/// then generation rank). `stamp` is the queue's sequence counter at the
-/// entry's *generation* instant — where sequential execution would have
+/// then pop/generation rank). `stamp` is the queue's sequence counter at
+/// the entry's *generation* instant — where sequential execution would have
 /// inserted it — so a same-instant tie against an event scheduled during
 /// the replay resolves exactly as the sequential FIFO would: the entry is
-/// senior to every event scheduled at or after its stamp.
+/// senior to every event scheduled at or after its stamp. Batch events and
+/// deferred stoppers predate the whole replay and carry `i64::MIN`.
 struct ReplayEntry {
     key: Key,
     stamp: i64,
@@ -383,24 +539,48 @@ impl Ord for ReplayEntry {
     }
 }
 
-/// Replays per-shard transcripts in the exact global sequential order.
+/// Recycled merge-side allocations, reused across windows: the replay heap,
+/// the replica → shard-slot map, and the pools shard buffers return to.
+#[derive(Default)]
+struct MergeScratch {
+    heap: BinaryHeap<Reverse<ReplayEntry>>,
+    slot_of: Vec<usize>,
+    items_pool: Vec<Vec<(Key, TxnId)>>,
+    steps_pool: Vec<Vec<StepRec>>,
+    unproc_pool: Vec<Vec<(u64, TxnId)>>,
+}
+
+/// One shard's transcript under replay: cursor-consumed so the buffers can
+/// be recycled afterwards.
+struct ShardCursor {
+    steps: Vec<StepRec>,
+    step_i: usize,
+    unprocessed: Vec<(u64, TxnId)>,
+    unproc_i: usize,
+}
+
+/// Replays per-shard transcripts and deferred stoppers in the exact global
+/// sequential order.
 ///
 /// The sequential driver would have interleaved the window's events across
 /// replicas by `(timestamp, queue sequence)`; sequence numbers are assigned
 /// at insertion. The replay walks a heap of window entries keyed like the
-/// sequential pop order and consumes each replica's transcript in step.
-/// Everything the stopper — the first event still queued behind the window
-/// — is junior to goes back to the queue: emissions at or past its
-/// timestamp re-enter via [`EventQueue::merge`] at their generation
-/// position (every window item pops sequentially *before* the stopper, so
-/// their insertions all precede any post-stopper processing — the relative
-/// order is exact). Everything *senior* to the stopper is executed inline
-/// right here, at its precise slot in the sequential order:
+/// sequential pop order: every batch event (step or deferred stopper) at
+/// its pop rank, every generated event at its generation rank. Everything
+/// the *true stopper* — the first event still queued behind the window —
+/// is junior to goes back to the queue: emissions at or past its timestamp
+/// re-enter via [`EventQueue::merge`] at their generation position (every
+/// window item pops sequentially *before* the stopper, so their insertions
+/// all precede any post-stopper processing — the relative order is exact).
+/// Everything *senior* to the stopper executes inline right here, at its
+/// precise slot in the sequential order:
 ///
-/// * a batch event the shard's barriers skipped runs through
-///   [`ClusterState::handle`] at its own key — by then every emission that
-///   raised the barrier has itself been handled, which is exactly the
-///   sequential state;
+/// * a deferred stopper runs through [`ClusterState::handle`] at its pop
+///   rank — its shard was barred from that key onward, so the node state
+///   it touches is exactly the sequential state;
+/// * a batch step the shard's barriers skipped runs through
+///   [`ClusterState::handle`] at its own key — by then every deferred
+///   stopper and emission that raised the barrier has itself been handled;
 /// * a pre-stopper emission (completion, certification send, overflow step)
 ///   is handled at its key, after its shard's transcript is necessarily
 ///   exhausted (each shard stops at its consequence barriers, so no
@@ -412,54 +592,67 @@ impl Ord for ReplayEntry {
 /// that sequentially precedes it — earlier timestamp, or an equal
 /// timestamp with a sequence number below the entry's generation stamp —
 /// is popped and handled first. Pre-existing queue events never qualify
-/// (every replay entry is senior to the stopper by construction), so the
-/// interleave only ever runs events the replay itself produced. This
-/// closes the historical same-microsecond tie corner: follow-ups of
-/// inline-handled emissions now receive their sequence numbers at the
-/// emission's pop position, exactly as sequential insertion would.
+/// (every replay entry is senior to the true stopper by construction), so
+/// the interleave only ever runs events the replay itself produced. This
+/// is what closes the same-microsecond tie corner: follow-ups of
+/// inline-handled stoppers and emissions receive their sequence numbers at
+/// the handler's pop position, exactly as sequential insertion would.
 fn merge_window(
-    batch: &[(SimTime, usize, TxnId)],
+    batch: &mut Vec<(SimTime, WinItem)>,
     results: Vec<ShardResult>,
     state: &mut ClusterState,
     queue: &mut EventQueue<Ev>,
+    sc: &mut MergeScratch,
 ) {
     let child_rank_base = batch.len() as u64;
-    // The stopper: the first event still queued behind the window. Batch
-    // events are senior to it by FIFO even at equal timestamps; generated
-    // children are strictly earlier; emissions may land at or past it.
+    // The true stopper: the first event still queued behind the window.
+    // Batch events are senior to it by FIFO even at equal timestamps;
+    // generated children are strictly earlier; emissions may land at or
+    // past it.
     let stop_ts = queue.peek_time();
     let pre_stopper = |at: SimTime| stop_ts.is_none_or(|s| at < s);
     // Index transcripts by replica; return the leased nodes.
-    let mut steps: Vec<std::vec::IntoIter<StepRec>> = Vec::with_capacity(results.len());
-    let mut unprocessed: Vec<std::iter::Peekable<std::vec::IntoIter<(u64, TxnId)>>> =
-        Vec::with_capacity(results.len());
-    let mut slot_of = vec![usize::MAX; state.config.replicas];
+    sc.slot_of.clear();
+    sc.slot_of.resize(state.config.replicas, usize::MAX);
+    let mut shards: Vec<ShardCursor> = Vec::with_capacity(results.len());
     for r in results {
-        slot_of[r.replica] = steps.len();
-        steps.push(r.steps.into_iter());
-        unprocessed.push(r.unprocessed_batch.into_iter().peekable());
+        sc.slot_of[r.replica] = shards.len();
+        shards.push(ShardCursor {
+            steps: r.steps,
+            step_i: 0,
+            unprocessed: r.unprocessed_batch,
+            unproc_i: 0,
+        });
         state.put_node(r.replica, r.node);
+        sc.items_pool.push(r.items);
     }
 
     // Seed the replay with every batch event at its pop rank. Batch events
     // predate everything the replay can schedule, hence the MIN stamp.
-    let mut heap: BinaryHeap<Reverse<ReplayEntry>> = batch
-        .iter()
-        .enumerate()
-        .map(|(rank, (at, replica, txn))| {
-            Reverse(ReplayEntry {
-                key: Key {
-                    at: *at,
-                    rank: rank as u64,
-                },
+    sc.heap.clear();
+    for (rank, (at, item)) in batch.drain(..).enumerate() {
+        let key = Key {
+            at,
+            rank: rank as u64,
+        };
+        let entry = match item {
+            WinItem::Step { replica, txn } => ReplayEntry {
+                key,
                 stamp: i64::MIN,
-                replica: *replica,
-                action: Replay::Item(*txn),
-            })
-        })
-        .collect();
+                replica,
+                action: Replay::Item(txn),
+            },
+            WinItem::Deferred(ev) => ReplayEntry {
+                key,
+                stamp: i64::MIN,
+                replica: usize::MAX,
+                action: Replay::Handle(ev),
+            },
+        };
+        sc.heap.push(Reverse(entry));
+    }
     let mut next_rank = child_rank_base;
-    while let Some(Reverse(top)) = heap.peek() {
+    while let Some(Reverse(top)) = sc.heap.peek() {
         // Interleave: events the inline handling scheduled that
         // sequentially precede the next replay entry pop first.
         let (top_at, top_stamp) = (top.key.at, top.stamp);
@@ -471,19 +664,21 @@ fn merge_window(
             state.handle(at, ev, queue);
             continue;
         }
-        let Reverse(entry) = heap.pop().expect("peeked entry vanished");
+        let Reverse(entry) = sc.heap.pop().expect("peeked entry vanished");
         match entry.action {
             Replay::Item(txn) => {
-                let slot = slot_of[entry.replica];
+                let slot = sc.slot_of[entry.replica];
                 debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
+                let shard = &mut shards[slot];
                 if entry.key.rank < child_rank_base
-                    && unprocessed[slot]
-                        .peek()
+                    && shard
+                        .unprocessed
+                        .get(shard.unproc_i)
                         .is_some_and(|(rank, _)| *rank == entry.key.rank)
                 {
-                    // A batch event the shard's barriers skipped: its
+                    // A batch step the shard's barriers skipped: its
                     // sequential turn is exactly now — execute it inline.
-                    unprocessed[slot].next();
+                    shard.unproc_i += 1;
                     state.handle(
                         entry.key.at,
                         Ev::StepTxn {
@@ -492,45 +687,54 @@ fn merge_window(
                         },
                         queue,
                     );
-                    continue;
-                }
-                let rec = steps[slot]
-                    .next()
-                    .expect("transcript shorter than replayed items");
-                match rec.child {
-                    ChildOut::Local(ctxn) => {
-                        let key = Key {
-                            at: rec.child_at,
-                            rank: next_rank,
-                        };
-                        next_rank += 1;
-                        heap.push(Reverse(ReplayEntry {
-                            key,
-                            stamp: queue.next_seq(),
-                            replica: entry.replica,
-                            action: Replay::Item(ctxn),
-                        }));
-                    }
-                    ChildOut::Emit(ev) => {
-                        let key = Key {
-                            at: rec.child_at,
-                            rank: next_rank,
-                        };
-                        next_rank += 1;
-                        if pre_stopper(rec.child_at) {
-                            heap.push(Reverse(ReplayEntry {
+                } else {
+                    assert!(
+                        shard.step_i < shard.steps.len(),
+                        "transcript shorter than replayed items"
+                    );
+                    let rec = std::mem::replace(
+                        &mut shard.steps[shard.step_i],
+                        StepRec {
+                            child_at: SimTime::ZERO,
+                            child: ChildOut::Stale,
+                        },
+                    );
+                    shard.step_i += 1;
+                    match rec.child {
+                        ChildOut::Local(ctxn) => {
+                            let key = Key {
+                                at: rec.child_at,
+                                rank: next_rank,
+                            };
+                            next_rank += 1;
+                            sc.heap.push(Reverse(ReplayEntry {
                                 key,
                                 stamp: queue.next_seq(),
                                 replica: entry.replica,
-                                action: Replay::Handle(ev),
+                                action: Replay::Item(ctxn),
                             }));
-                        } else {
-                            queue.merge(rec.child_at, ev);
                         }
+                        ChildOut::Emit(ev) => {
+                            let key = Key {
+                                at: rec.child_at,
+                                rank: next_rank,
+                            };
+                            next_rank += 1;
+                            if pre_stopper(rec.child_at) {
+                                sc.heap.push(Reverse(ReplayEntry {
+                                    key,
+                                    stamp: queue.next_seq(),
+                                    replica: entry.replica,
+                                    action: Replay::Handle(ev),
+                                }));
+                            } else {
+                                queue.merge(rec.child_at, ev);
+                            }
+                        }
+                        // A stale step scheduled nothing sequentially: no
+                        // emission, nothing to replay.
+                        ChildOut::Stale => {}
                     }
-                    // A stale step scheduled nothing sequentially: no
-                    // emission, nothing to replay.
-                    ChildOut::Stale => {}
                 }
             }
             Replay::Handle(ev) => state.handle(entry.key.at, ev, queue),
@@ -540,19 +744,28 @@ fn merge_window(
             return;
         }
     }
-    debug_assert!(
-        steps.iter_mut().all(|s| s.next().is_none()),
-        "transcript longer than replayed items"
-    );
-    debug_assert!(
-        unprocessed.iter_mut().all(|u| u.peek().is_none()),
-        "unprocessed batch events never replayed"
-    );
+    for mut shard in shards {
+        debug_assert_eq!(
+            shard.step_i,
+            shard.steps.len(),
+            "transcript longer than replayed items"
+        );
+        debug_assert_eq!(
+            shard.unproc_i,
+            shard.unprocessed.len(),
+            "unprocessed batch events never replayed"
+        );
+        shard.steps.clear();
+        sc.steps_pool.push(shard.steps);
+        shard.unprocessed.clear();
+        sc.unproc_pool.push(shard.unprocessed);
+    }
 }
 
 /// Persistent worker threads; each window's jobs are spread round-robin by
 /// shard position, so a window's shards never pile onto one worker (the
-/// merge re-sorts by rank, so routing cannot affect results).
+/// merge re-sorts by rank, so routing cannot affect results). Each worker
+/// keeps a thread-local agenda heap, recycled across the jobs it runs.
 ///
 /// Windows are tens of microseconds of work, so both channel ends spin
 /// briefly before parking: a blocking `recv` wake-up costs several
@@ -591,9 +804,11 @@ impl WorkerPool {
             let res_tx = res_tx.clone();
             senders.push(tx);
             handles.push(thread::spawn(move || {
+                let mut agenda = BinaryHeap::new();
                 while let Some(job) = spin_recv(&rx) {
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_shard(job)));
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_shard(job, &mut agenda)
+                    }));
                     let poisoned = result.is_err();
                     if res_tx.send(result).is_err() || poisoned {
                         break;
@@ -638,37 +853,38 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The windowed multi-threaded driver. See the module docs for the
-/// correctness argument; [`ParallelDriver::new`] with `0` threads sizes the
-/// pool to the host.
+/// The windowed multi-threaded driver. See the module docs for the window
+/// lifecycle and the exactness argument; [`ParallelDriver::new`] with `0`
+/// threads sizes the pool to the host.
 pub struct ParallelDriver {
     /// Resolved worker count (`available_parallelism` is queried once; it
     /// is a syscall, far too slow for the per-window hot path).
     workers: usize,
-    /// Smallest window (total step events) worth a channel round-trip per
-    /// shard; smaller windows run inline on the coordinator. Purely a
-    /// performance knob — both paths run the identical algorithm.
-    pooled_min_items: usize,
+    /// Smallest window (step events) worth a channel round-trip per shard;
+    /// smaller windows run inline on the coordinator. Purely a performance
+    /// knob — both paths run the identical algorithm.
+    min_dispatch: usize,
     pool: Option<WorkerPool>,
-    stats: Option<WindowStats>,
-}
-
-/// Per-run window accounting, collected when `TASHKENT_DRIVER_STATS` is
-/// set and printed at the end of the run.
-#[derive(Default)]
-struct WindowStats {
-    windows: u64,
-    singles: u64,
-    items: u64,
-    shards: u64,
-    pooled: u64,
+    stats: DriverStats,
+    /// Print the stats summary at the end of the run
+    /// (`TASHKENT_DRIVER_STATS`).
+    print_stats: bool,
+    // Recycled window-formation scratch: the size-proportional buffers
+    // (batch, per-shard item/transcript vectors, replay heap, worker
+    // agendas) are pooled across windows; only the few-elements-long
+    // `jobs`/`results` vectors still allocate per window.
+    batch: Vec<(SimTime, WinItem)>,
+    job_of: Vec<usize>,
+    defer_barrier: Vec<Option<Key>>,
+    agenda: BinaryHeap<Reverse<(Key, u64, usize)>>,
+    merge: MergeScratch,
 }
 
 impl ParallelDriver {
     /// Smallest window dispatched to worker threads by default: below this
     /// the per-shard channel round-trip costs more than the overlapped step
     /// work buys (steps are sub-microsecond; an `mpsc` hop is not).
-    const POOLED_MIN_ITEMS: usize = 8;
+    const MIN_DISPATCH: usize = 8;
 
     /// Creates the driver with `threads` workers (`0` = host parallelism).
     pub fn new(threads: usize) -> Self {
@@ -681,10 +897,24 @@ impl ParallelDriver {
         };
         ParallelDriver {
             workers,
-            pooled_min_items: Self::POOLED_MIN_ITEMS,
+            min_dispatch: Self::MIN_DISPATCH,
             pool: None,
-            stats: std::env::var_os("TASHKENT_DRIVER_STATS").map(|_| WindowStats::default()),
+            stats: DriverStats::default(),
+            print_stats: std::env::var_os("TASHKENT_DRIVER_STATS").is_some(),
+            batch: Vec::new(),
+            job_of: Vec::new(),
+            defer_barrier: Vec::new(),
+            agenda: BinaryHeap::new(),
+            merge: MergeScratch::default(),
         }
+    }
+
+    /// Overrides the smallest step count dispatched to worker threads
+    /// (stress/testing; `0` forces every multi-shard window through the
+    /// pool).
+    pub fn with_min_dispatch(mut self, min_dispatch: usize) -> Self {
+        self.min_dispatch = min_dispatch;
+        self
     }
 
     /// Executes one lookahead window starting from the already-popped
@@ -697,71 +927,126 @@ impl ParallelDriver {
         first: Ev,
     ) {
         let lan_hop_us = state.lan_hop_us();
-        let horizon = t0 + 2 * lan_hop_us;
+        let horizon = t0 + 4 * lan_hop_us;
         let Ev::StepTxn { replica, txn } = first else {
             unreachable!("windows start on StepTxn");
         };
-        // Lone steps dominate sparse phases; peek before paying for a batch
-        // allocation on the hottest event type.
-        if !matches!(queue.peek(), Some((t, Ev::StepTxn { .. })) if t <= horizon) {
-            if let Some(stats) = &mut self.stats {
-                stats.singles += 1;
-            }
+        // A window-compatible event: inside the horizon and not
+        // cross-cutting. Steps shard out; other non-global stoppers defer.
+        let windowable =
+            |t: SimTime, ev: &Ev| t <= horizon && !matches!(ev.footprint(), Footprint::Global);
+        // Lone steps dominate sparse phases; peek before paying for window
+        // formation on the hottest event type.
+        if !matches!(queue.peek(), Some((t, ev)) if windowable(t, ev)) {
+            self.stats.observe_single();
             state.handle(t0, Ev::StepTxn { replica, txn }, queue);
             return;
         }
-        let mut batch: Vec<(SimTime, usize, TxnId)> = vec![(t0, replica, txn)];
-        while let Some((t, ev)) =
-            queue.pop_if(|t, ev| t <= horizon && matches!(ev, Ev::StepTxn { .. }))
-        {
-            let Ev::StepTxn { replica, txn } = ev else {
-                unreachable!()
-            };
-            batch.push((t, replica, txn));
-        }
-        if let Some(stats) = &mut self.stats {
-            stats.windows += 1;
-            stats.items += batch.len() as u64;
+        let replicas = state.config.replicas;
+        self.batch.clear();
+        self.batch.push((t0, WinItem::Step { replica, txn }));
+        self.defer_barrier.clear();
+        self.defer_barrier.resize(replicas, None);
+        // Barrier every shard observes (deferred dispatch events: the
+        // submitted transaction's first step may land on any replica two
+        // hops out).
+        let mut all_barrier: Option<Key> = None;
+        let mut n_steps: u64 = 1;
+        while let Some((t, ev)) = queue.pop_if(windowable) {
+            let rank = self.batch.len() as u64;
+            match ev {
+                Ev::StepTxn { replica, txn } => {
+                    n_steps += 1;
+                    self.batch.push((t, WinItem::Step { replica, txn }));
+                }
+                ev => {
+                    // A deferred stopper: the merge will handle it inline at
+                    // this exact pop rank; bar the shard(s) it can reach
+                    // from the first key its handling can touch them at.
+                    match ev.footprint() {
+                        Footprint::Replica(r) => {
+                            let key = Key { at: t, rank };
+                            let slot = &mut self.defer_barrier[r];
+                            *slot = Some(slot.map_or(key, |b| b.min(key)));
+                        }
+                        Footprint::Certifier { origin } => {
+                            let key = Key {
+                                at: t + lan_hop_us,
+                                rank,
+                            };
+                            let slot = &mut self.defer_barrier[origin];
+                            *slot = Some(slot.map_or(key, |b| b.min(key)));
+                        }
+                        Footprint::Dispatch => {
+                            let key = Key {
+                                at: t + 2 * lan_hop_us,
+                                rank,
+                            };
+                            all_barrier = Some(all_barrier.map_or(key, |b| b.min(key)));
+                        }
+                        Footprint::Global => unreachable!("windowable excludes global events"),
+                    }
+                    self.batch.push((t, WinItem::Deferred(ev)));
+                }
+            }
         }
         let stop_ts = queue.peek_time().unwrap_or(SimTime::from_micros(u64::MAX));
-        let child_rank_base = batch.len() as u64;
+        let child_rank_base = self.batch.len() as u64;
 
-        // Shard the batch by replica, preserving pop order within each.
+        // Shard the steps by replica, preserving pop order within each.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut job_of = vec![usize::MAX; state.config.replicas];
-        for (rank, (at, replica, txn)) in batch.iter().enumerate() {
+        self.job_of.clear();
+        self.job_of.resize(replicas, usize::MAX);
+        for (rank, (at, item)) in self.batch.iter().enumerate() {
+            let WinItem::Step { replica, txn } = item else {
+                continue;
+            };
             let key = Key {
                 at: *at,
                 rank: rank as u64,
             };
-            if job_of[*replica] == usize::MAX {
-                job_of[*replica] = jobs.len();
+            if self.job_of[*replica] == usize::MAX {
+                self.job_of[*replica] = jobs.len();
                 jobs.push(Job {
                     replica: *replica,
                     node: state.take_node(*replica),
-                    items: Vec::new(),
+                    items: self.merge.items_pool.pop().unwrap_or_default(),
                     horizon,
                     stop_ts,
+                    defer_barrier: match (self.defer_barrier[*replica], all_barrier) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
                     child_rank_base,
                     lan_hop_us,
+                    steps: self.merge.steps_pool.pop().unwrap_or_default(),
+                    unprocessed: self.merge.unproc_pool.pop().unwrap_or_default(),
                 });
             }
-            jobs[job_of[*replica]].items.push((key, *txn));
+            jobs[self.job_of[*replica]].items.push((key, *txn));
         }
 
-        let pooled = jobs.len() >= 2 && self.workers >= 2 && batch.len() >= self.pooled_min_items;
-        if let Some(stats) = &mut self.stats {
-            stats.shards += jobs.len() as u64;
-            stats.pooled += u64::from(pooled);
-        }
+        let pooled = jobs.len() >= 2 && self.workers >= 2 && n_steps as usize >= self.min_dispatch;
+        self.stats.observe_window(
+            n_steps,
+            child_rank_base - n_steps,
+            jobs.len() as u64,
+            pooled,
+        );
         let results: Vec<ShardResult> = if pooled {
             let workers = self.workers;
             let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
             pool.run(jobs)
         } else {
-            jobs.into_iter().map(run_shard).collect()
+            let mut out = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                out.push(run_shard(job, &mut self.agenda));
+            }
+            out
         };
-        merge_window(&batch, results, state, queue);
+        let mut batch = std::mem::take(&mut self.batch);
+        merge_window(&mut batch, results, state, queue, &mut self.merge);
+        self.batch = batch;
     }
 }
 
@@ -771,38 +1056,51 @@ impl Driver for ParallelDriver {
         state: &mut ClusterState,
         queue: &mut EventQueue<Ev>,
     ) -> Result<(), RunError> {
-        while !state.ended() {
+        // Per-run accounting: a reused driver must not blend runs.
+        self.stats = DriverStats::default();
+        let result = loop {
+            if state.ended() {
+                break Ok(());
+            }
             let Some((now, ev)) = queue.pop() else {
-                return Err(RunError::QueueDrained { at: queue.now() });
+                break Err(RunError::QueueDrained { at: queue.now() });
             };
             match ev {
                 Ev::StepTxn { .. } => self.run_window(state, queue, now, ev),
                 ev => state.handle(now, ev, queue),
             }
-        }
-        if let Some(stats) = &self.stats {
+        };
+        state.driver_stats = Some(self.stats);
+        if self.print_stats {
+            let s = &self.stats;
             eprintln!(
-                "parallel driver: {} windows ({} pooled), {} single-step, {:.2} items/window, {:.2} shards/window",
-                stats.windows,
-                stats.pooled,
-                stats.singles,
-                stats.items as f64 / stats.windows.max(1) as f64,
-                stats.shards as f64 / stats.windows.max(1) as f64,
+                "parallel driver: {} windows ({} pooled), {} single-step, \
+                 {:.2} items/window ({:.2} incl. singles), {:.2} shards/window, \
+                 {} deferred stoppers, hist {:?}",
+                s.windows,
+                s.pooled,
+                s.singles,
+                s.mean_window_items(),
+                s.mean_window_incl_singles(),
+                s.shards as f64 / s.windows.max(1) as f64,
+                s.deferred,
+                s.size_hist,
             );
         }
-        Ok(())
+        result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ClusterConfig;
+    use crate::config::{ClusterConfig, PolicySpec};
     use tashkent_workloads::tpcw::{self, TpcwScale};
 
-    /// Drives a tiny cluster to completion under `driver` and fingerprints
-    /// the result.
-    fn fingerprint(mut driver: Box<dyn Driver>) -> (u64, u64, u64, u64) {
+    /// Drives a tiny cluster to completion under `driver`, returning the
+    /// result fingerprint and the driver's window stats (`None` for the
+    /// sequential reference).
+    fn drive(mut driver: Box<dyn Driver>) -> ((u64, u64, u64, u64), Option<DriverStats>) {
         let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
         let config = ClusterConfig {
             replicas: 3,
@@ -820,43 +1118,71 @@ mod tests {
             .expect("End event scheduled");
         let (read, write) = state.disk_bytes();
         let r = state.metrics.finish(queue.now(), read, write, Vec::new());
-        (r.committed, r.aborts, read, write)
+        ((r.committed, r.aborts, read, write), state.driver_stats)
+    }
+
+    fn fingerprint(driver: Box<dyn Driver>) -> (u64, u64, u64, u64) {
+        drive(driver).0
     }
 
     #[test]
     fn forced_pooled_windows_match_sequential() {
-        // Threshold 2 forces every multi-shard window through the mpsc
-        // worker pool, even the tiny ones the production threshold keeps
-        // inline — the channel path must be just as exact.
-        let mut pooled = ParallelDriver::new(2);
-        pooled.pooled_min_items = 2;
+        // `min_dispatch = 0` forces every multi-shard window through the
+        // mpsc worker pool, even the tiny ones the production threshold
+        // keeps inline — the channel path must be just as exact.
+        let pooled = ParallelDriver::new(2).with_min_dispatch(0);
         assert_eq!(
             fingerprint(Box::new(SequentialDriver)),
             fingerprint(Box::new(pooled)),
         );
     }
 
+    #[test]
+    fn deferral_produces_larger_windows_than_step_only_stops() {
+        // With deferral, certifier round-trips and completions no longer
+        // terminate windows: the same run must both match the sequential
+        // fingerprint and actually defer stoppers.
+        let (seq, _) = drive(Box::new(SequentialDriver));
+        let (par, stats) = drive(Box::new(ParallelDriver::new(2)));
+        let stats = stats.expect("parallel driver records stats");
+        assert!(stats.deferred > 0, "run must defer stoppers: {stats:?}");
+        assert!(stats.windows > 0);
+        assert_eq!(seq, par);
+    }
+
     /// A 3-replica state + queue pair for merge-order tests.
-    fn tiny_state() -> (ClusterState, EventQueue<Ev>) {
+    fn tiny_state_with(policy: PolicySpec) -> (ClusterState, EventQueue<Ev>) {
         let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
         let config = ClusterConfig {
             replicas: 3,
             clients: 3,
             ..ClusterConfig::paper_default()
-        };
+        }
+        .with_policy(policy);
         (
             ClusterState::new(config, workload, vec![mix]),
             EventQueue::new(),
         )
     }
 
+    fn tiny_state() -> (ClusterState, EventQueue<Ev>) {
+        tiny_state_with(PolicySpec::LeastConnections)
+    }
+
+    /// Marker for `LbTick` in drained-queue assertions.
+    const TICK: u64 = u64::MAX;
+    /// Marker for `TxnRetry` in drained-queue assertions.
+    const RETRY: u64 = u64::MAX - 1;
+
     /// Drains the queue into `(time, txn-or-marker)` pairs: `TxnComplete`
-    /// and `StepTxn` map to their transaction id, `LbTick` to `u64::MAX`.
+    /// and `StepTxn` map to their transaction id, `LbTick` to [`TICK`],
+    /// `TxnRetry` to [`RETRY`].
     fn drain(queue: &mut EventQueue<Ev>) -> Vec<(SimTime, u64)> {
         std::iter::from_fn(|| queue.pop())
             .map(|(at, ev)| match ev {
                 Ev::TxnComplete { txn, .. } | Ev::StepTxn { txn, .. } => (at, txn.0),
-                Ev::LbTick => (at, u64::MAX),
+                Ev::LbTick => (at, TICK),
+                Ev::TxnRetry { .. } => (at, RETRY),
                 other => panic!("unexpected event in merge test: {other:?}"),
             })
             .collect()
@@ -873,10 +1199,51 @@ mod tests {
         }
     }
 
+    fn step_item(at: SimTime, replica: usize, txn: u64) -> (SimTime, WinItem) {
+        (
+            at,
+            WinItem::Step {
+                replica,
+                txn: TxnId(txn),
+            },
+        )
+    }
+
+    fn shard_result(
+        state: &mut ClusterState,
+        replica: usize,
+        steps: Vec<StepRec>,
+        unprocessed_batch: Vec<(u64, TxnId)>,
+    ) -> ShardResult {
+        ShardResult {
+            replica,
+            node: state.take_node(replica),
+            items: Vec::new(),
+            steps,
+            unprocessed_batch,
+        }
+    }
+
+    fn run_merge(
+        batch: Vec<(SimTime, WinItem)>,
+        results: Vec<ShardResult>,
+        state: &mut ClusterState,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let mut batch = batch;
+        merge_window(
+            &mut batch,
+            results,
+            state,
+            queue,
+            &mut MergeScratch::default(),
+        );
+    }
+
     /// Regression for the `merge_window` same-microsecond tie corner: two
     /// shards emitting at an *identical* timestamp must replay in batch pop
     /// order, and both must stay junior to an event that was already queued
-    /// at that instant (the window stopper) — exactly the sequential
+    /// at that instant (the true stopper) — exactly the sequential
     /// insertion order.
     #[test]
     fn same_instant_cross_shard_emissions_replay_in_pop_order() {
@@ -894,7 +1261,7 @@ mod tests {
         }
         queue.schedule(t, Ev::LbTick);
         // The window pops both steps (they are senior to the stopper).
-        let batch = [(t, 0usize, TxnId(7000)), (t, 1usize, TxnId(7001))];
+        let batch = vec![step_item(t, 0, 7000), step_item(t, 1, 7001)];
         queue
             .pop_if(|_, ev| matches!(ev, Ev::StepTxn { .. }))
             .unwrap();
@@ -902,20 +1269,10 @@ mod tests {
             .pop_if(|_, ev| matches!(ev, Ev::StepTxn { .. }))
             .unwrap();
         let results = vec![
-            ShardResult {
-                replica: 0,
-                node: state.take_node(0),
-                steps: vec![emit_complete(0, 7000, t)],
-                unprocessed_batch: Vec::new(),
-            },
-            ShardResult {
-                replica: 1,
-                node: state.take_node(1),
-                steps: vec![emit_complete(1, 7001, t)],
-                unprocessed_batch: Vec::new(),
-            },
+            shard_result(&mut state, 0, vec![emit_complete(0, 7000, t)], Vec::new()),
+            shard_result(&mut state, 1, vec![emit_complete(1, 7001, t)], Vec::new()),
         ];
-        merge_window(&batch, results, &mut state, &mut queue);
+        run_merge(batch, results, &mut state, &mut queue);
         // Sequentially: the stopper's seq predates both emissions.
         assert_eq!(drain(&mut queue), vec![(t, u64::MAX), (t, 7000), (t, 7001)]);
     }
@@ -930,26 +1287,21 @@ mod tests {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(250);
         queue.schedule(t, Ev::LbTick); // The stopper, bounding the window.
-        let batch = [
-            (t, 0usize, TxnId(10)),
-            (t, 1usize, TxnId(11)),
-            (t, 0usize, TxnId(12)),
+        let batch = vec![
+            step_item(t, 0, 10),
+            step_item(t, 1, 11),
+            step_item(t, 0, 12),
         ];
         let results = vec![
-            ShardResult {
-                replica: 0,
-                node: state.take_node(0),
-                steps: vec![emit_complete(0, 10, t), emit_complete(0, 12, t)],
-                unprocessed_batch: Vec::new(),
-            },
-            ShardResult {
-                replica: 1,
-                node: state.take_node(1),
-                steps: vec![emit_complete(1, 11, t)],
-                unprocessed_batch: Vec::new(),
-            },
+            shard_result(
+                &mut state,
+                0,
+                vec![emit_complete(0, 10, t), emit_complete(0, 12, t)],
+                Vec::new(),
+            ),
+            shard_result(&mut state, 1, vec![emit_complete(1, 11, t)], Vec::new()),
         ];
-        merge_window(&batch, results, &mut state, &mut queue);
+        run_merge(batch, results, &mut state, &mut queue);
         assert_eq!(
             drain(&mut queue),
             vec![(t, u64::MAX), (t, 10), (t, 11), (t, 12)]
@@ -968,14 +1320,14 @@ mod tests {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(400);
         queue.schedule(t, Ev::LbTick); // The stopper, queued behind the batch.
-        let batch = [(t, 0usize, TxnId(1)), (t, 0usize, TxnId(2))];
-        let results = vec![ShardResult {
-            replica: 0,
-            node: state.take_node(0),
-            steps: Vec::new(),
-            unprocessed_batch: vec![(0, TxnId(1)), (1, TxnId(2))],
-        }];
-        merge_window(&batch, results, &mut state, &mut queue);
+        let batch = vec![step_item(t, 0, 1), step_item(t, 0, 2)];
+        let results = vec![shard_result(
+            &mut state,
+            0,
+            Vec::new(),
+            vec![(0, TxnId(1)), (1, TxnId(2))],
+        )];
+        run_merge(batch, results, &mut state, &mut queue);
         assert_eq!(drain(&mut queue), vec![(t, u64::MAX)]);
     }
 
@@ -991,14 +1343,14 @@ mod tests {
         let t = SimTime::from_micros(100);
         let stop = SimTime::from_micros(500);
         queue.schedule(stop, Ev::LbTick); // Stopper well past the emission.
-        let batch = [(t, 0usize, TxnId(7))];
-        let results = vec![ShardResult {
-            replica: 0,
-            node: state.take_node(0),
-            steps: vec![emit_complete(0, 7, t)],
-            unprocessed_batch: Vec::new(),
-        }];
-        merge_window(&batch, results, &mut state, &mut queue);
+        let batch = vec![step_item(t, 0, 7)];
+        let results = vec![shard_result(
+            &mut state,
+            0,
+            vec![emit_complete(0, 7, t)],
+            Vec::new(),
+        )];
+        run_merge(batch, results, &mut state, &mut queue);
         assert_eq!(drain(&mut queue), vec![(stop, u64::MAX)]);
     }
 
@@ -1010,21 +1362,142 @@ mod tests {
         let (mut state, mut queue) = tiny_state();
         let t = SimTime::from_micros(50);
         queue.schedule(t, Ev::LbTick); // The stopper, bounding the window.
-        let batch = [(t, 0usize, TxnId(3)), (t, 0usize, TxnId(4))];
-        let results = vec![ShardResult {
-            replica: 0,
-            node: state.take_node(0),
-            steps: vec![
+        let batch = vec![step_item(t, 0, 3), step_item(t, 0, 4)];
+        let results = vec![shard_result(
+            &mut state,
+            0,
+            vec![
                 StepRec {
                     child_at: t,
                     child: ChildOut::Stale,
                 },
                 emit_complete(0, 4, t),
             ],
-            unprocessed_batch: Vec::new(),
-        }];
-        merge_window(&batch, results, &mut state, &mut queue);
+            Vec::new(),
+        )];
+        run_merge(batch, results, &mut state, &mut queue);
         assert_eq!(drain(&mut queue), vec![(t, u64::MAX), (t, 4)]);
+    }
+
+    /// A deferred stopper executes inline at its exact pop rank: senior to
+    /// everything the replay schedules, junior to batch events popped
+    /// before it — even when every key shares one microsecond.
+    #[test]
+    fn deferred_stoppers_replay_at_their_pop_rank() {
+        let (mut state, mut queue) = tiny_state();
+        let t = SimTime::from_micros(90);
+        queue.schedule(t, Ev::LbTick); // The true stopper.
+                                       // Pop order: step(0), deferred completion for an unknown txn (a
+                                       // no-op on handle), step(0) again. The deferred entry must slot
+                                       // between the two steps' emissions.
+        let batch = vec![
+            step_item(t, 0, 20),
+            (
+                t,
+                WinItem::Deferred(Ev::TxnComplete {
+                    replica: 2,
+                    txn: TxnId(9999),
+                    committed: true,
+                }),
+            ),
+            step_item(t, 0, 21),
+        ];
+        let results = vec![shard_result(
+            &mut state,
+            0,
+            vec![emit_complete(0, 20, t), emit_complete(0, 21, t)],
+            Vec::new(),
+        )];
+        run_merge(batch, results, &mut state, &mut queue);
+        // The deferred no-op leaves no trace; the emissions stay in pop
+        // order behind the same-instant stopper.
+        assert_eq!(drain(&mut queue), vec![(t, u64::MAX), (t, 20), (t, 21)]);
+    }
+
+    /// The regression the deferral design hinges on: a deferred
+    /// `CertifyReturn` whose inline handling schedules same-microsecond
+    /// work that must interleave exactly with *another* shard's replay at
+    /// that very microsecond. The aborted return schedules a completion at
+    /// its own instant; sequentially that completion pops *between* shard
+    /// 1's two same-instant emissions (its sequence number falls between
+    /// their insertion points), so the merge must handle it mid-replay —
+    /// freeing replica 0's slot and sending the retry back to the client
+    /// two hops out — not before or after the shard's entries.
+    #[test]
+    fn deferred_certify_return_interleaves_same_instant_work_across_shards() {
+        let (mut state, mut queue) = tiny_state_with(PolicySpec::RoundRobin);
+        // A real in-flight transaction on replica 0 (round-robin starts
+        // there), so the certifier's abort response finds its metadata.
+        state.handle(SimTime::ZERO, Ev::ClientArrive { client: 0 }, &mut queue);
+        let (at, ev) = queue.pop().expect("arrival schedules the first step");
+        assert!(matches!(ev, Ev::StepTxn { replica: 0, .. }), "{ev:?}");
+        assert_eq!(at, SimTime::from_micros(300), "two LAN hops out");
+        let t = SimTime::from_micros(400);
+        queue.schedule(t + 1, Ev::LbTick); // True stopper, one µs later.
+                                           // Window pop order: step on shard 1, the deferred abort return for
+                                           // replica 0's transaction, another step on shard 1.
+        let batch = vec![
+            step_item(t, 1, 77),
+            (
+                t,
+                WinItem::Deferred(Ev::CertifyReturn {
+                    replica: 0,
+                    txn: TxnId(0),
+                    version: None,
+                }),
+            ),
+            step_item(t, 1, 78),
+        ];
+        // Shard 1's transcript: both steps emit same-instant completions
+        // for transactions the state does not know (inline no-ops standing
+        // in for real window work at time `t`).
+        let results = vec![shard_result(
+            &mut state,
+            1,
+            vec![emit_complete(1, 77, t), emit_complete(1, 78, t)],
+            Vec::new(),
+        )];
+        run_merge(batch, results, &mut state, &mut queue);
+        // Sequential order inside the merge: step 77 (emission 77 stamped),
+        // the deferred return (schedules TxnComplete{replica 0} at `t`),
+        // step 78 (emission 78 stamped later), emission 77 (stamped before
+        // the return's follow-up — handled first), the interleaved
+        // TxnComplete{0} — which frees replica 0's slot and schedules the
+        // client's retry two hops out — then emission 78. Left behind: the
+        // stopper and the retry.
+        assert_eq!(drain(&mut queue), vec![(t + 1, TICK), (t + 300, RETRY)],);
+    }
+
+    /// A job's deferred barrier stops the shard exactly at the barrier key:
+    /// senior batch steps run, junior ones return as unprocessed for the
+    /// merge to execute inline.
+    #[test]
+    fn defer_barrier_splits_a_shard_at_the_key() {
+        let (mut state, _queue) = tiny_state();
+        let t = SimTime::from_micros(100);
+        let job = Job {
+            replica: 0,
+            node: state.take_node(0),
+            // Two same-instant steps for transactions the node does not
+            // run (stale): ranks 0 and 2 straddle the barrier at rank 1.
+            items: vec![
+                (Key { at: t, rank: 0 }, TxnId(50)),
+                (Key { at: t, rank: 2 }, TxnId(51)),
+            ],
+            horizon: t + 300,
+            stop_ts: t + 1000,
+            defer_barrier: Some(Key { at: t, rank: 1 }),
+            child_rank_base: 3,
+            lan_hop_us: 150,
+            steps: Vec::new(),
+            unprocessed: Vec::new(),
+        };
+        let mut agenda = BinaryHeap::new();
+        let result = run_shard(job, &mut agenda);
+        assert_eq!(result.steps.len(), 1, "only the senior step ran");
+        assert!(matches!(result.steps[0].child, ChildOut::Stale));
+        assert_eq!(result.unprocessed_batch, vec![(2, TxnId(51))]);
+        state.put_node(0, result.node);
     }
 
     #[test]
@@ -1038,9 +1511,29 @@ mod tests {
     }
 
     #[test]
-    fn driver_kind_builds_both_drivers() {
+    fn stats_histogram_buckets_by_log2() {
+        let mut stats = DriverStats::default();
+        stats.observe_single();
+        stats.observe_window(2, 1, 1, false); // size 3 -> bucket 1
+        stats.observe_window(6, 2, 2, true); // size 8 -> bucket 3
+        assert_eq!(stats.size_hist[0], 1);
+        assert_eq!(stats.size_hist[1], 1);
+        assert_eq!(stats.size_hist[3], 1);
+        assert_eq!(stats.items, 11);
+        assert_eq!(stats.deferred, 3);
+        assert!((stats.mean_window_items() - 5.5).abs() < 1e-9);
+        assert!((stats.mean_window_incl_singles() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn driver_kind_builds_all_drivers() {
         let _ = DriverKind::Sequential.build();
         let _ = DriverKind::parallel().build();
+        let _ = DriverKind::ParallelTuned {
+            threads: 2,
+            min_dispatch: 0,
+        }
+        .build();
         assert_eq!(DriverKind::default(), DriverKind::Sequential);
     }
 

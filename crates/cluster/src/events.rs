@@ -22,10 +22,58 @@
 //! `CertifierKill` kills a certifier-group member (a leader kill triggers
 //! the §4.4 backup election). Because they are ordinary events handled by
 //! [`crate::state::ClusterState::handle`], every driver observes identical
-//! failure timing; the parallel driver treats them — like every
-//! non-`StepTxn` event — as window barriers.
+//! failure timing; the parallel driver treats them — like every other
+//! [`Footprint::Global`] event — as window barriers.
 
-use tashkent_engine::{TxnId, Version, Writeset};
+use tashkent_engine::{TxnId, TxnTypeId, Version, Writeset};
+use tashkent_sim::SimTime;
+
+/// The *replica-node* state an event's handler touches — the classification
+/// the parallel driver's window formation runs on.
+///
+/// [`crate::state::ClusterState::handle`] routes every event to exactly one
+/// handler; the footprint summarizes which [`crate::components::ClusterNode`]
+/// state that handler can read or write. Coordinator-only state (the
+/// balancer, the certifier link, client/transaction metadata, metrics, the
+/// experiment RNG) is *not* part of a footprint: the driver executes every
+/// non-`StepTxn` handler on the coordinator in exact sequential order, so
+/// only contention with replica state leased to worker shards matters.
+///
+/// The mapping must stay in lock-step with the routing in
+/// `ClusterState::handle`; each variant documents the handler behaviour it
+/// encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Footprint {
+    /// The handler touches exactly one replica's node, at the event's own
+    /// timestamp (`StepTxn`, `CertifyReturn`, committed `TxnComplete`,
+    /// `Maintenance`). The parallel driver may defer such an event into the
+    /// merge if it bars that replica's shard from the event's key onward.
+    Replica(usize),
+    /// The handler touches only certifier-side state; its consequence (a
+    /// `CertifyReturn`) reaches `origin`'s node no earlier than one LAN hop
+    /// after the event (`CertifySend`). Deferrable with a barrier on
+    /// `origin` at `t + lan_hop_us`.
+    Certifier {
+        /// The replica the certifier's answer returns to.
+        origin: usize,
+    },
+    /// The handler dispatches a new submission through the balancer *now*,
+    /// but its immediate node touches are shard-invisible (Gatekeeper
+    /// admission, transaction registration, a snapshot of the applied
+    /// version — none of it read by a worker stepping other transactions);
+    /// the earliest shard-visible consequence is the submitted
+    /// transaction's first step, two LAN hops later, on whichever replica
+    /// the balancer picks (`ClientArrive`, `TxnRetry`). Deferrable with a
+    /// barrier on *every* shard at `t + 2·lan_hop_us`.
+    Dispatch,
+    /// The handler can immediately touch arbitrary replicas or
+    /// cross-cutting state that shards read (balancer epochs installing
+    /// filters that evict pool pages, faults, placement changes, warm-up
+    /// and run boundaries). Always a window barrier. Note client dispatch
+    /// is *not* here: its immediate effects are shard-invisible, which is
+    /// exactly what [`Footprint::Dispatch`] encodes.
+    Global,
+}
 
 /// Events driving the simulation.
 ///
@@ -71,6 +119,25 @@ pub enum Ev {
         txn: TxnId,
         /// Whether it committed (vs aborted).
         committed: bool,
+    },
+    /// A client re-submits an aborted transaction after observing the
+    /// abort response (which travelled replica → balancer → client, two
+    /// LAN hops after the completion). Keeping the resubmission a separate
+    /// event — instead of the historical instantaneous retry inside the
+    /// completion handler — both models the client round-trip faithfully
+    /// and is what makes *every* `TxnComplete` single-replica: the earliest
+    /// a retry can touch another replica is four hops after the original
+    /// completion (two for the response, two for the new submission), the
+    /// bound the parallel driver's lookahead horizon is built on.
+    TxnRetry {
+        /// Retrying client.
+        client: usize,
+        /// Transaction type (retries keep the original type).
+        txn_type: TxnTypeId,
+        /// Original arrival time (response-time accounting spans retries).
+        arrived: SimTime,
+        /// Retry count of the new submission.
+        retries: u32,
     },
     /// Per-replica periodic work: background writer, propagation, daemon.
     Maintenance {
@@ -125,4 +192,155 @@ pub enum Ev {
     EndWarmup,
     /// End of run.
     End,
+}
+
+impl Ev {
+    /// Classifies the event by the replica-node state its handler touches
+    /// (see [`Footprint`]). Mirrors the routing in
+    /// [`crate::state::ClusterState::handle`]:
+    ///
+    /// * `StepTxn { replica }` runs `ClusterNode::on_step` — that node only.
+    /// * `CertifySend { replica }` runs `CertifierLink::on_send` — certifier
+    ///   state only; the scheduled `CertifyReturn` reaches `replica` at
+    ///   least one LAN hop later (conflicts return after one hop, commits
+    ///   after durability plus one hop).
+    /// * `CertifyReturn { replica }` applies remote writesets and commits on
+    ///   `replica` (or drops an orphan), scheduling a same-replica
+    ///   `TxnComplete`.
+    /// * `TxnComplete { replica }` frees the Gatekeeper slot on `replica`
+    ///   (possibly starting its next queued transaction at the same
+    ///   instant); the outcome travels to the client as a scheduled event —
+    ///   the next arrival or a [`Ev::TxnRetry`] — two hops later, so the
+    ///   handler itself touches no other replica.
+    /// * `Maintenance { replica }` runs the background writer, propagation
+    ///   pull, and load-daemon sample on `replica`.
+    /// * `ClientArrive` and `TxnRetry` dispatch through the balancer, which
+    ///   may pick any replica — but their immediate effects are
+    ///   shard-invisible and the submitted transaction's first step fires
+    ///   two hops later, so they are `Dispatch`, not `Global`.
+    /// * Everything else (balancer ticks install filters that evict pool
+    ///   pages, mix switches, faults, re-replication, run control) is
+    ///   cross-cutting.
+    pub fn footprint(&self) -> Footprint {
+        match self {
+            Ev::StepTxn { replica, .. }
+            | Ev::CertifyReturn { replica, .. }
+            | Ev::Maintenance { replica, .. }
+            | Ev::TxnComplete { replica, .. } => Footprint::Replica(*replica),
+            Ev::CertifySend { replica, .. } => Footprint::Certifier { origin: *replica },
+            Ev::ClientArrive { .. } | Ev::TxnRetry { .. } => Footprint::Dispatch,
+            Ev::LbTick
+            | Ev::MixSwitch { .. }
+            | Ev::FreezeLb
+            | Ev::ReplicaCrash { .. }
+            | Ev::ReplicaRecover { .. }
+            | Ev::CertifierKill { .. }
+            | Ev::Rereplicate { .. }
+            | Ev::EndWarmup
+            | Ev::End => Footprint::Global,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_replica_events_have_replica_footprints() {
+        let cases = [
+            (
+                Ev::StepTxn {
+                    replica: 3,
+                    txn: TxnId(1),
+                },
+                3,
+            ),
+            (
+                Ev::CertifyReturn {
+                    replica: 1,
+                    txn: TxnId(2),
+                    version: None,
+                },
+                1,
+            ),
+            (
+                Ev::TxnComplete {
+                    replica: 2,
+                    txn: TxnId(3),
+                    committed: true,
+                },
+                2,
+            ),
+            // An aborted completion only frees the slot; the retry travels
+            // to the client as a separate `TxnRetry` event.
+            (
+                Ev::TxnComplete {
+                    replica: 4,
+                    txn: TxnId(8),
+                    committed: false,
+                },
+                4,
+            ),
+            (
+                Ev::Maintenance {
+                    replica: 5,
+                    round: 0,
+                },
+                5,
+            ),
+        ];
+        for (ev, replica) in cases {
+            assert_eq!(ev.footprint(), Footprint::Replica(replica), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn certify_send_is_certifier_only_with_an_origin() {
+        let ev = Ev::CertifySend {
+            replica: 4,
+            txn: TxnId(9),
+            ws: Writeset::new(
+                TxnId(9),
+                tashkent_engine::TxnTypeId(0),
+                tashkent_engine::Snapshot::at(Version(0)),
+                Vec::new(),
+            ),
+        };
+        assert_eq!(ev.footprint(), Footprint::Certifier { origin: 4 });
+    }
+
+    #[test]
+    fn dispatch_events_defer_and_cross_cutting_events_are_global() {
+        // Arrivals and retries dispatch anywhere, but only shard-invisible
+        // state changes immediately: a two-hop all-shard barrier suffices.
+        assert_eq!(
+            Ev::ClientArrive { client: 0 }.footprint(),
+            Footprint::Dispatch
+        );
+        assert_eq!(
+            Ev::TxnRetry {
+                client: 0,
+                txn_type: TxnTypeId(0),
+                arrived: SimTime::ZERO,
+                retries: 1,
+            }
+            .footprint(),
+            Footprint::Dispatch
+        );
+        let globals = [
+            Ev::LbTick,
+            Ev::MixSwitch { mix: 1 },
+            Ev::FreezeLb,
+            Ev::ReplicaCrash { replica: 0 },
+            Ev::ReplicaRecover { replica: 0 },
+            Ev::CertifierKill { member: 0 },
+            Ev::Rereplicate { group: 0 },
+            Ev::EndWarmup,
+            Ev::End,
+        ];
+        for ev in globals {
+            assert_eq!(ev.footprint(), Footprint::Global, "{ev:?}");
+        }
+    }
 }

@@ -43,8 +43,11 @@ pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
 pub use config::{ClusterConfig, PlacementSpec, PolicySpec};
-pub use driver::{Driver, DriverKind, ParallelDriver, RunError, SequentialDriver};
-pub use events::Ev;
+pub use driver::{
+    Driver, DriverKind, DriverStats, ParallelDriver, RunError, SequentialDriver,
+    WINDOW_HIST_BUCKETS,
+};
+pub use events::{Ev, Footprint};
 pub use experiment::{
     calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
     Experiment, Failover, FailoverSchedule, RubisAuctionMix, Scenario, ScenarioKnobs,

@@ -2,6 +2,8 @@
 
 use tashkent_sim::{Histogram, OnlineStats, SimTime};
 
+use crate::driver::DriverStats;
+
 /// One group → replica-count line, for the paper's Tables 2 and 4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupSnapshot {
@@ -200,6 +202,7 @@ impl Metrics {
             lb: LbSummary::default(),
             propagated_ws_bytes: 0,
             filtered_ws_bytes: 0,
+            driver_stats: None,
             faults: self.faults.clone(),
             per_type: self
                 .per_type
@@ -257,6 +260,11 @@ pub struct RunResult {
     /// the window — propagation traffic saved vs full replication (filled
     /// by `World::finish_result`; zero under full replication).
     pub filtered_ws_bytes: u64,
+    /// Window accounting from the parallel driver (`None` under the
+    /// sequential driver; filled by `World::finish_result`). Describes how
+    /// the run executed — window sizes, deferral, pooling — and is
+    /// therefore excluded from cross-driver equivalence fingerprints.
+    pub driver_stats: Option<DriverStats>,
     /// Injected faults as they took effect, in order, over the whole run
     /// (crashes, recoveries, certifier failovers).
     pub faults: Vec<FaultEvent>,

@@ -26,6 +26,7 @@ use tashkent_workloads::{ClientPool, Mix, Workload};
 
 use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
 use crate::config::{ClusterConfig, PlacementSpec};
+use crate::driver::DriverStats;
 use crate::events::Ev;
 use crate::metrics::{GroupSnapshot, Metrics};
 use crate::placement::{PlacementMap, ReplicationPlanner};
@@ -75,6 +76,12 @@ pub struct ClusterState {
     placement: Option<PlacementMap>,
     /// Metrics accumulator.
     pub metrics: Metrics,
+    /// Window accounting deposited by the driver at the end of the run
+    /// (`None` under the sequential driver). Carried into
+    /// [`crate::metrics::RunResult::driver_stats`]; deliberately *not* part
+    /// of the cross-driver equivalence fingerprint — it describes how the
+    /// run was executed, not what it computed.
+    pub driver_stats: Option<DriverStats>,
     /// CPU/disk busy totals at the start of the measurement window.
     busy0: (u64, u64),
     /// Propagation byte counters `(sent, saved)` at the start of the
@@ -138,6 +145,7 @@ impl ClusterState {
             txns: HashMap::new(),
             placement,
             metrics: Metrics::new(),
+            driver_stats: None,
             active_mix: 0,
             config,
             workload,
@@ -291,6 +299,7 @@ impl ClusterState {
         let (sent, saved) = self.certifier.propagation_bytes();
         result.propagated_ws_bytes = sent.saturating_sub(self.prop0.0);
         result.filtered_ws_bytes = saved.saturating_sub(self.prop0.1);
+        result.driver_stats = self.driver_stats;
         result
     }
 
@@ -332,6 +341,13 @@ impl ClusterState {
     /// Drivers must deliver events in nondecreasing `(timestamp, FIFO)`
     /// order with all nodes present; under that contract the state evolution
     /// is identical for every driver.
+    ///
+    /// The routing here is the ground truth for [`Ev::footprint`], which
+    /// the parallel driver's window formation relies on: an arm that
+    /// starts touching replica nodes its event's footprint does not claim
+    /// (another replica's node, or any node for a `Global`-only event that
+    /// was reclassified) must update `footprint()` in lock-step, or the
+    /// driver will defer an event past shard work it can influence.
     pub fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
         match ev {
             Ev::ClientArrive { client } => self.on_client_arrive(now, client, queue),
@@ -349,6 +365,12 @@ impl ClusterState {
                 txn,
                 committed,
             } => self.on_txn_complete(now, replica, txn, committed, queue),
+            Ev::TxnRetry {
+                client,
+                txn_type,
+                arrived,
+                retries,
+            } => self.submit_txn(now, client, txn_type, arrived, retries, queue),
             Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round, queue),
             Ev::LbTick => {
                 for (replica, filter) in self.balancer.on_tick(now, queue) {
@@ -651,8 +673,13 @@ impl ClusterState {
         );
     }
 
-    /// Frees the replica slot, then routes the outcome back to the client:
-    /// record + think on commit, retry or give up on abort.
+    /// Frees the replica slot, then routes the outcome back to the client.
+    /// Either way the response pays the two-hop trip replica → balancer →
+    /// client before the client reacts: record + think on commit, a
+    /// [`Ev::TxnRetry`] (fresh snapshot, possibly elsewhere) or giving up
+    /// on abort. The handler itself touches only `replica`'s node — the
+    /// invariant behind `TxnComplete`'s `Footprint::Replica` and the
+    /// parallel driver's four-hop lookahead horizon.
     fn on_txn_complete(
         &mut self,
         now: SimTime,
@@ -668,8 +695,8 @@ impl ClusterState {
         };
         self.node_mut(replica).on_finish(now, committed, queue);
         self.balancer.complete(ReplicaId(replica));
+        let response_at = now + 2 * self.config.lan_hop_us;
         if committed {
-            let response_at = now + 2 * self.config.lan_hop_us;
             self.metrics.record_completion_typed(
                 response_at,
                 meta.arrived,
@@ -678,18 +705,18 @@ impl ClusterState {
             );
             self.schedule_next_arrival(response_at, meta.client, queue);
         } else if meta.retries < self.clients.max_retries {
-            // Retry immediately with a fresh snapshot (possibly elsewhere).
-            self.submit_txn(
-                now,
-                meta.client,
-                meta.txn_type,
-                meta.arrived,
-                meta.retries + 1,
-                queue,
+            queue.schedule(
+                response_at,
+                Ev::TxnRetry {
+                    client: meta.client,
+                    txn_type: meta.txn_type,
+                    arrived: meta.arrived,
+                    retries: meta.retries + 1,
+                },
             );
         } else {
             self.metrics.record_gave_up();
-            self.schedule_next_arrival(now, meta.client, queue);
+            self.schedule_next_arrival(response_at, meta.client, queue);
         }
     }
 

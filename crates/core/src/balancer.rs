@@ -683,7 +683,7 @@ impl MalbState {
             let total: usize = self.units.iter().map(|u| u.replicas.len()).sum();
             if total >= self.units.len() {
                 let target = self.allocator.solve_balance(&unit_loads, total);
-                let changed = self.apply_target(&target, actions);
+                let changed = self.apply_target(&target, view, actions);
                 if changed {
                     stats.fast_reallocs += 1;
                     return true;
@@ -691,13 +691,25 @@ impl MalbState {
             }
         }
         if let Some(mv) = self.allocator.decide_move(&unit_loads) {
-            let moved = self.move_one(mv.from.0, mv.to.0, actions);
+            let moved = self.move_one(mv.from.0, mv.to.0, view, actions);
             if moved {
                 stats.moves += 1;
                 return true;
             }
         }
         false
+    }
+
+    /// Whether replica `r` holds every relation `unit`'s transaction types
+    /// touch — i.e. whether parking `r` in the unit lets it actually serve
+    /// the unit's traffic. Trivially true under full replication (no
+    /// eligibility masks installed).
+    fn unit_resident(&self, unit: &Unit, r: usize, elig: Option<&[Vec<bool>]>) -> bool {
+        let Some(masks) = elig else { return true };
+        unit.groups
+            .iter()
+            .flat_map(|g| self.groups[*g].types.iter())
+            .all(|t| eligible_in(masks.get(t.0 as usize), r))
     }
 
     /// Whether two units' combined working-set estimate fits one replica.
@@ -722,13 +734,7 @@ impl MalbState {
     /// the live set is used as a fallback so the allocator still sees the
     /// unit.
     fn unit_loads(&self, view: &ClusterView) -> Vec<GroupLoads> {
-        let resident = |unit: &Unit, r: usize| -> bool {
-            let Some(masks) = view.elig else { return true };
-            unit.groups
-                .iter()
-                .flat_map(|g| self.groups[*g].types.iter())
-                .all(|t| eligible_in(masks.get(t.0 as usize), r))
-        };
+        let resident = |unit: &Unit, r: usize| -> bool { self.unit_resident(unit, r, view.elig) };
         self.units
             .iter()
             .enumerate()
@@ -758,17 +764,33 @@ impl MalbState {
             .collect()
     }
 
-    /// Moves one replica from unit `from` to unit `to`; picks the donor's
-    /// least-loaded replica. Returns whether a move happened.
-    fn move_one(&mut self, from: usize, to: usize, actions: &mut Vec<ReconfigAction>) -> bool {
+    /// Moves one replica from unit `from` to unit `to`. Placement-aware:
+    /// under partial replication only replicas *resident* for the target
+    /// unit (holding every relation its types touch) are proposed — a
+    /// non-holder parked in the unit would serve none of its traffic, and
+    /// dispatch would fall back outside the group on every request. When
+    /// the donor has no resident replica the move is skipped (the allocator
+    /// re-evaluates next round). Under full replication this is exactly the
+    /// historical lowest-id choice. Returns whether a move happened.
+    fn move_one(
+        &mut self,
+        from: usize,
+        to: usize,
+        view: &ClusterView,
+        actions: &mut Vec<ReconfigAction>,
+    ) -> bool {
         if from == to || self.units[from].replicas.len() <= 1 {
             return false;
         }
-        let rid = *self.units[from]
+        let Some(rid) = self.units[from]
             .replicas
             .iter()
+            .filter(|r| self.unit_resident(&self.units[to], r.0, view.elig))
             .min_by_key(|r| r.0)
-            .expect("donor has replicas");
+            .copied()
+        else {
+            return false;
+        };
         self.units[from].replicas.retain(|r| *r != rid);
         self.units[to].replicas.push(rid);
         actions.push(ReconfigAction::Moved { replica: rid });
@@ -776,34 +798,69 @@ impl MalbState {
     }
 
     /// Applies a wholesale target allocation, minimizing replica movement.
+    /// Placement-aware like [`MalbState::move_one`]: a growing unit only
+    /// receives spares resident for it; spares no receiver can use stay
+    /// inside the unit partition. `changed` reports *effective* movement —
+    /// a spare shrunk out of a donor and parked straight back is a no-op,
+    /// so a placement that blocks every growth cannot reset MALB's
+    /// stability counter (which would permanently hold off §3 filter
+    /// installation) or inflate the fast-realloc stat round after round.
     fn apply_target(
         &mut self,
         target: &[(GroupId, usize)],
+        view: &ClusterView,
         actions: &mut Vec<ReconfigAction>,
     ) -> bool {
         let mut changed = false;
-        // Shrink donors first, collecting spares.
-        let mut spares: Vec<ReplicaId> = Vec::new();
+        // Shrink donors first, collecting spares with their donor unit.
+        let mut spares: Vec<(ReplicaId, usize)> = Vec::new();
         for (g, want) in target {
             let unit = &mut self.units[g.0];
             while unit.replicas.len() > *want {
                 let rid = unit.replicas.pop().expect("non-empty");
-                spares.push(rid);
-                changed = true;
+                spares.push((rid, g.0));
             }
         }
         spares.sort_unstable();
-        // Then grow receivers.
+        // Then grow receivers. Under full replication every spare is
+        // resident everywhere and this pops from the end exactly as the
+        // historical code did (a donor never re-grows within one target,
+        // so every placement is a real move there).
         for (g, want) in target {
-            let unit = &mut self.units[g.0];
-            while unit.replicas.len() < *want {
-                match spares.pop() {
-                    Some(rid) => {
-                        unit.replicas.push(rid);
-                        actions.push(ReconfigAction::Moved { replica: rid });
-                    }
-                    None => break,
+            while self.units[g.0].replicas.len() < *want {
+                let Some(pos) = spares
+                    .iter()
+                    .rposition(|(r, _)| self.unit_resident(&self.units[g.0], r.0, view.elig))
+                else {
+                    break;
+                };
+                let (rid, donor) = spares.remove(pos);
+                self.units[g.0].replicas.push(rid);
+                if donor != g.0 {
+                    changed = true;
+                    actions.push(ReconfigAction::Moved { replica: rid });
                 }
+            }
+        }
+        // Leftover spares no receiver could use must stay inside the unit
+        // partition: park each in the emptiest unit it is resident for
+        // (emptiest overall when it is resident nowhere). Unreachable under
+        // full replication — the balance targets sum to the replica count.
+        for (rid, donor) in spares {
+            let emptiest = |resident_only: bool| {
+                (0..self.units.len())
+                    .filter(|ui| {
+                        !resident_only || self.unit_resident(&self.units[*ui], rid.0, view.elig)
+                    })
+                    .min_by_key(|ui| (self.units[*ui].replicas.len(), *ui))
+            };
+            let home = emptiest(true)
+                .or_else(|| emptiest(false))
+                .expect("allocation targets imply at least one unit");
+            self.units[home].replicas.push(rid);
+            if home != donor {
+                changed = true;
+                actions.push(ReconfigAction::Moved { replica: rid });
             }
         }
         changed
@@ -824,14 +881,20 @@ impl MalbState {
         let freed: Vec<ReplicaId> = std::mem::take(&mut unit_b.replicas);
         self.units[a].groups.append(&mut unit_b.groups);
         stats.merges += 1;
-        // Freed replica(s) go to the currently most loaded unit.
+        // Freed replica(s) reinforce the most loaded unit they are
+        // *resident* for (placement-aware: a non-holder would reinforce
+        // nothing); the overall most loaded unit when resident nowhere.
         let unit_loads = self.unit_loads(view);
-        if let Some(most) = unit_loads
-            .iter()
-            .max_by(|x, y| x.load.total_cmp(&y.load).then(y.group.cmp(&x.group)))
-        {
-            for rid in freed {
-                self.units[most.group.0].replicas.push(rid);
+        let mut by_load: Vec<&GroupLoads> = unit_loads.iter().collect();
+        by_load.sort_by(|x, y| y.load.total_cmp(&x.load).then(x.group.cmp(&y.group)));
+        for rid in freed {
+            let most = by_load
+                .iter()
+                .find(|g| self.unit_resident(&self.units[g.group.0], rid.0, view.elig))
+                .or_else(|| by_load.first())
+                .map(|g| g.group.0);
+            if let Some(most) = most {
+                self.units[most].replicas.push(rid);
                 actions.push(ReconfigAction::Moved { replica: rid });
             }
         }
@@ -839,6 +902,10 @@ impl MalbState {
 
     /// Splits a merged unit into its first group and the rest; the new unit
     /// takes one replica from the least future-loaded other unit.
+    /// Placement-aware: the donated replica must be *resident* for the
+    /// split-off group (under partial replication a non-holder could not
+    /// serve it and dispatch would fall back); donor units with no such
+    /// replica are passed over, and the split waits when none exists.
     fn split_unit(
         &mut self,
         ui: usize,
@@ -846,24 +913,33 @@ impl MalbState {
         stats: &mut DispatchStats,
         actions: &mut Vec<ReconfigAction>,
     ) -> bool {
+        let moved_group = *self.units[ui].groups.last().expect("merged unit");
+        let split_off = Unit {
+            groups: vec![moved_group],
+            replicas: Vec::new(),
+        };
         let unit_loads = self.unit_loads(view);
-        let donor = unit_loads
+        let mut donors: Vec<&GroupLoads> = unit_loads
             .iter()
             .filter(|g| g.group.0 != ui && g.replicas > 1)
-            .min_by(|x, y| {
-                x.future_load()
-                    .total_cmp(&y.future_load())
-                    .then(x.group.cmp(&y.group))
-            });
-        let Some(donor) = donor else {
+            .collect();
+        donors.sort_by(|x, y| {
+            x.future_load()
+                .total_cmp(&y.future_load())
+                .then(x.group.cmp(&y.group))
+        });
+        let rid = donors.iter().find_map(|donor| {
+            self.units[donor.group.0]
+                .replicas
+                .iter()
+                .filter(|r| self.unit_resident(&split_off, r.0, view.elig))
+                .min_by_key(|r| r.0)
+                .copied()
+                .map(|rid| (donor.group.0, rid))
+        });
+        let Some((donor_idx, rid)) = rid else {
             return false;
         };
-        let donor_idx = donor.group.0;
-        let rid = *self.units[donor_idx]
-            .replicas
-            .iter()
-            .min_by_key(|r| r.0)
-            .expect("donor has replicas");
         self.units[donor_idx].replicas.retain(|r| *r != rid);
         let moved_group = self.units[ui].groups.pop().expect("merged unit");
         self.units.push(Unit {
@@ -1290,6 +1366,96 @@ mod tests {
         lb.dispatch(TxnTypeId(0));
         lb.dispatch(TxnTypeId(0));
         assert!(lb.connections()[1] > 0, "replica 1 serves again");
+    }
+
+    /// Drives the hot/cold load shape until the allocator reconfigures,
+    /// returning the replica sets of type 0's and type 1's units.
+    fn tick_hot_cold(lb: &mut LoadBalancer) -> (Vec<ReplicaId>, Vec<ReplicaId>) {
+        let unit_of = |lb: &LoadBalancer, t: TxnTypeId| {
+            lb.assignments()
+                .iter()
+                .find(|(types, _)| types.contains(&t))
+                .expect("type has a unit")
+                .1
+                .clone()
+        };
+        for s in 1..20 {
+            let hot: Vec<ReplicaId> = unit_of(lb, TxnTypeId(0));
+            for r in 0..lb.replicas() {
+                let load = if hot.contains(&ReplicaId(r)) {
+                    ResourceLoad {
+                        cpu: 0.95,
+                        disk: 0.2,
+                    }
+                } else {
+                    ResourceLoad {
+                        cpu: 0.05,
+                        disk: 0.01,
+                    }
+                };
+                lb.report(ReplicaId(r), load);
+            }
+            lb.tick(SimTime::from_secs(s));
+        }
+        (unit_of(lb, TxnTypeId(0)), unit_of(lb, TxnTypeId(1)))
+    }
+
+    #[test]
+    fn malb_moves_propose_only_holder_replicas_under_placement() {
+        // Two disjoint groups on 4 replicas: the seed parks {0, 2} on type
+        // 0's unit and {1, 3} on type 1's. Placement allows type 0 only on
+        // replicas {0, 3}: when type 0's unit runs hot, the donor's
+        // lowest-id replica (1) is *not* a holder — the placement-aware
+        // chooser must hand over replica 3 instead, and replica 1 must
+        // never enter the unit.
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(4, sets, cfg);
+        lb.set_type_eligibility(Some(vec![
+            vec![true, false, false, true],
+            vec![false, true, true, true],
+        ]));
+        let (hot_unit, cold_unit) = tick_hot_cold(&mut lb);
+        assert!(
+            hot_unit.contains(&ReplicaId(3)),
+            "the holder replica must reinforce the hot unit: {hot_unit:?}"
+        );
+        assert!(
+            !hot_unit.contains(&ReplicaId(1)),
+            "a non-holder must never be parked in the unit: {hot_unit:?}"
+        );
+        assert!(
+            cold_unit.contains(&ReplicaId(1)),
+            "the non-holder stays with its own unit: {cold_unit:?}"
+        );
+    }
+
+    #[test]
+    fn malb_moves_wait_when_no_holder_donor_exists() {
+        // Type 0 lives only on replica 0: no donor replica can serve the
+        // hot unit, so the chooser proposes nothing — membership is stable
+        // instead of parking useless non-holders (the dispatch-intersection
+        // fallback shape this chooser exists to cut).
+        let sets = vec![ws(0, &[(0, 80)]), ws(1, &[(1, 80)])];
+        let mut cfg = malb_config(100);
+        cfg.rebalance_period = SimTime::from_secs(1);
+        let mut lb = LoadBalancer::malb(4, sets, cfg);
+        lb.set_type_eligibility(Some(vec![
+            vec![true, false, false, false],
+            vec![false, true, true, true],
+        ]));
+        let before = lb.assignments();
+        let (hot_unit, _) = tick_hot_cold(&mut lb);
+        assert_eq!(
+            hot_unit,
+            before
+                .iter()
+                .find(|(t, _)| t.contains(&TxnTypeId(0)))
+                .unwrap()
+                .1,
+            "no holder donor: the unit must keep its seed membership"
+        );
     }
 
     #[test]

@@ -50,29 +50,42 @@ impl Fingerprint {
     }
 }
 
+/// Every parallel configuration each scenario is checked under: the worker
+/// widths of the acceptance matrix plus the stress mode — `min_dispatch =
+/// 0` forces even the tiniest multi-shard window through the `mpsc`
+/// channel path, which the production threshold would keep inline.
+/// Widths are forced explicitly so the shard path is exercised even on a
+/// single-core host.
+fn parallel_kinds() -> Vec<DriverKind> {
+    let mut kinds: Vec<DriverKind> = [2, 4, 8]
+        .into_iter()
+        .map(|threads| DriverKind::Parallel { threads })
+        .collect();
+    kinds.push(DriverKind::ParallelTuned {
+        threads: 2,
+        min_dispatch: 0,
+    });
+    kinds
+}
+
 fn assert_drivers_agree(scenario: &str, knobs: ScenarioKnobs) {
     let sequential = run_scenario(scenario, &knobs.clone().with_driver(DriverKind::Sequential))
         .expect("sequential run completes");
-    // Force two workers even on a single-core host so the mpsc shard path
-    // (not just the inline fallback) is exercised.
-    let parallel = run_scenario(
-        scenario,
-        &knobs
-            .clone()
-            .with_driver(DriverKind::Parallel { threads: 2 }),
-    )
-    .expect("parallel run completes");
-    assert_eq!(
-        Fingerprint::of(&sequential),
-        Fingerprint::of(&parallel),
-        "drivers diverged on {scenario} with seed {}",
-        knobs.seed
-    );
-    assert_eq!(
-        sequential.completions, parallel.completions,
-        "completion timestamps diverged on {scenario} with seed {}",
-        knobs.seed
-    );
+    for kind in parallel_kinds() {
+        let parallel = run_scenario(scenario, &knobs.clone().with_driver(kind))
+            .expect("parallel run completes");
+        assert_eq!(
+            Fingerprint::of(&sequential),
+            Fingerprint::of(&parallel),
+            "drivers diverged on {scenario} with seed {} under {kind:?}",
+            knobs.seed
+        );
+        assert_eq!(
+            sequential.completions, parallel.completions,
+            "completion timestamps diverged on {scenario} with seed {} under {kind:?}",
+            knobs.seed
+        );
+    }
 }
 
 #[test]
@@ -87,6 +100,26 @@ fn rubis_runs_identically_under_both_drivers_across_seeds() {
     for seed in [3, 11, 42] {
         assert_drivers_agree("rubis-auction", ScenarioKnobs::smoke().with_seed(seed));
     }
+}
+
+#[test]
+fn equivalence_runs_actually_defer_stoppers() {
+    // The bit-exactness above would be vacuous for the deferred-stopper
+    // machinery if windows never contained one: pin that the scenarios the
+    // suite runs do defer (certifier round-trips, completions, maintenance
+    // rounds inside windows).
+    let result = run_scenario(
+        "tpcw-steady-state",
+        &ScenarioKnobs::smoke().with_driver(DriverKind::Parallel { threads: 2 }),
+    )
+    .expect("parallel run completes");
+    let stats = result
+        .driver_stats
+        .expect("parallel runs record window stats");
+    assert!(
+        stats.deferred > 0,
+        "smoke runs must defer stoppers into the merge: {stats:?}"
+    );
 }
 
 #[test]
@@ -128,20 +161,17 @@ fn failover_runs_identically_under_both_drivers_across_seeds_and_threads() {
             !sequential.faults.is_empty(),
             "failover scenario must inject faults"
         );
-        for threads in [2, 4, 8] {
-            let parallel = run_scenario(
-                "failover",
-                &knobs.clone().with_driver(DriverKind::Parallel { threads }),
-            )
-            .expect("parallel failover run completes");
+        for kind in parallel_kinds() {
+            let parallel = run_scenario("failover", &knobs.clone().with_driver(kind))
+                .expect("parallel failover run completes");
             assert_eq!(
                 Fingerprint::of(&sequential),
                 Fingerprint::of(&parallel),
-                "drivers diverged on failover with seed {seed}, {threads} threads"
+                "drivers diverged on failover with seed {seed} under {kind:?}"
             );
             assert_eq!(
                 sequential.completions, parallel.completions,
-                "completion timestamps diverged on failover with seed {seed}, {threads} threads"
+                "completion timestamps diverged on failover with seed {seed} under {kind:?}"
             );
         }
     }
@@ -217,20 +247,17 @@ fn partial_replication_runs_identically_under_both_drivers_across_seeds_and_thre
             "the crash must force re-replication events into the fingerprint"
         );
         assert!(sequential.filtered_ws_bytes > 0, "placement must filter");
-        for threads in [2, 4, 8] {
-            let parallel = run_scenario(
-                "partial-replication",
-                &knobs.clone().with_driver(DriverKind::Parallel { threads }),
-            )
-            .expect("parallel partial-replication run completes");
+        for kind in parallel_kinds() {
+            let parallel = run_scenario("partial-replication", &knobs.clone().with_driver(kind))
+                .expect("parallel partial-replication run completes");
             assert_eq!(
                 Fingerprint::of(&sequential),
                 Fingerprint::of(&parallel),
-                "drivers diverged on partial-replication with seed {seed}, {threads} threads"
+                "drivers diverged on partial-replication with seed {seed} under {kind:?}"
             );
             assert_eq!(
                 sequential.completions, parallel.completions,
-                "completion timestamps diverged on partial-replication with seed {seed}"
+                "completion timestamps diverged on partial-replication with seed {seed} under {kind:?}"
             );
         }
     }
