@@ -7,9 +7,20 @@
 //! sequential driver once and the parallel driver at each requested
 //! thread count, checks the results are bit-identical, and reports
 //! wall-clock times plus the parallel driver's window statistics (mean
-//! window size, deferred stoppers, pooling, log2 size histogram). The
-//! JSON lands in `bench_results/driver_bench.json`, seeding the repo's
-//! perf trajectory.
+//! window size, deferred stoppers, pooling, lease runs, log2 size
+//! histogram). A forced-pool diagnostic (`ParallelTuned { threads: 2,
+//! min_dispatch: 0 }`) runs last so the persistent-pool path is measured
+//! even on hosts where the dispatch economics would keep windows inline.
+//!
+//! Two reports come out of every run:
+//! * `bench_results/driver_bench.json` — the full per-thread detail
+//!   (overwritten each run);
+//! * `BENCH_driver.json` at the repo root — one schema-stable entry
+//!   appended to a JSON array per run: label, host cores, sequential and
+//!   per-thread parallel wall-clock, the parallel/sequential ratio per
+//!   thread count, the forced-pool diagnostic, mean window size, and the
+//!   best (crossover) ratio. This is the cross-PR perf trajectory; each
+//!   PR that touches the driver appends a labelled run.
 //!
 //! Usage: `cargo run --release -p tashkent-bench --bin driver_bench
 //! [threads...]` (default thread counts: 2 4).
@@ -23,17 +34,21 @@
 //!   85%-of-peak table entry). Raising it pushes the cluster into the
 //!   overload regime the fig 8–10 sweeps cover, where every Gatekeeper
 //!   slot is busy and event density — and so window size — peaks.
+//! * `TASHKENT_BENCH_LABEL` — label stamped on the `BENCH_driver.json`
+//!   entry (default `local`; CI passes the commit hash).
 //! * `TASHKENT_BENCH_MIN_WINDOW` — when set, exit non-zero if the mean
 //!   window size *including lone steps as windows of one* falls below
 //!   this floor (the conservative gauge: a regression that shatters
 //!   windows into singles cannot hide behind large surviving windows).
-//!   The CI perf-smoke step asserts on window size, not wall clock, so
-//!   shared runners cannot flake it.
+//! * `TASHKENT_BENCH_MAX_RATIO` — when set, exit non-zero if the first
+//!   requested thread count's parallel/sequential wall-clock ratio
+//!   exceeds this ceiling (the perf-smoke gate: parallel must not fall
+//!   behind sequential by more than the allowed factor).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use tashkent_bench::{clients_per_replica, save_json, window};
+use tashkent_bench::{append_repo_root_json, clients_per_replica, save_json, window};
 use tashkent_cluster::{
     DriverKind, DriverStats, PolicySpec, RunResult, Scenario, ScenarioKnobs, TpcwSteadyState,
 };
@@ -135,6 +150,10 @@ fn main() {
     let _ = writeln!(json, "  \"parallel\": [");
 
     let mut worst_mean = f64::INFINITY;
+    let mut mean_incl_singles = 0.0;
+    // `(threads, wall_us, parallel/sequential ratio)` per default run, for
+    // the repo-root trajectory entry and the perf-smoke gate.
+    let mut trajectory: Vec<(usize, u128, f64)> = Vec::new();
     for (i, &t) in threads.iter().enumerate() {
         let par = run(&scenario, &knobs, DriverKind::Parallel { threads: t });
         assert_eq!(
@@ -148,20 +167,30 @@ fn main() {
             .expect("parallel runs always record window stats");
         let mean = stats.mean_window_items();
         worst_mean = worst_mean.min(stats.mean_window_incl_singles());
+        mean_incl_singles = stats.mean_window_incl_singles();
+        let ratio = par.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
+        trajectory.push((t, par.wall.as_micros(), ratio));
         println!(
-            "  parallel:   {:?} ({t} threads) -> {:.2}x | {:.2} items/window \
-             ({:.2} incl. singles), {} deferred, {} pooled of {} windows",
+            "  parallel:   {:?} ({t} threads) -> {ratio:.2}x of sequential | \
+             {:.2} items/window ({:.2} incl. singles), {} deferred, \
+             {} pooled of {} windows, {} runs ({} leases retained, {} recalls, \
+             {} pipelined), worker idle {:.1}%",
             par.wall,
-            seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
             mean,
             stats.mean_window_incl_singles(),
             stats.deferred,
             stats.pooled,
             stats.windows,
+            stats.runs,
+            stats.leases_retained,
+            stats.recalls,
+            stats.pipelined,
+            stats.worker_idle_fraction() * 100.0,
         );
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"threads\": {t},");
         let _ = writeln!(json, "      \"wall_us\": {},", par.wall.as_micros());
+        let _ = writeln!(json, "      \"ratio\": {ratio:.4},");
         let _ = writeln!(json, "      \"windows\": {},", stats.windows);
         let _ = writeln!(json, "      \"singles\": {},", stats.singles);
         let _ = writeln!(json, "      \"items\": {},", stats.items);
@@ -169,6 +198,26 @@ fn main() {
         let _ = writeln!(json, "      \"deferred\": {},", stats.deferred);
         let _ = writeln!(json, "      \"shards\": {},", stats.shards);
         let _ = writeln!(json, "      \"pooled\": {},", stats.pooled);
+        let _ = writeln!(json, "      \"runs\": {},", stats.runs);
+        let _ = writeln!(
+            json,
+            "      \"max_run_windows\": {},",
+            stats.max_run_windows
+        );
+        let _ = writeln!(
+            json,
+            "      \"leases_retained\": {},",
+            stats.leases_retained
+        );
+        let _ = writeln!(json, "      \"recalls\": {},", stats.recalls);
+        let _ = writeln!(json, "      \"pipelined\": {},", stats.pipelined);
+        let _ = writeln!(json, "      \"worker_parks\": {},", stats.worker_parks);
+        let _ = writeln!(json, "      \"worker_spins\": {},", stats.worker_spins);
+        let _ = writeln!(
+            json,
+            "      \"worker_idle_fraction\": {:.4},",
+            stats.worker_idle_fraction()
+        );
         let _ = writeln!(json, "      \"mean_window_items\": {mean:.4},");
         let _ = writeln!(
             json,
@@ -186,6 +235,71 @@ fn main() {
     json.push_str("}\n");
     save_json("driver_bench", &json);
 
+    // Forced-pool diagnostic: `min_dispatch = 0` lifts the dispatch
+    // economics (including the host-parallelism clamp), so the persistent
+    // pool, lease runs, and streaming merge are measured even on hosts
+    // where the default path would run every window inline.
+    let forced = run(
+        &scenario,
+        &knobs,
+        DriverKind::ParallelTuned {
+            threads: 2,
+            min_dispatch: 0,
+        },
+    );
+    assert_eq!(
+        fingerprint(&seq.result),
+        fingerprint(&forced.result),
+        "forced-pool run must produce identical results"
+    );
+    let forced_ratio = forced.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
+    println!(
+        "  forced-pool: {:?} (2 threads, min_dispatch 0) -> {forced_ratio:.2}x of sequential",
+        forced.wall
+    );
+
+    // One schema-stable entry for the cross-PR trajectory at the repo root.
+    let label = std::env::var("TASHKENT_BENCH_LABEL").unwrap_or_else(|_| "local".into());
+    let crossover = trajectory
+        .iter()
+        .map(|(_, _, r)| *r)
+        .fold(f64::INFINITY, f64::min);
+    let mut entry = String::from("  {\n");
+    let _ = writeln!(entry, "    \"label\": {label:?},");
+    let _ = writeln!(
+        entry,
+        "    \"config\": \"tpcw-mid-ordering-{policy_name}-16r\","
+    );
+    let _ = writeln!(entry, "    \"warmup_secs\": {warmup},");
+    let _ = writeln!(entry, "    \"measured_secs\": {measured},");
+    let _ = writeln!(entry, "    \"host_cores\": {cores},");
+    let _ = writeln!(
+        entry,
+        "    \"sequential_wall_us\": {},",
+        seq.wall.as_micros()
+    );
+    let _ = writeln!(entry, "    \"parallel\": [");
+    for (i, (t, wall_us, ratio)) in trajectory.iter().enumerate() {
+        let _ = writeln!(
+            entry,
+            "      {{ \"threads\": {t}, \"wall_us\": {wall_us}, \"ratio\": {ratio:.4} }}{}",
+            if i + 1 < trajectory.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(entry, "    ],");
+    let _ = writeln!(
+        entry,
+        "    \"forced_pool\": {{ \"threads\": 2, \"min_dispatch\": 0, \"wall_us\": {}, \"ratio\": {forced_ratio:.4} }},",
+        forced.wall.as_micros()
+    );
+    let _ = writeln!(
+        entry,
+        "    \"mean_window_incl_singles\": {mean_incl_singles:.4},"
+    );
+    let _ = writeln!(entry, "    \"crossover_ratio\": {crossover:.4}");
+    entry.push_str("  }");
+    append_repo_root_json("BENCH_driver.json", &entry);
+
     if let Ok(floor) = std::env::var("TASHKENT_BENCH_MIN_WINDOW") {
         let floor: f64 = floor
             .parse()
@@ -197,5 +311,17 @@ fn main() {
              crates/cluster/src/driver.rs)"
         );
         println!("  window-size floor {floor} held (worst mean incl. singles {worst_mean:.2})");
+    }
+    if let Ok(ceiling) = std::env::var("TASHKENT_BENCH_MAX_RATIO") {
+        let ceiling: f64 = ceiling
+            .parse()
+            .expect("TASHKENT_BENCH_MAX_RATIO must be a number");
+        let (t, _, ratio) = trajectory[0];
+        assert!(
+            ratio <= ceiling,
+            "parallel wall-clock regressed: {ratio:.2}x of sequential at {t} threads \
+             exceeds the {ceiling}x ceiling (see crates/cluster/src/driver.rs)"
+        );
+        println!("  wall-clock ceiling {ceiling}x held ({ratio:.2}x at {t} threads)");
     }
 }

@@ -232,6 +232,30 @@ fn save_with_ext(name: &str, ext: &str, body: &str) {
     }
 }
 
+/// Appends one JSON object to a JSON-array file at the repository root —
+/// the cross-PR perf trajectory (`BENCH_driver.json`). The file is a plain
+/// JSON array; the new entry is spliced in before the closing bracket, so
+/// each PR's bench run appends one element and the history accumulates. A
+/// missing or malformed file starts a fresh array rather than failing the
+/// bench.
+pub fn append_repo_root_json(file: &str, entry: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    let fresh = format!("[\n{entry}\n]\n");
+    let body = match fs::read_to_string(&path) {
+        Ok(existing) => match existing.trim_end().strip_suffix(']') {
+            // An empty array gets its first element; a populated one gets
+            // a comma-separated append.
+            Some(prefix) if prefix.trim_end().ends_with('[') => fresh,
+            Some(prefix) => format!("{},\n{entry}\n]\n", prefix.trim_end()),
+            None => fresh,
+        },
+        Err(_) => fresh,
+    };
+    let _ = fs::write(&path, body);
+}
+
 /// Pretty time for logs.
 pub fn fmt_time(t: SimTime) -> String {
     format!("{:.0}s", t.as_secs_f64())

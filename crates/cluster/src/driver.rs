@@ -11,16 +11,16 @@
 //!   the original single-threaded `World` loop.
 //! * [`ParallelDriver`] — a windowed parallel discrete-event driver. Runs
 //!   of consecutive window-compatible events are popped as a *lookahead
-//!   window*: `StepTxn` events are sharded by replica across `std::thread`
-//!   workers over `mpsc` channels, while single-component stoppers
-//!   (certifier sends, certifier returns, committed completions,
-//!   maintenance rounds) are **deferred** into the merge instead of ending
-//!   the window. The merge then replays everything — worker transcripts,
-//!   deferred stoppers, and the events their handling schedules — in
-//!   exactly the sequential pop order, including same-microsecond FIFO
-//!   ties, which it reconstructs via generation stamps. Results are
-//!   identical to [`SequentialDriver`] for every seed and configuration;
-//!   only wall-clock time differs.
+//!   window*: `StepTxn` events are sharded by replica across a persistent
+//!   pool of worker threads over dedicated SPSC lanes ([`crate::sync`]),
+//!   while single-component stoppers (certifier sends, certifier returns,
+//!   committed completions, maintenance rounds) are **deferred** into the
+//!   merge instead of ending the window. The merge then replays everything
+//!   — worker transcripts, deferred stoppers, and the events their
+//!   handling schedules — in exactly the sequential pop order, including
+//!   same-microsecond FIFO ties, which it reconstructs via generation
+//!   stamps. Results are identical to [`SequentialDriver`] for every seed
+//!   and configuration; only wall-clock time differs.
 //!
 //! # The window lifecycle
 //!
@@ -34,8 +34,8 @@
 //!    fault, placement change, run control) or the first event past the
 //!    horizon stays queued and bounds the window as the *true stopper*.
 //! 2. **Sharding.** Each shard leases its replica's node and advances that
-//!    replica's transactions independently (worker threads when the window
-//!    is big enough to pay for the channel hop, inline otherwise),
+//!    replica's transactions independently (persistent worker threads when
+//!    the window is big enough to pay for the handoff, inline otherwise),
 //!    recording a transcript. Shards observe *barriers* (below) that stop
 //!    them exactly where a deferred stopper or an emitted consequence would
 //!    sequentially intervene on their replica.
@@ -46,6 +46,57 @@
 //!    [`ClusterState::handle`] and interleaving any events that handling
 //!    schedules (see [`merge_window`]). Emissions at or past the true
 //!    stopper re-enter the queue at their sequential insertion position.
+//!    The replay starts as soon as the jobs are dispatched — it does not
+//!    wait for the shards — and *streams* their transcripts in: a shard's
+//!    transcript is awaited only at the first replay entry that needs it,
+//!    so merge work on one shard overlaps execution of the others.
+//!
+//! # The persistent pool and shard leases
+//!
+//! Worker threads are spawned once and live for the driver's lifetime.
+//! Each worker owns two dedicated SPSC ring-buffer lanes ([`crate::sync`]):
+//! a job lane (coordinator → worker) carrying window jobs and node
+//! recalls, and a result lane (worker → coordinator) carrying shard
+//! transcripts and recalled nodes. Both consumers spin briefly and then
+//! park, so an idle pool costs ~0 CPU (the old `mpsc` path burned ~2k spin
+//! iterations per worker per window; [`DriverStats::worker_spins`] now
+//! stays bounded by the message count). A worker panic is caught and
+//! forwarded over the result lane, and the coordinator re-raises it.
+//!
+//! Shard-to-worker affinity is stable — replica `r` always goes to worker
+//! `r % workers` — which enables **shard leases across windows**: when a
+//! pooled window's merge completes, shard nodes that no coordinator
+//! handler demanded simply *stay at their workers*, and the next pooled
+//! window's job for that replica ships without a node (`Job::node` is
+//! `None`; the worker already holds it). A maximal stretch of windows
+//! executed this way is a *run* ([`DriverStats::runs`]); it ends at the
+//! first true barrier — an event whose handler may touch any node
+//! ([`crate::events::NodeDemand::AllNodes`]: dispatch, balancer ticks,
+//! faults, run control) — which recalls every leased node before it runs.
+//!
+//! The recall discipline is what keeps leases exact. Every
+//! [`ClusterState::handle`] call the coordinator makes is preceded by a
+//! check of the event's [`crate::events::NodeDemand`]: a single-replica
+//! handler pulls exactly that node home (if leased), an all-nodes handler
+//! pulls everything home, a certifier-only handler pulls nothing. Because
+//! each worker's job lane is FIFO, a recall enqueued after a job is
+//! processed after it — the worker finishes the shard, parks the node in
+//! its local rack, and only then sees the recall — so a recall can never
+//! race the very shard execution that justifies the lease. The node's
+//! *physical location* is thus pure mechanics: the sequence of handler
+//! invocations, and the node state each observes, is bit-identical to the
+//! sequential driver's.
+//!
+//! # Dispatch economics
+//!
+//! A pooled handoff only pays when shards actually run concurrently.
+//! [`DriverKind::Parallel`] therefore clamps pooling to
+//! `min(threads, available_parallelism) >= 2`: on a single-core host the
+//! window machinery still runs (formation, barriers, merge — the full
+//! algorithm, inline), but jobs are not shipped to threads that would only
+//! context-switch with the coordinator. [`DriverKind::ParallelTuned`]
+//! bypasses the clamp (and sets its own `min_dispatch`), so equivalence
+//! suites force the channel path even on one core.
 //!
 //! # Why windows are exact
 //!
@@ -112,23 +163,27 @@
 //! # Observability
 //!
 //! The driver always collects [`DriverStats`] (window counts, sizes,
-//! deferral and pooling counters, a log₂ size histogram) into
+//! deferral and pooling counters, a log₂ size histogram, plus the pool's
+//! pipeline/handoff counters: lease runs, recalls, overlapped merges, a
+//! log₂ handoff-stall histogram, and worker busy/parked occupancy) into
 //! [`ClusterState::driver_stats`], which [`crate::metrics::RunResult`]
 //! carries as `driver_stats`. Setting `TASHKENT_DRIVER_STATS` additionally
-//! prints a summary to stderr at the end of the run.
+//! prints [`DriverStats::summary`] to stderr at the end of the run.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use tashkent_engine::TxnId;
 use tashkent_sim::{EventQueue, SimTime};
 
 use crate::components::ClusterNode;
-use crate::events::{Ev, Footprint};
+use crate::events::{Ev, Footprint, NodeDemand};
 use crate::state::ClusterState;
+use crate::sync::{self, WaitCounters};
 
 /// Which driver an experiment runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,17 +194,22 @@ pub enum DriverKind {
     /// The windowed multi-threaded driver. Produces results identical to
     /// the sequential reference — same-microsecond FIFO ties included
     /// (enforced by the cross-driver equivalence tests); faster on
-    /// multi-core hosts for multi-replica configurations.
+    /// multi-core hosts for multi-replica configurations. Pooling is
+    /// clamped to the dispatch economics of the host: jobs go to worker
+    /// threads only when `min(threads, available_parallelism) >= 2` —
+    /// on a single-core host the full window algorithm runs inline (see
+    /// the module docs, "Dispatch economics").
     Parallel {
         /// Worker thread count; `0` picks the host's available parallelism.
         threads: usize,
     },
     /// The windowed driver with an explicit dispatch threshold: windows
     /// with at least `min_dispatch` step events go through the worker
-    /// pool. `min_dispatch = 0` forces every multi-shard window — however
-    /// tiny — through the `mpsc` channel path; the equivalence suites use
-    /// it as a stress mode, since production thresholds keep small windows
-    /// inline on the coordinator.
+    /// pool, and the single-core economics clamp is bypassed.
+    /// `min_dispatch = 0` forces every multi-shard window — however tiny —
+    /// through the pool's channel path; the equivalence suites use it as a
+    /// stress mode, since production thresholds keep small windows inline
+    /// on the coordinator.
     ParallelTuned {
         /// Worker thread count; `0` picks the host's available parallelism.
         threads: usize,
@@ -240,6 +300,12 @@ impl Driver for SequentialDriver {
 /// … up to `2^11 = 2048` and beyond in the last bucket).
 pub const WINDOW_HIST_BUCKETS: usize = 12;
 
+/// Number of log₂ buckets in the handoff-stall histogram: bucket 0 counts
+/// pooled windows whose coordinator stalled under 512 ns waiting on the
+/// pool, bucket `i` covers `2^(8+i) .. 2^(9+i)` ns, and the last bucket
+/// absorbs everything from ~8 ms up.
+pub const HANDOFF_HIST_BUCKETS: usize = 16;
+
 /// Per-run window accounting, always collected by [`ParallelDriver`] and
 /// surfaced through [`crate::metrics::RunResult::driver_stats`]. Setting
 /// `TASHKENT_DRIVER_STATS` prints a summary to stderr at the end of a run.
@@ -262,6 +328,37 @@ pub struct DriverStats {
     /// Window sizes (including singles as size 1), log₂-bucketed: bucket
     /// `i` counts windows of `2^i ..= 2^(i+1) - 1` events.
     pub size_hist: [u64; WINDOW_HIST_BUCKETS],
+    /// Lease runs: maximal stretches of pooled windows over which shard
+    /// leases could persist at their workers, ended by the first all-nodes
+    /// barrier between windows (dispatch, balancer tick, fault, run
+    /// control).
+    pub runs: u64,
+    /// Longest run, in pooled windows.
+    pub max_run_windows: u64,
+    /// Shard leases left at their worker across a window boundary (counted
+    /// per pooled window at merge end).
+    pub leases_retained: u64,
+    /// Nodes pulled home from workers — mid-merge demands, between-window
+    /// single-node demands, and run-ending all-nodes barriers alike.
+    pub recalls: u64,
+    /// Pooled windows whose merge did replay work while at least one shard
+    /// transcript was still in flight — merge/shard pipelining actually
+    /// overlapped (wall-clock-dependent, unlike every other counter).
+    pub pipelined: u64,
+    /// Per pooled window, nanoseconds the coordinator spent blocked on the
+    /// pool (transcript or recall waits), log₂-bucketed; see
+    /// [`HANDOFF_HIST_BUCKETS`].
+    pub handoff_ns_hist: [u64; HANDOFF_HIST_BUCKETS],
+    /// Wall nanoseconds workers spent executing shard jobs this run.
+    pub worker_busy_ns: u64,
+    /// Wall nanoseconds workers spent parked this run (idle, ~0 CPU).
+    pub worker_parked_ns: u64,
+    /// Park episodes across all workers this run.
+    pub worker_parks: u64,
+    /// Spin-loop iterations across all workers this run; bounded by
+    /// [`sync::SPIN_LIMIT`] per message or park (the old `mpsc` path spun
+    /// ~2000 iterations per worker per window regardless).
+    pub worker_spins: u64,
 }
 
 impl DriverStats {
@@ -277,9 +374,62 @@ impl DriverStats {
         (self.items + self.singles) as f64 / (self.windows + self.singles).max(1) as f64
     }
 
+    /// Fraction of accounted worker time spent parked rather than running
+    /// shard jobs. Idle workers park in the scheduler, so a mostly-idle
+    /// pool pushes this toward 1.0 while costing ~0 CPU.
+    pub fn worker_idle_fraction(&self) -> f64 {
+        let total = self.worker_parked_ns + self.worker_busy_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.worker_parked_ns as f64 / total as f64
+        }
+    }
+
+    /// One-line human summary of the run — the `TASHKENT_DRIVER_STATS`
+    /// output, factored out so tests can pin its contents without touching
+    /// the environment.
+    pub fn summary(&self) -> String {
+        format!(
+            "parallel driver: {} windows ({} pooled, {} pipelined), {} single-step, \
+             {:.2} items/window ({:.2} incl. singles), {:.2} shards/window, \
+             {} deferred stoppers, {} runs (max {} windows, {} leases retained, \
+             {} recalls), workers busy {:.3}ms / parked {:.3}ms (idle {:.1}%, \
+             {} parks, {} spins), handoff hist {:?}, size hist {:?}",
+            self.windows,
+            self.pooled,
+            self.pipelined,
+            self.singles,
+            self.mean_window_items(),
+            self.mean_window_incl_singles(),
+            self.shards as f64 / self.windows.max(1) as f64,
+            self.deferred,
+            self.runs,
+            self.max_run_windows,
+            self.leases_retained,
+            self.recalls,
+            self.worker_busy_ns as f64 / 1e6,
+            self.worker_parked_ns as f64 / 1e6,
+            self.worker_idle_fraction() * 100.0,
+            self.worker_parks,
+            self.worker_spins,
+            self.handoff_ns_hist,
+            self.size_hist,
+        )
+    }
+
     fn observe_single(&mut self) {
         self.singles += 1;
         self.size_hist[0] += 1;
+    }
+
+    fn observe_handoff(&mut self, stall_ns: u64) {
+        let bucket = if stall_ns < 256 {
+            0
+        } else {
+            ((63 - stall_ns.leading_zeros() as usize) - 8).min(HANDOFF_HIST_BUCKETS - 1)
+        };
+        self.handoff_ns_hist[bucket] += 1;
     }
 
     fn observe_window(&mut self, steps: u64, deferred: u64, shards: u64, pooled: bool) {
@@ -340,7 +490,10 @@ struct StepRec {
 /// out empty-with-capacity, returned through [`ShardResult`].
 struct Job {
     replica: usize,
-    node: Box<ClusterNode>,
+    /// The replica's node — or `None` when the assigned worker already
+    /// holds it under a lease from the previous pooled window (the worker
+    /// resolves it from its rack before running).
+    node: Option<Box<ClusterNode>>,
     /// `(key, txn)` of this replica's batch steps, key-ascending.
     items: Vec<(Key, TxnId)>,
     /// Latest timestamp the window may touch (`t0 + 4·lan_hop_us`).
@@ -369,7 +522,9 @@ struct Job {
 /// `items` buffer, returned for recycling).
 struct ShardResult {
     replica: usize,
-    node: Box<ClusterNode>,
+    /// The node — `Some` from inline execution, `None` from a pool worker
+    /// (which racks the node locally, keeping the lease until recalled).
+    node: Option<Box<ClusterNode>>,
     /// The job's batch buffer, drained — returned to the coordinator pool.
     items: Vec<(Key, TxnId)>,
     /// One record per processed item, in processing order.
@@ -401,6 +556,7 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
     // Agenda entries: (key, raw txn id, transcript index of the generating
     // step for children, or usize::MAX for batch events).
     debug_assert!(agenda.is_empty(), "agenda scratch not drained");
+    let mut node = job.node.take().expect("job node resolved before execution");
     for (key, txn) in job.items.drain(..) {
         agenda.push(Reverse((key, txn.0, usize::MAX)));
     }
@@ -418,7 +574,7 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
             break;
         }
         agenda.pop();
-        let Some((child_at, child_ev)) = job.node.step_child(key.at, TxnId(txn)) else {
+        let Some((child_at, child_ev)) = node.step_child(key.at, TxnId(txn)) else {
             // Stale step (transaction dropped by a crash): sequentially it
             // schedules nothing, so it consumes no generation rank and
             // raises no barrier.
@@ -485,7 +641,7 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
 
     ShardResult {
         replica: job.replica,
-        node: job.node,
+        node: Some(node),
         items: job.items,
         steps,
         unprocessed_batch,
@@ -550,6 +706,26 @@ struct MergeScratch {
     unproc_pool: Vec<Vec<(u64, TxnId)>>,
 }
 
+impl MergeScratch {
+    /// Returns an unconsumed shard result's buffers to the pools (used for
+    /// transcripts orphaned when an `End` cuts a merge short).
+    fn recycle(&mut self, res: ShardResult) {
+        debug_assert!(res.node.is_none(), "orphaned results leave nodes racked");
+        let ShardResult {
+            mut items,
+            mut steps,
+            mut unprocessed_batch,
+            ..
+        } = res;
+        items.clear();
+        self.items_pool.push(items);
+        steps.clear();
+        self.steps_pool.push(steps);
+        unprocessed_batch.clear();
+        self.unproc_pool.push(unprocessed_batch);
+    }
+}
+
 /// One shard's transcript under replay: cursor-consumed so the buffers can
 /// be recycled afterwards.
 struct ShardCursor {
@@ -557,6 +733,203 @@ struct ShardCursor {
     step_i: usize,
     unprocessed: Vec<(u64, TxnId)>,
     unproc_i: usize,
+}
+
+/// Where a replica's node physically lives right now. `Home` means it sits
+/// in [`ClusterState`] (every handler may touch it); `AtWorker(w)` means it
+/// is leased to pool worker `w`'s rack and must be recalled before any
+/// coordinator handler that demands it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeLoc {
+    Home,
+    AtWorker(usize),
+}
+
+/// Coordinator → worker messages, one FIFO lane per worker. The FIFO order
+/// is load-bearing: a `Recall` enqueued after a `Job` is only seen after
+/// the job completed and its node is racked, so a recall can never race
+/// the shard execution that holds the lease.
+enum ToWorker {
+    Job(Job),
+    /// Return this replica's racked node to the coordinator.
+    Recall(usize),
+}
+
+/// Worker → coordinator messages, one FIFO lane per worker.
+enum FromWorker {
+    /// A finished shard (`node` is `None`: the worker racked it).
+    Shard(ShardResult),
+    /// A recalled node coming home.
+    Node {
+        replica: usize,
+        node: Box<ClusterNode>,
+    },
+    /// The worker panicked; the coordinator re-raises the payload.
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// The merge's view of in-flight shard work: pool lanes to drain, the
+/// lease map to keep honest, and stall/recall accounting. With `pool:
+/// None` (inline windows, unit tests) it degenerates to "everything is
+/// already here".
+struct ShardFeed<'a> {
+    pool: Option<&'a WorkerPool>,
+    lease: &'a mut [NodeLoc],
+    /// Transcripts dispatched but not yet absorbed.
+    pending: usize,
+    /// Nanoseconds the merge spent blocked on the pool.
+    stall_ns: u64,
+    /// Nodes recalled mid-merge.
+    recalls: u64,
+    /// Whether any replay work happened while a transcript was in flight.
+    overlapped: bool,
+}
+
+impl<'a> ShardFeed<'a> {
+    fn new(pool: Option<&'a WorkerPool>, lease: &'a mut [NodeLoc], pending: usize) -> Self {
+        ShardFeed {
+            pool,
+            lease,
+            pending,
+            stall_ns: 0,
+            recalls: 0,
+            overlapped: false,
+        }
+    }
+
+    /// Installs one shard result as a replay cursor (and puts its node
+    /// home if it travelled with the result — the inline path).
+    fn install(
+        &mut self,
+        mut res: ShardResult,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+    ) {
+        if let Some(node) = res.node.take() {
+            state.put_node(res.replica, node);
+            self.lease[res.replica] = NodeLoc::Home;
+        }
+        sc.slot_of[res.replica] = shards.len();
+        shards.push(ShardCursor {
+            steps: res.steps,
+            step_i: 0,
+            unprocessed: res.unprocessed_batch,
+            unproc_i: 0,
+        });
+        sc.items_pool.push(res.items);
+    }
+
+    fn absorb(
+        &mut self,
+        msg: FromWorker,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+    ) {
+        match msg {
+            FromWorker::Shard(res) => {
+                debug_assert!(self.pending > 0, "transcript nobody dispatched");
+                self.pending -= 1;
+                self.install(res, state, sc, shards);
+            }
+            FromWorker::Node { replica, node } => {
+                state.put_node(replica, node);
+                self.lease[replica] = NodeLoc::Home;
+            }
+            FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Blocks on the pool for the next message, accounting the stall.
+    fn blocking_next(&mut self) -> FromWorker {
+        let pool = self.pool.expect("blocked on shard results without a pool");
+        let start = Instant::now();
+        let msg = pool.recv_any();
+        self.stall_ns += start.elapsed().as_nanos() as u64;
+        msg
+    }
+
+    /// Opportunistically absorbs transcripts that already landed, keeping
+    /// lanes shallow while the replay works.
+    fn poll(
+        &mut self,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+    ) {
+        if self.pending == 0 {
+            return;
+        }
+        let Some(pool) = self.pool else { return };
+        while let Some(msg) = pool.try_recv_any() {
+            self.absorb(msg, state, sc, shards);
+            if self.pending == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Waits until shard `replica`'s transcript has been installed.
+    fn ensure_transcript(
+        &mut self,
+        replica: usize,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+    ) {
+        while sc.slot_of[replica] == usize::MAX {
+            assert!(self.pending > 0, "window item for an absent shard");
+            let msg = self.blocking_next();
+            self.absorb(msg, state, sc, shards);
+        }
+    }
+
+    /// Recalls whatever nodes `demand` requires and waits until they are
+    /// home. Transcripts arriving in the meantime are absorbed (each
+    /// worker's lanes are FIFO, so a recalled node follows any transcript
+    /// the same worker produced first).
+    fn ensure(
+        &mut self,
+        demand: NodeDemand,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+    ) {
+        match demand {
+            NodeDemand::NoNode => {}
+            NodeDemand::Node(replica) => {
+                let NodeLoc::AtWorker(w) = self.lease[replica] else {
+                    return;
+                };
+                let pool = self.pool.expect("lease without a pool");
+                pool.recall(w, replica);
+                self.recalls += 1;
+                while self.lease[replica] != NodeLoc::Home {
+                    let msg = self.blocking_next();
+                    self.absorb(msg, state, sc, shards);
+                }
+            }
+            NodeDemand::AllNodes => {
+                let Some(pool) = self.pool else {
+                    debug_assert!(self.lease.iter().all(|l| *l == NodeLoc::Home));
+                    return;
+                };
+                let mut any = false;
+                for (r, loc) in self.lease.iter().enumerate() {
+                    if let NodeLoc::AtWorker(w) = *loc {
+                        pool.recall(w, r);
+                        self.recalls += 1;
+                        any = true;
+                    }
+                }
+                while any && self.lease.iter().any(|l| *l != NodeLoc::Home) {
+                    let msg = self.blocking_next();
+                    self.absorb(msg, state, sc, shards);
+                }
+            }
+        }
+    }
 }
 
 /// Replays per-shard transcripts and deferred stoppers in the exact global
@@ -597,9 +970,19 @@ struct ShardCursor {
 /// is what closes the same-microsecond tie corner: follow-ups of
 /// inline-handled stoppers and emissions receive their sequence numbers at
 /// the handler's pop position, exactly as sequential insertion would.
+/// Streaming addition for the pipelined pool: the replay does not wait for
+/// the shards. Inline results arrive via `ready`; pool transcripts stream
+/// in through `feed` — awaited lazily at the first replay entry that needs
+/// them ([`ShardFeed::ensure_transcript`]), so the merge of early shards
+/// overlaps execution of late ones. Node presence is equally lazy: every
+/// inline [`ClusterState::handle`] call is preceded by a
+/// [`ShardFeed::ensure`] on the event's [`NodeDemand`], which recalls
+/// leased nodes exactly when a handler would touch them. Neither changes
+/// the order of handler invocations — only *when the coordinator waits*.
 fn merge_window(
     batch: &mut Vec<(SimTime, WinItem)>,
-    results: Vec<ShardResult>,
+    ready: Vec<ShardResult>,
+    feed: &mut ShardFeed<'_>,
     state: &mut ClusterState,
     queue: &mut EventQueue<Ev>,
     sc: &mut MergeScratch,
@@ -611,20 +994,12 @@ fn merge_window(
     // past it.
     let stop_ts = queue.peek_time();
     let pre_stopper = |at: SimTime| stop_ts.is_none_or(|s| at < s);
-    // Index transcripts by replica; return the leased nodes.
+    // Index transcripts by replica as they arrive.
     sc.slot_of.clear();
     sc.slot_of.resize(state.config.replicas, usize::MAX);
-    let mut shards: Vec<ShardCursor> = Vec::with_capacity(results.len());
-    for r in results {
-        sc.slot_of[r.replica] = shards.len();
-        shards.push(ShardCursor {
-            steps: r.steps,
-            step_i: 0,
-            unprocessed: r.unprocessed_batch,
-            unproc_i: 0,
-        });
-        state.put_node(r.replica, r.node);
-        sc.items_pool.push(r.items);
+    let mut shards: Vec<ShardCursor> = Vec::with_capacity(ready.len() + feed.pending);
+    for r in ready {
+        feed.install(r, state, sc, &mut shards);
     }
 
     // Seed the replay with every batch event at its pop rank. Batch events
@@ -652,33 +1027,44 @@ fn merge_window(
         sc.heap.push(Reverse(entry));
     }
     let mut next_rank = child_rank_base;
-    while let Some(Reverse(top)) = sc.heap.peek() {
+    while let Some((top_at, top_stamp)) = sc.heap.peek().map(|Reverse(e)| (e.key.at, e.stamp)) {
+        // Keep lanes shallow: absorb transcripts that already landed.
+        feed.poll(state, sc, &mut shards);
         // Interleave: events the inline handling scheduled that
         // sequentially precede the next replay entry pop first.
-        let (top_at, top_stamp) = (top.key.at, top.stamp);
         if queue
             .peek_key()
             .is_some_and(|(at, seq)| at < top_at || (at == top_at && seq < top_stamp))
         {
             let (at, ev) = queue.pop().expect("peeked event vanished");
+            feed.ensure(ev.footprint().demand(), state, sc, &mut shards);
             state.handle(at, ev, queue);
+            feed.overlapped |= feed.pending > 0;
+            if state.ended() {
+                return;
+            }
             continue;
         }
         let Reverse(entry) = sc.heap.pop().expect("peeked entry vanished");
         match entry.action {
             Replay::Item(txn) => {
+                feed.ensure_transcript(entry.replica, state, sc, &mut shards);
                 let slot = sc.slot_of[entry.replica];
                 debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
-                let shard = &mut shards[slot];
-                if entry.key.rank < child_rank_base
-                    && shard
-                        .unprocessed
-                        .get(shard.unproc_i)
-                        .is_some_and(|(rank, _)| *rank == entry.key.rank)
-                {
+                let take_unprocessed = {
+                    let shard = &shards[slot];
+                    entry.key.rank < child_rank_base
+                        && shard
+                            .unprocessed
+                            .get(shard.unproc_i)
+                            .is_some_and(|(rank, _)| *rank == entry.key.rank)
+                };
+                if take_unprocessed {
                     // A batch step the shard's barriers skipped: its
-                    // sequential turn is exactly now — execute it inline.
-                    shard.unproc_i += 1;
+                    // sequential turn is exactly now — execute it inline
+                    // (which touches the node, so pull it home first).
+                    shards[slot].unproc_i += 1;
+                    feed.ensure(NodeDemand::Node(entry.replica), state, sc, &mut shards);
                     state.handle(
                         entry.key.at,
                         Ev::StepTxn {
@@ -688,6 +1074,7 @@ fn merge_window(
                         queue,
                     );
                 } else {
+                    let shard = &mut shards[slot];
                     assert!(
                         shard.step_i < shard.steps.len(),
                         "transcript shorter than replayed items"
@@ -737,13 +1124,18 @@ fn merge_window(
                     }
                 }
             }
-            Replay::Handle(ev) => state.handle(entry.key.at, ev, queue),
+            Replay::Handle(ev) => {
+                feed.ensure(ev.footprint().demand(), state, sc, &mut shards);
+                state.handle(entry.key.at, ev, queue);
+            }
         }
+        feed.overlapped |= feed.pending > 0;
         if state.ended() {
             // Nothing past an End would have executed sequentially either.
             return;
         }
     }
+    debug_assert_eq!(feed.pending, 0, "transcripts outlived the replay");
     for mut shard in shards {
         debug_assert_eq!(
             shard.step_i,
@@ -762,93 +1154,194 @@ fn merge_window(
     }
 }
 
-/// Persistent worker threads; each window's jobs are spread round-robin by
-/// shard position, so a window's shards never pile onto one worker (the
-/// merge re-sorts by rank, so routing cannot affect results). Each worker
-/// keeps a thread-local agenda heap, recycled across the jobs it runs.
+/// Persistent worker threads over dedicated SPSC lanes ([`crate::sync`]).
 ///
-/// Windows are tens of microseconds of work, so both channel ends spin
-/// briefly before parking: a blocking `recv` wake-up costs several
+/// Each replica has a *stable affinity* — [`WorkerPool::worker_of`] maps
+/// replica `r` to worker `r % workers` — so a worker that keeps a shard
+/// lease across windows always receives that replica's next job on its own
+/// lane, in FIFO order with any recall for the same node. That FIFO-per-lane
+/// property is what makes leases race-free: a `Recall(r)` enqueued after a
+/// `Job` for `r` cannot overtake it.
+///
+/// Workers rack leased nodes locally (`held`), run jobs with a
+/// thread-local agenda heap, and send results (or the leased node, on
+/// recall) back on their own result lane. Panics inside `run_shard` are
+/// caught and forwarded as [`FromWorker::Panic`] so the coordinator
+/// re-raises them instead of deadlocking on a result that never comes.
+///
+/// Windows are tens of microseconds of work, so both ends spin briefly
+/// ([`sync::SPIN_LIMIT`]) before parking: a park/unpark wake-up costs
 /// microseconds of futex latency per hop, which would swamp the overlapped
 /// step work. Spinning is bounded, so idle stretches (long sequential runs
-/// between windows) still park the workers.
+/// between windows) park the workers at ~zero CPU; [`WaitCounters`] records
+/// the split so [`DriverStats::worker_idle_fraction`] can prove it.
 struct WorkerPool {
-    senders: Vec<mpsc::Sender<Job>>,
-    /// `Err` carries a worker's panic payload; the coordinator re-raises it
-    /// instead of blocking forever on a result that will never come.
-    results: mpsc::Receiver<thread::Result<ShardResult>>,
+    jobs: Vec<sync::Sender<ToWorker>>,
+    results: Vec<sync::Receiver<FromWorker>>,
+    /// Shared spin/park/busy accounting across all workers (cumulative for
+    /// the pool's lifetime; the driver snapshots deltas per run).
+    counters: Arc<WaitCounters>,
     handles: Vec<JoinHandle<()>>,
 }
 
-/// Bounded spin before falling back to a blocking receive.
-const SPIN_RECVS: u32 = 2_000;
-
-fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Option<T> {
-    for _ in 0..SPIN_RECVS {
-        match rx.try_recv() {
-            Ok(v) => return Some(v),
-            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
-            Err(mpsc::TryRecvError::Disconnected) => return None,
-        }
-    }
-    rx.recv().ok()
-}
+/// Per-lane ring capacity. A window dispatches at most one job per shard
+/// and shards per worker are small, but recalls and jobs can stack several
+/// deep during long runs; 64 slots make producer-full yields vanishingly
+/// rare without measurable footprint.
+const LANE_CAP: usize = 64;
 
 impl WorkerPool {
-    fn new(workers: usize) -> Self {
-        let (res_tx, results) = mpsc::channel();
-        let mut senders = Vec::with_capacity(workers);
+    fn new(workers: usize, replicas: usize) -> Self {
+        let counters = Arc::new(WaitCounters::default());
+        let mut jobs = Vec::with_capacity(workers);
+        let mut results = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
-            let res_tx = res_tx.clone();
-            senders.push(tx);
-            handles.push(thread::spawn(move || {
-                let mut agenda = BinaryHeap::new();
-                while let Some(job) = spin_recv(&rx) {
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_shard(job, &mut agenda)
-                    }));
-                    let poisoned = result.is_err();
-                    if res_tx.send(result).is_err() || poisoned {
-                        break;
-                    }
-                }
-            }));
+        for i in 0..workers {
+            let (job_tx, job_rx) = sync::channel::<ToWorker>(LANE_CAP);
+            let (res_tx, res_rx) = sync::channel::<FromWorker>(LANE_CAP);
+            let counters = Arc::clone(&counters);
+            jobs.push(job_tx);
+            results.push(res_rx);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("tashkent-worker-{i}"))
+                    .spawn(move || {
+                        worker_main(job_rx, res_tx, counters, replicas);
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        // Register the coordinator thread on every result lane up front so
+        // workers can unpark it; `recv_any` relies on this.
+        for rx in &results {
+            rx.register();
         }
         WorkerPool {
-            senders,
+            jobs,
             results,
+            counters,
             handles,
         }
     }
 
-    /// Dispatches one window's jobs and collects all shard results (in
-    /// arbitrary completion order; the merge re-sorts deterministically).
-    fn run(&self, jobs: Vec<Job>) -> Vec<ShardResult> {
-        let n = jobs.len();
-        let workers = self.senders.len();
-        for (i, job) in jobs.into_iter().enumerate() {
-            self.senders[i % workers]
-                .send(job)
-                .expect("worker thread died");
+    /// Stable shard affinity: replica `r` always runs on this worker.
+    fn worker_of(&self, replica: usize) -> usize {
+        replica % self.jobs.len()
+    }
+
+    fn send_job(&self, job: Job) {
+        let w = self.worker_of(job.replica);
+        if self.jobs[w].send(ToWorker::Job(job)).is_err() {
+            self.surface_death();
         }
-        (0..n)
-            .map(
-                |_| match spin_recv(&self.results).expect("worker thread died") {
-                    Ok(r) => r,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                },
-            )
-            .collect()
+    }
+
+    /// Asks worker `w` (the lease holder) to send `replica`'s node home.
+    fn recall(&self, w: usize, replica: usize) {
+        if self.jobs[w].send(ToWorker::Recall(replica)).is_err() {
+            self.surface_death();
+        }
+    }
+
+    /// Receives one message from any worker, spinning briefly before
+    /// parking (workers unpark the registered coordinator on every push).
+    fn recv_any(&self) -> FromWorker {
+        let mut spins: u32 = 0;
+        loop {
+            let mut open = false;
+            for rx in &self.results {
+                if let Some(msg) = rx.try_recv() {
+                    return msg;
+                }
+                open |= !rx.is_closed();
+            }
+            assert!(open, "worker threads died without reporting a result");
+            if spins < sync::SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // Re-scan after every wake-up: any lane may have filled.
+                thread::park();
+            }
+        }
+    }
+
+    /// Non-blocking: one pending message, if any worker has one ready.
+    fn try_recv_any(&self) -> Option<FromWorker> {
+        self.results.iter().find_map(|rx| rx.try_recv())
+    }
+
+    /// A send failed because a worker hung up — the only way that happens
+    /// is a panic mid-job, so drain the lanes for the payload and re-raise.
+    #[cold]
+    fn surface_death(&self) -> ! {
+        while let Some(msg) = self.try_recv_any() {
+            if let FromWorker::Panic(payload) = msg {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        panic!("worker thread died without reporting a result");
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.senders.clear(); // Hang up; workers drain and exit.
+        self.jobs.clear(); // Hang up; workers drain their lanes and exit.
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// Body of each pool worker: drain the job lane, racking leased nodes in
+/// `held` between jobs, until the coordinator hangs up.
+fn worker_main(
+    job_rx: sync::Receiver<ToWorker>,
+    res_tx: sync::Sender<FromWorker>,
+    counters: Arc<WaitCounters>,
+    replicas: usize,
+) {
+    let mut agenda = BinaryHeap::new();
+    let mut held: Vec<Option<Box<ClusterNode>>> = (0..replicas).map(|_| None).collect();
+    loop {
+        let msg = match job_rx.recv(&counters) {
+            Some(msg) => msg,
+            None => return, // Coordinator hung up; leased nodes drop with us.
+        };
+        let t0 = Instant::now();
+        let out = match msg {
+            ToWorker::Job(mut job) => {
+                if job.node.is_none() {
+                    // Leased from a previous window in this run.
+                    job.node = Some(
+                        held[job.replica]
+                            .take()
+                            .expect("job for a node neither sent nor leased"),
+                    );
+                }
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_shard(job, &mut agenda)
+                })) {
+                    Ok(mut res) => {
+                        // Keep the node racked here; the coordinator recalls
+                        // it when the merge (or a stopper) needs it.
+                        held[res.replica] = Some(res.node.take().expect("run_shard returns node"));
+                        FromWorker::Shard(res)
+                    }
+                    Err(payload) => FromWorker::Panic(payload),
+                }
+            }
+            ToWorker::Recall(replica) => match held[replica].take() {
+                Some(node) => FromWorker::Node { replica, node },
+                None => FromWorker::Panic(Box::new(format!(
+                    "recall for replica {replica} but no node is held"
+                ))),
+            },
+        };
+        counters.add_busy_ns(t0.elapsed().as_nanos() as u64);
+        let poisoned = matches!(out, FromWorker::Panic(_));
+        if res_tx.send(out).is_err() || poisoned {
+            return;
         }
     }
 }
@@ -857,9 +1350,15 @@ impl Drop for WorkerPool {
 /// lifecycle and the exactness argument; [`ParallelDriver::new`] with `0`
 /// threads sizes the pool to the host.
 pub struct ParallelDriver {
-    /// Resolved worker count (`available_parallelism` is queried once; it
+    /// Requested worker count (`available_parallelism` is queried once; it
     /// is a syscall, far too slow for the per-window hot path).
     workers: usize,
+    /// Workers the dispatch decision credits: `workers` clamped to the
+    /// host's parallelism. Oversubscribed workers cannot overlap, so on a
+    /// small host the pooled path would pay handoffs for nothing — windows
+    /// run inline instead. [`ParallelDriver::with_min_dispatch`] lifts the
+    /// clamp so stress tests exercise the pool anywhere.
+    effective: usize,
     /// Smallest window (step events) worth a channel round-trip per shard;
     /// smaller windows run inline on the coordinator. Purely a performance
     /// knob — both paths run the identical algorithm.
@@ -869,10 +1368,15 @@ pub struct ParallelDriver {
     /// Print the stats summary at the end of the run
     /// (`TASHKENT_DRIVER_STATS`).
     print_stats: bool,
+    /// Where each replica's node lives right now. Leases persist across
+    /// pooled windows; anything that demands a node recalls it first.
+    lease: Vec<NodeLoc>,
+    /// Pooled windows since the last run-ending recall (see module docs).
+    run_len: u64,
     // Recycled window-formation scratch: the size-proportional buffers
     // (batch, per-shard item/transcript vectors, replay heap, worker
     // agendas) are pooled across windows; only the few-elements-long
-    // `jobs`/`results` vectors still allocate per window.
+    // `jobs` vector still allocates per window.
     batch: Vec<(SimTime, WinItem)>,
     job_of: Vec<usize>,
     defer_barrier: Vec<Option<Key>>,
@@ -883,24 +1387,24 @@ pub struct ParallelDriver {
 impl ParallelDriver {
     /// Smallest window dispatched to worker threads by default: below this
     /// the per-shard channel round-trip costs more than the overlapped step
-    /// work buys (steps are sub-microsecond; an `mpsc` hop is not).
+    /// work buys (steps are sub-microsecond; even an SPSC hop is not).
     const MIN_DISPATCH: usize = 8;
 
     /// Creates the driver with `threads` workers (`0` = host parallelism).
     pub fn new(threads: usize) -> Self {
-        let workers = if threads > 0 {
-            threads
-        } else {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
+        let host = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if threads > 0 { threads } else { host };
         ParallelDriver {
             workers,
+            effective: workers.min(host),
             min_dispatch: Self::MIN_DISPATCH,
             pool: None,
             stats: DriverStats::default(),
             print_stats: std::env::var_os("TASHKENT_DRIVER_STATS").is_some(),
+            lease: Vec::new(),
+            run_len: 0,
             batch: Vec::new(),
             job_of: Vec::new(),
             defer_barrier: Vec::new(),
@@ -911,10 +1415,76 @@ impl ParallelDriver {
 
     /// Overrides the smallest step count dispatched to worker threads
     /// (stress/testing; `0` forces every multi-shard window through the
-    /// pool).
+    /// pool). Also lifts the host-parallelism clamp, so the pooled path is
+    /// exercised even on single-core machines.
     pub fn with_min_dispatch(mut self, min_dispatch: usize) -> Self {
         self.min_dispatch = min_dispatch;
+        self.effective = self.workers;
         self
+    }
+
+    /// Pulls one replica's node home if it is leased to a worker. Used for
+    /// between-window events that demand a single node — the run (and every
+    /// other lease) stays alive.
+    fn recall_node(&mut self, state: &mut ClusterState, replica: usize) {
+        let NodeLoc::AtWorker(w) = self.lease[replica] else {
+            return;
+        };
+        let ParallelDriver {
+            pool,
+            lease,
+            merge,
+            stats,
+            ..
+        } = self;
+        let pool = pool.as_ref().expect("lease without a pool");
+        pool.recall(w, replica);
+        stats.recalls += 1;
+        while lease[replica] != NodeLoc::Home {
+            match pool.recv_any() {
+                FromWorker::Node { replica: r, node } => {
+                    state.put_node(r, node);
+                    lease[r] = NodeLoc::Home;
+                }
+                FromWorker::Shard(res) => merge.recycle(res),
+                FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+
+    /// Pulls every leased node home and ends the current lease run. Called
+    /// for events that demand all nodes (true barriers) and at end of run.
+    fn recall_all(&mut self, state: &mut ClusterState) {
+        self.run_len = 0;
+        let ParallelDriver {
+            pool,
+            lease,
+            merge,
+            stats,
+            ..
+        } = self;
+        let Some(pool) = pool.as_ref() else {
+            return;
+        };
+        let mut outstanding = 0u64;
+        for (r, loc) in lease.iter().enumerate() {
+            if let NodeLoc::AtWorker(w) = *loc {
+                pool.recall(w, r);
+                stats.recalls += 1;
+                outstanding += 1;
+            }
+        }
+        while outstanding > 0 {
+            match pool.recv_any() {
+                FromWorker::Node { replica, node } => {
+                    state.put_node(replica, node);
+                    lease[replica] = NodeLoc::Home;
+                    outstanding -= 1;
+                }
+                FromWorker::Shard(res) => merge.recycle(res),
+                FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+            }
+        }
     }
 
     /// Executes one lookahead window starting from the already-popped
@@ -939,6 +1509,9 @@ impl ParallelDriver {
         // formation on the hottest event type.
         if !matches!(queue.peek(), Some((t, ev)) if windowable(t, ev)) {
             self.stats.observe_single();
+            // A lone step touches only its own node; pull just that one
+            // home — the other leases (and the run) survive.
+            self.recall_node(state, replica);
             state.handle(t0, Ev::StepTxn { replica, txn }, queue);
             return;
         }
@@ -1009,7 +1582,9 @@ impl ParallelDriver {
                 self.job_of[*replica] = jobs.len();
                 jobs.push(Job {
                     replica: *replica,
-                    node: state.take_node(*replica),
+                    // Resolved at dispatch: taken from state, or already
+                    // racked at the leased worker.
+                    node: None,
                     items: self.merge.items_pool.pop().unwrap_or_default(),
                     horizon,
                     stop_ts,
@@ -1026,27 +1601,74 @@ impl ParallelDriver {
             jobs[self.job_of[*replica]].items.push((key, *txn));
         }
 
-        let pooled = jobs.len() >= 2 && self.workers >= 2 && n_steps as usize >= self.min_dispatch;
+        let pooled =
+            jobs.len() >= 2 && self.effective >= 2 && n_steps as usize >= self.min_dispatch;
         self.stats.observe_window(
             n_steps,
             child_rank_base - n_steps,
             jobs.len() as u64,
             pooled,
         );
-        let results: Vec<ShardResult> = if pooled {
-            let workers = self.workers;
-            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
-            pool.run(jobs)
-        } else {
-            let mut out = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                out.push(run_shard(job, &mut self.agenda));
+        if pooled {
+            if self.run_len == 0 {
+                self.stats.runs += 1;
             }
-            out
-        };
-        let mut batch = std::mem::take(&mut self.batch);
-        merge_window(&mut batch, results, state, queue, &mut self.merge);
-        self.batch = batch;
+            self.run_len += 1;
+            self.stats.max_run_windows = self.stats.max_run_windows.max(self.run_len);
+            let workers = self.workers;
+            let replicas = state.config.replicas;
+            let ParallelDriver {
+                pool,
+                lease,
+                merge,
+                stats,
+                batch,
+                ..
+            } = self;
+            let pool = pool.get_or_insert_with(|| WorkerPool::new(workers, replicas));
+            let n_jobs = jobs.len();
+            for mut job in jobs {
+                match lease[job.replica] {
+                    NodeLoc::Home => {
+                        job.node = Some(state.take_node(job.replica));
+                        lease[job.replica] = NodeLoc::AtWorker(pool.worker_of(job.replica));
+                    }
+                    NodeLoc::AtWorker(_) => {
+                        // The worker still racks it from the previous
+                        // window of this run; the job travels light.
+                        stats.leases_retained += 1;
+                    }
+                }
+                pool.send_job(job);
+            }
+            let mut feed = ShardFeed::new(Some(&*pool), lease, n_jobs);
+            merge_window(batch, Vec::new(), &mut feed, state, queue, merge);
+            stats.observe_handoff(feed.stall_ns);
+            stats.recalls += feed.recalls;
+            if feed.overlapped {
+                stats.pipelined += 1;
+            }
+        } else {
+            let mut ready = Vec::with_capacity(jobs.len());
+            for mut job in jobs {
+                // Inline execution touches the node on this thread: any
+                // lease from an earlier pooled window must come home first.
+                self.recall_node(state, job.replica);
+                job.node = Some(state.take_node(job.replica));
+                ready.push(run_shard(job, &mut self.agenda));
+            }
+            let ParallelDriver {
+                pool,
+                lease,
+                merge,
+                stats,
+                batch,
+                ..
+            } = self;
+            let mut feed = ShardFeed::new(pool.as_ref(), lease, 0);
+            merge_window(batch, ready, &mut feed, state, queue, merge);
+            stats.recalls += feed.recalls;
+        }
     }
 }
 
@@ -1056,8 +1678,18 @@ impl Driver for ParallelDriver {
         state: &mut ClusterState,
         queue: &mut EventQueue<Ev>,
     ) -> Result<(), RunError> {
-        // Per-run accounting: a reused driver must not blend runs.
+        // Per-run accounting: a reused driver must not blend runs. The
+        // pool's wait counters are cumulative for its lifetime, so worker
+        // numbers are reported as deltas from this snapshot.
         self.stats = DriverStats::default();
+        self.lease.clear();
+        self.lease.resize(state.config.replicas, NodeLoc::Home);
+        self.run_len = 0;
+        let counters0 = self
+            .pool
+            .as_ref()
+            .map(|p| p.counters.snapshot())
+            .unwrap_or_default();
         let result = loop {
             if state.ended() {
                 break Ok(());
@@ -1067,25 +1699,31 @@ impl Driver for ParallelDriver {
             };
             match ev {
                 Ev::StepTxn { .. } => self.run_window(state, queue, now, ev),
-                ev => state.handle(now, ev, queue),
+                ev => {
+                    // A between-window stopper: pull home exactly the nodes
+                    // its handler can touch. An all-nodes demand is a true
+                    // barrier — it ends the current lease run.
+                    match ev.footprint().demand() {
+                        NodeDemand::NoNode => {}
+                        NodeDemand::Node(r) => self.recall_node(state, r),
+                        NodeDemand::AllNodes => self.recall_all(state),
+                    }
+                    state.handle(now, ev, queue);
+                }
             }
         };
+        // Leave every node home: callers inspect state after the run.
+        self.recall_all(state);
+        if let Some(pool) = self.pool.as_ref() {
+            let (spins, parks, parked_ns, busy_ns) = pool.counters.snapshot();
+            self.stats.worker_spins = spins - counters0.0;
+            self.stats.worker_parks = parks - counters0.1;
+            self.stats.worker_parked_ns = parked_ns - counters0.2;
+            self.stats.worker_busy_ns = busy_ns - counters0.3;
+        }
         state.driver_stats = Some(self.stats);
         if self.print_stats {
-            let s = &self.stats;
-            eprintln!(
-                "parallel driver: {} windows ({} pooled), {} single-step, \
-                 {:.2} items/window ({:.2} incl. singles), {:.2} shards/window, \
-                 {} deferred stoppers, hist {:?}",
-                s.windows,
-                s.pooled,
-                s.singles,
-                s.mean_window_items(),
-                s.mean_window_incl_singles(),
-                s.shards as f64 / s.windows.max(1) as f64,
-                s.deferred,
-                s.size_hist,
-            );
+            eprintln!("{}", self.stats.summary());
         }
         result
     }
@@ -1217,7 +1855,7 @@ mod tests {
     ) -> ShardResult {
         ShardResult {
             replica,
-            node: state.take_node(replica),
+            node: Some(state.take_node(replica)),
             items: Vec::new(),
             steps,
             unprocessed_batch,
@@ -1231,9 +1869,12 @@ mod tests {
         queue: &mut EventQueue<Ev>,
     ) {
         let mut batch = batch;
+        let mut lease = vec![NodeLoc::Home; state.config.replicas];
+        let mut feed = ShardFeed::new(None, &mut lease, 0);
         merge_window(
             &mut batch,
             results,
+            &mut feed,
             state,
             queue,
             &mut MergeScratch::default(),
@@ -1477,7 +2118,7 @@ mod tests {
         let t = SimTime::from_micros(100);
         let job = Job {
             replica: 0,
-            node: state.take_node(0),
+            node: Some(state.take_node(0)),
             // Two same-instant steps for transactions the node does not
             // run (stale): ranks 0 and 2 straddle the barrier at rank 1.
             items: vec![
@@ -1497,7 +2138,7 @@ mod tests {
         assert_eq!(result.steps.len(), 1, "only the senior step ran");
         assert!(matches!(result.steps[0].child, ChildOut::Stale));
         assert_eq!(result.unprocessed_batch, vec![(2, TxnId(51))]);
-        state.put_node(0, result.node);
+        state.put_node(0, result.node.expect("inline results carry the node"));
     }
 
     #[test]
@@ -1543,5 +2184,126 @@ mod tests {
             at: SimTime::from_secs(2),
         };
         assert!(err.to_string().contains("2.000"));
+    }
+
+    /// A job whose generated-rank item survives to the drain loop with no
+    /// generator record indexes out of bounds inside the worker; the pool
+    /// must forward the payload instead of deadlocking the coordinator.
+    #[test]
+    fn worker_panics_propagate_from_the_persistent_pool() {
+        let (mut state, _queue) = tiny_state();
+        let t = SimTime::from_micros(100);
+        let pool = WorkerPool::new(2, state.config.replicas);
+        pool.send_job(Job {
+            replica: 0,
+            node: Some(state.take_node(0)),
+            // Rank 5 with `child_rank_base: 0` claims a generated child
+            // whose generator record does not exist; `stop_ts: ZERO` keeps
+            // it unrunnable, so the drain loop hits `steps[usize::MAX]`.
+            items: vec![(Key { at: t, rank: 5 }, TxnId(1))],
+            horizon: t + 300,
+            stop_ts: SimTime::ZERO,
+            defer_barrier: None,
+            child_rank_base: 0,
+            lan_hop_us: 150,
+            steps: Vec::new(),
+            unprocessed: Vec::new(),
+        });
+        let msg = pool.recv_any();
+        let FromWorker::Panic(payload) = msg else {
+            panic!("expected the worker's panic to come back, got a result");
+        };
+        let rethrown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::panic::resume_unwind(payload)
+        }));
+        assert!(
+            rethrown.is_err(),
+            "payload must re-raise on the coordinator"
+        );
+    }
+
+    /// Pooled windows must chain into lease runs (nodes staying racked at
+    /// their workers across windows) and still hand every node home by the
+    /// end of the run.
+    #[test]
+    fn pooled_windows_form_lease_runs_and_recall_on_demand() {
+        let (_, stats) = drive(Box::new(ParallelDriver::new(2).with_min_dispatch(0)));
+        let stats = stats.expect("parallel driver records stats");
+        assert!(
+            stats.pooled > 0,
+            "min_dispatch 0 must pool windows: {stats:?}"
+        );
+        assert!(stats.runs > 0, "pooled windows must open lease runs");
+        assert!(
+            stats.max_run_windows >= 1 && stats.max_run_windows <= stats.pooled,
+            "run length is bounded by the pooled-window count: {stats:?}"
+        );
+        assert!(
+            stats.recalls > 0,
+            "stoppers between windows must recall leased nodes: {stats:?}"
+        );
+    }
+
+    /// The satellite fix for the old spin-recv pathology: an idle pool
+    /// costs ~0 CPU. Park the workers for a while with nothing to do and
+    /// check the accounting says "parked", not "spinning".
+    #[test]
+    fn idle_workers_park_instead_of_spinning() {
+        let pool = WorkerPool::new(2, 1);
+        let counters = Arc::clone(&pool.counters);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(pool); // Unparks and joins; parked time is banked on wake-up.
+        let (spins, parks, parked_ns, busy_ns) = counters.snapshot();
+        assert!(parks >= 2, "both idle workers must park: {parks} parks");
+        assert!(
+            counters.idle_fraction() > 0.5,
+            "idle time must be parked, not busy: parked {parked_ns}ns busy {busy_ns}ns"
+        );
+        assert!(
+            spins <= (parks + 4) * u64::from(sync::SPIN_LIMIT),
+            "spinning must stay bounded per wait episode: {spins} spins, {parks} parks"
+        );
+    }
+
+    #[test]
+    fn stats_summary_reports_the_pipeline_counters() {
+        let mut stats = DriverStats::default();
+        stats.observe_window(6, 2, 2, true);
+        stats.runs = 3;
+        stats.max_run_windows = 4;
+        stats.leases_retained = 5;
+        stats.recalls = 6;
+        stats.pipelined = 1;
+        stats.worker_busy_ns = 1_000_000;
+        stats.worker_parked_ns = 3_000_000;
+        stats.worker_parks = 7;
+        stats.worker_spins = 640;
+        let s = stats.summary();
+        for needle in [
+            "1 pipelined",
+            "3 runs",
+            "max 4 windows",
+            "5 leases retained",
+            "6 recalls",
+            "idle 75.0%",
+            "7 parks",
+            "640 spins",
+        ] {
+            assert!(s.contains(needle), "summary missing {needle:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn handoff_histogram_buckets_by_log2_ns() {
+        let mut stats = DriverStats::default();
+        stats.observe_handoff(0); // sub-spin handoff
+        stats.observe_handoff(300); // still bucket 0 (< 512ns)
+        stats.observe_handoff(600); // 512..1024
+        stats.observe_handoff(5_000); // 4096..8192
+        stats.observe_handoff(u64::MAX); // clamps to the last bucket
+        assert_eq!(stats.handoff_ns_hist[0], 2);
+        assert_eq!(stats.handoff_ns_hist[1], 1);
+        assert_eq!(stats.handoff_ns_hist[4], 1);
+        assert_eq!(stats.handoff_ns_hist[HANDOFF_HIST_BUCKETS - 1], 1);
     }
 }

@@ -75,6 +75,42 @@ pub enum Footprint {
     Global,
 }
 
+/// Which replica nodes must be *physically present* in
+/// [`crate::state::ClusterState`] before an event's handler may run — the
+/// recall key the parallel driver's shard leases are built on.
+///
+/// [`Footprint`] answers "may this event defer past a shard?"; `NodeDemand`
+/// answers the complementary question for the pipelined pool: once a node
+/// has been leased to a persistent worker across a window boundary, which
+/// coordinator-side handlers force the driver to recall it first. The two
+/// classifications differ only for [`Footprint::Dispatch`]: dispatch may
+/// *defer* behind a two-hop barrier, but when its handler finally runs it
+/// routes through the balancer and touches whichever node it admits on, at
+/// that same instant — so it demands every node home even though it never
+/// stops a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeDemand {
+    /// The handler reads no replica node (certifier-side bookkeeping).
+    NoNode,
+    /// The handler touches exactly this replica's node.
+    Node(usize),
+    /// The handler may touch any node (balancer dispatch, faults,
+    /// placement changes, run control).
+    AllNodes,
+}
+
+impl Footprint {
+    /// The node-presence requirement of the handler this footprint
+    /// classifies (see [`NodeDemand`]).
+    pub fn demand(&self) -> NodeDemand {
+        match self {
+            Footprint::Replica(r) => NodeDemand::Node(*r),
+            Footprint::Certifier { .. } => NodeDemand::NoNode,
+            Footprint::Dispatch | Footprint::Global => NodeDemand::AllNodes,
+        }
+    }
+}
+
 /// Events driving the simulation.
 ///
 /// `Clone` exists so experiments can carry pre-built injection schedules
@@ -342,5 +378,20 @@ mod tests {
         for ev in globals {
             assert_eq!(ev.footprint(), Footprint::Global, "{ev:?}");
         }
+    }
+
+    #[test]
+    fn node_demand_tracks_the_footprint_except_for_dispatch() {
+        // Replica handlers demand their one node; certifier handlers none.
+        assert_eq!(Footprint::Replica(3).demand(), NodeDemand::Node(3));
+        assert_eq!(
+            Footprint::Certifier { origin: 2 }.demand(),
+            NodeDemand::NoNode
+        );
+        // Dispatch defers like a two-hop barrier but admits onto a
+        // balancer-chosen node the instant its handler runs — it must pull
+        // every leased node home even though it never stops a window.
+        assert_eq!(Footprint::Dispatch.demand(), NodeDemand::AllNodes);
+        assert_eq!(Footprint::Global.demand(), NodeDemand::AllNodes);
     }
 }

@@ -39,15 +39,16 @@ pub mod metrics;
 pub mod partial;
 pub mod placement;
 pub mod state;
+pub mod sync;
 pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
 pub use config::{ClusterConfig, PlacementSpec, PolicySpec};
 pub use driver::{
     Driver, DriverKind, DriverStats, ParallelDriver, RunError, SequentialDriver,
-    WINDOW_HIST_BUCKETS,
+    HANDOFF_HIST_BUCKETS, WINDOW_HIST_BUCKETS,
 };
-pub use events::{Ev, Footprint};
+pub use events::{Ev, Footprint, NodeDemand};
 pub use experiment::{
     calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
     Experiment, Failover, FailoverSchedule, RubisAuctionMix, Scenario, ScenarioKnobs,

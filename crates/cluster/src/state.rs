@@ -204,6 +204,18 @@ impl ClusterState {
         self.nodes[idx] = Some(node);
     }
 
+    /// Whether replica `idx`'s node is currently leased out to a driver
+    /// shard (its slot is empty). Drivers holding leases across window
+    /// boundaries use this to audit their recall bookkeeping.
+    pub fn node_leased(&self, idx: usize) -> bool {
+        self.nodes[idx].is_none()
+    }
+
+    /// How many replica nodes are currently leased out to driver shards.
+    pub fn leased_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_none()).count()
+    }
+
     fn node_mut(&mut self, idx: usize) -> &mut ClusterNode {
         self.nodes[idx]
             .as_mut()

@@ -52,10 +52,10 @@ impl Fingerprint {
 
 /// Every parallel configuration each scenario is checked under: the worker
 /// widths of the acceptance matrix plus the stress mode — `min_dispatch =
-/// 0` forces even the tiniest multi-shard window through the `mpsc`
-/// channel path, which the production threshold would keep inline.
-/// Widths are forced explicitly so the shard path is exercised even on a
-/// single-core host.
+/// 0` forces even the tiniest multi-shard window through the persistent
+/// worker pool's SPSC lanes, which the production threshold (and the
+/// host-parallelism clamp) would keep inline. Widths are forced explicitly
+/// so the shard path is exercised even on a single-core host.
 fn parallel_kinds() -> Vec<DriverKind> {
     let mut kinds: Vec<DriverKind> = [2, 4, 8]
         .into_iter()
@@ -291,6 +291,82 @@ fn min_copies_at_cluster_size_reproduces_full_replication_bit_for_bit() {
             assert_eq!(full.completions, degenerate.completions);
             assert_eq!(degenerate.filtered_ws_bytes, 0);
         }
+    }
+}
+
+#[test]
+fn pooled_lease_runs_split_at_true_barriers_and_stay_bit_exact() {
+    // With the pool forced on (`min_dispatch = 0`), nodes stay leased to
+    // their workers across consecutive windows; global events (warmup end,
+    // maintenance rounds) demand every node and must split those runs. The
+    // run/recall accounting proves the lease machinery actually engaged,
+    // and the fingerprint proves it never changed a single result.
+    let knobs = ScenarioKnobs::smoke();
+    let sequential = run_scenario(
+        "tpcw-steady-state",
+        &knobs.clone().with_driver(DriverKind::Sequential),
+    )
+    .expect("sequential run completes");
+    let parallel = run_scenario(
+        "tpcw-steady-state",
+        &knobs.clone().with_driver(DriverKind::ParallelTuned {
+            threads: 2,
+            min_dispatch: 0,
+        }),
+    )
+    .expect("pooled run completes");
+    assert_eq!(
+        Fingerprint::of(&sequential),
+        Fingerprint::of(&parallel),
+        "lease runs changed results"
+    );
+    let stats = parallel.driver_stats.expect("parallel runs record stats");
+    assert!(
+        stats.pooled > 0,
+        "min_dispatch 0 must pool windows: {stats:?}"
+    );
+    assert!(
+        stats.runs >= 2,
+        "true barriers must split the pooled windows into multiple lease runs: {stats:?}"
+    );
+    assert!(
+        stats.recalls > 0,
+        "between-window node demands must recall leases: {stats:?}"
+    );
+}
+
+#[test]
+fn deferred_stoppers_stay_exact_while_transcripts_stream() {
+    // The pipelined merge starts replaying before every shard transcript
+    // has arrived; a deferred stopper that lands mid-replay must still run
+    // at its exact sequential rank, with its node recalled first. Force the
+    // pool on so the full deferred load of the run rides the streaming
+    // path, across seeds.
+    for seed in [7, 42] {
+        let knobs = ScenarioKnobs::smoke().with_seed(seed);
+        let sequential = run_scenario(
+            "tpcw-steady-state",
+            &knobs.clone().with_driver(DriverKind::Sequential),
+        )
+        .expect("sequential run completes");
+        let parallel = run_scenario(
+            "tpcw-steady-state",
+            &knobs.clone().with_driver(DriverKind::ParallelTuned {
+                threads: 2,
+                min_dispatch: 0,
+            }),
+        )
+        .expect("pooled run completes");
+        assert_eq!(
+            Fingerprint::of(&sequential),
+            Fingerprint::of(&parallel),
+            "streaming merge diverged with seed {seed}"
+        );
+        let stats = parallel.driver_stats.expect("parallel runs record stats");
+        assert!(
+            stats.deferred > 0 && stats.pooled > 0,
+            "the streaming path must carry deferred stoppers: {stats:?}"
+        );
     }
 }
 
