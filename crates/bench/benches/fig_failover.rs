@@ -43,7 +43,9 @@ fn main() {
         let label = match f.kind {
             FaultKind::ReplicaCrash(r) => format!("replica {r} crashed"),
             FaultKind::ReplicaRecover(r) => format!("replica {r} recovered (log replayed)"),
-            FaultKind::CertifierFailover(l) => format!("certifier failed over to member {l}"),
+            FaultKind::CertifierFailover { group, leader } => {
+                format!("certifier group {group} failed over to member {leader}")
+            }
             FaultKind::Rereplicate { group, to } => {
                 format!("relation group {group} re-replicated onto replica {to}")
             }

@@ -34,6 +34,10 @@
 //!   85%-of-peak table entry). Raising it pushes the cluster into the
 //!   overload regime the fig 8–10 sweeps cover, where every Gatekeeper
 //!   slot is busy and event density — and so window size — peaks.
+//! * `TASHKENT_BENCH_CERT_GROUPS` — when set, run under sharded
+//!   certification with this many certifier groups (cert sends become
+//!   window starters and single-group checks execute on pool workers);
+//!   unset keeps the unified certifier. The config label records it.
 //! * `TASHKENT_BENCH_LABEL` — label stamped on the `BENCH_driver.json`
 //!   entry (default `local`; CI passes the commit hash).
 //! * `TASHKENT_BENCH_MIN_WINDOW` — when set, exit non-zero if the mean
@@ -116,6 +120,13 @@ fn main() {
             .unwrap_or_else(|_| panic!("TASHKENT_BENCH_CPR must be a number, got {v:?}")),
         Err(_) => clients_per_replica("tpcw", "ordering"),
     };
+    let cert_groups: Option<usize> =
+        match std::env::var("TASHKENT_BENCH_CERT_GROUPS") {
+            Ok(v) => Some(v.parse().unwrap_or_else(|_| {
+                panic!("TASHKENT_BENCH_CERT_GROUPS must be a number, got {v:?}")
+            })),
+            Err(_) => None,
+        };
     let knobs = ScenarioKnobs {
         replicas: 16,
         clients_per_replica: cpr,
@@ -123,7 +134,9 @@ fn main() {
         measured_secs: measured,
         ..ScenarioKnobs::default()
     }
-    .with_policy(policy);
+    .with_policy(policy)
+    .with_cert_groups(cert_groups);
+    let cert_label = cert_groups.map_or(String::new(), |g| format!("-cert{g}"));
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -140,7 +153,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"config\": \"tpcw-mid-ordering-{policy_name}-16r\","
+        "  \"config\": \"tpcw-mid-ordering-{policy_name}-16r{cert_label}\","
     );
     let _ = writeln!(json, "  \"warmup_secs\": {warmup},");
     let _ = writeln!(json, "  \"measured_secs\": {measured},");
@@ -174,7 +187,7 @@ fn main() {
             "  parallel:   {:?} ({t} threads) -> {ratio:.2}x of sequential | \
              {:.2} items/window ({:.2} incl. singles), {} deferred, \
              {} pooled of {} windows, {} runs ({} leases retained, {} recalls, \
-             {} pipelined), worker idle {:.1}%",
+             {} pipelined), {} cert sharded / {} inline, worker idle {:.1}%",
             par.wall,
             mean,
             stats.mean_window_incl_singles(),
@@ -185,6 +198,8 @@ fn main() {
             stats.leases_retained,
             stats.recalls,
             stats.pipelined,
+            stats.certifier_sharded,
+            stats.certifier_inline,
             stats.worker_idle_fraction() * 100.0,
         );
         let _ = writeln!(json, "    {{");
@@ -211,6 +226,16 @@ fn main() {
         );
         let _ = writeln!(json, "      \"recalls\": {},", stats.recalls);
         let _ = writeln!(json, "      \"pipelined\": {},", stats.pipelined);
+        let _ = writeln!(
+            json,
+            "      \"certifier_sharded\": {},",
+            stats.certifier_sharded
+        );
+        let _ = writeln!(
+            json,
+            "      \"certifier_inline\": {},",
+            stats.certifier_inline
+        );
         let _ = writeln!(json, "      \"worker_parks\": {},", stats.worker_parks);
         let _ = writeln!(json, "      \"worker_spins\": {},", stats.worker_spins);
         let _ = writeln!(
@@ -268,7 +293,7 @@ fn main() {
     let _ = writeln!(entry, "    \"label\": {label:?},");
     let _ = writeln!(
         entry,
-        "    \"config\": \"tpcw-mid-ordering-{policy_name}-16r\","
+        "    \"config\": \"tpcw-mid-ordering-{policy_name}-16r{cert_label}\","
     );
     let _ = writeln!(entry, "    \"warmup_secs\": {warmup},");
     let _ = writeln!(entry, "    \"measured_secs\": {measured},");

@@ -106,6 +106,27 @@ impl CertifierGroup {
             self.alive[idx] = true;
         }
     }
+
+    /// Restarts member `idx` at time `now`, electing it leader if the group
+    /// had no live members (the queue-and-wait drain point): the revived
+    /// member pays the election delay before serving. Rejoining a group
+    /// that still has a leader is an ordinary backup [`Self::restart`].
+    pub fn revive(&mut self, now: SimTime, idx: usize) -> Option<GroupEvent> {
+        if idx >= self.alive.len() || self.alive[idx] {
+            return None;
+        }
+        let was_down = !self.is_available();
+        self.alive[idx] = true;
+        if !was_down {
+            return None;
+        }
+        self.leader = idx;
+        self.failovers += 1;
+        Some(GroupEvent::FailedOver {
+            leader: idx,
+            available_at: now + self.failover_delay.as_micros(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +200,34 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_group_rejected() {
         CertifierGroup::new(0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn revive_elects_the_restarted_member_when_the_group_was_down() {
+        let mut g = CertifierGroup::paper_default();
+        g.kill(SimTime::ZERO, 1);
+        g.kill(SimTime::ZERO, 2);
+        assert_eq!(g.kill(SimTime::ZERO, 0), Some(GroupEvent::Unavailable));
+        let ev = g.revive(SimTime::from_secs(3), 2).unwrap();
+        assert_eq!(
+            ev,
+            GroupEvent::FailedOver {
+                leader: 2,
+                available_at: SimTime::from_secs(3) + 200_000,
+            }
+        );
+        assert_eq!(g.leader(), Some(2));
+        assert!(g.is_available());
+    }
+
+    #[test]
+    fn revive_into_a_live_group_is_a_backup_rejoin() {
+        let mut g = CertifierGroup::paper_default();
+        g.kill(SimTime::ZERO, 0);
+        assert_eq!(g.revive(SimTime::from_secs(1), 0), None);
+        assert_eq!(g.leader(), Some(1), "existing leader keeps the lease");
+        assert_eq!(g.live_members(), 3);
+        // Reviving a live member is a no-op.
+        assert_eq!(g.revive(SimTime::from_secs(2), 1), None);
     }
 }

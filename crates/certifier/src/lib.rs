@@ -12,6 +12,8 @@
 //!
 //! Modules:
 //! * [`certifier`] — the certification state machine and the commit log,
+//! * [`sharded`] — per-relation-group certification shards (group-local
+//!   conflict checks; the decide half stays with the coordinator),
 //! * [`propagation`] — the pull/prod trigger policy (500 ms pull, 25-commit
 //!   prod),
 //! * [`group`] — the leader/backup certifier group used for fault tolerance.
@@ -19,9 +21,11 @@
 pub mod certifier;
 pub mod group;
 pub mod propagation;
+pub mod sharded;
 
 pub use certifier::{
     Certifier, CertifierParams, CertifierStats, CertifyOutcome, CommittedWriteset,
 };
 pub use group::{CertifierGroup, GroupEvent};
 pub use propagation::{PropagationAction, PropagationPolicy};
+pub use sharded::{CertShard, ShardCheck};

@@ -1,10 +1,11 @@
 //! The replicas' round-trip to the certifier.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use tashkent_certifier::{
-    Certifier, CertifierGroup, CertifierParams, CertifyOutcome, CommittedWriteset, GroupEvent,
-    PropagationAction, PropagationPolicy,
+    CertShard, Certifier, CertifierGroup, CertifierParams, CertifyOutcome, CommittedWriteset,
+    GroupEvent, PropagationAction, PropagationPolicy, ShardCheck,
 };
 use tashkent_engine::{TxnId, Version, Writeset, WS_HEADER_BYTES, WS_ITEM_BYTES};
 use tashkent_sim::{EventQueue, SimTime};
@@ -12,11 +13,255 @@ use tashkent_storage::RelationId;
 
 use crate::components::ClusterNode;
 use crate::events::Ev;
-use crate::placement::{PlacementMap, WS_TICK_BYTES};
+use crate::placement::{CertMap, PlacementMap, WS_TICK_BYTES};
 
-/// Wraps the [`Certifier`] together with the propagation policy, the
-/// leader/backup [`CertifierGroup`] (§4.4 fault tolerance), and the
-/// per-replica contact bookkeeping it needs, handling both halves of the
+/// A certification request parked while every member of a touched group is
+/// dead — back-pressure instead of a spurious abort. Drained in arrival
+/// order when a member restarts.
+#[derive(Debug, Clone)]
+struct WaitingCert {
+    arrived: SimTime,
+    replica: usize,
+    txn: TxnId,
+    ws: Writeset,
+    groups: u64,
+}
+
+/// The sharded-certification engine: per-relation-group [`CertShard`]s for
+/// conflict checks, per-group leader+backups membership, and the
+/// coordinator-side decide state — the *global* total-order log, version
+/// assignment, and each group's ascending list of global commit versions.
+///
+/// The check half of a single-group request (`CertShard::check`) is the
+/// part a driver may lease to a pool worker; everything in this struct
+/// beyond the shard slots is decide-side and never leaves the coordinator.
+pub struct ShardedCert {
+    map: Arc<CertMap>,
+    params: CertifierParams,
+    /// The global commit order; entry `i` has version `i + 1`. Propagation,
+    /// recovery replay, and backfill all read this log, exactly as they
+    /// read the unified certifier's.
+    log: Vec<CommittedWriteset>,
+    /// Per-group ascending global commit versions — the group-local order.
+    /// `group_commits[g].len()` is group `g`'s `gseq` head; the embedding
+    /// into the global order is monotone, which is what makes the
+    /// group-local conflict probe exact (see `tashkent_certifier::sharded`).
+    group_commits: Vec<Vec<u64>>,
+    /// Leasable check state, one slot per group (`None` while a driver has
+    /// the shard out at a pool worker).
+    shards: Vec<Option<Box<CertShard>>>,
+    /// Per-group leader/backups membership.
+    groups: Vec<CertifierGroup>,
+    /// Per-group queue-and-wait parking lot (all members dead).
+    wait: Vec<VecDeque<WaitingCert>>,
+    committed: u64,
+    conflicts: u64,
+    log_bytes: u64,
+}
+
+impl ShardedCert {
+    fn new(params: CertifierParams, map: Arc<CertMap>) -> Self {
+        let n = map.group_count();
+        ShardedCert {
+            map,
+            params,
+            log: Vec::new(),
+            group_commits: vec![Vec::new(); n],
+            shards: (0..n)
+                .map(|_| Some(Box::new(CertShard::new(params))))
+                .collect(),
+            groups: (0..n).map(|_| CertifierGroup::paper_default()).collect(),
+            wait: vec![VecDeque::new(); n],
+            committed: 0,
+            conflicts: 0,
+            log_bytes: 0,
+        }
+    }
+
+    /// Group `g`'s commits visible at `snapshot`: the number of entries in
+    /// its ascending global-version list that are `<= snapshot` — the
+    /// `gsnap` the group-local conflict probe runs against. Exact whenever
+    /// `snapshot` is at or below the current global head, which holds both
+    /// at handling time and at the parallel driver's window formation
+    /// (snapshots are taken before their send event is scheduled).
+    fn gsnap(&self, g: usize, snapshot: Version) -> u64 {
+        self.group_commits[g].partition_point(|v| *v <= snapshot.0) as u64
+    }
+
+    /// The decide half of a single-group certification: global version
+    /// assignment, log append, group-commit durability, and the response
+    /// back to the origin replica. Returns the request's effective arrival
+    /// time (for `last_contact`).
+    #[allow(clippy::too_many_arguments)]
+    fn decide_single(
+        &mut self,
+        g: usize,
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        check: ShardCheck,
+        lan_hop_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) -> SimTime {
+        if !check.committed {
+            self.conflicts += 1;
+            queue.schedule(
+                check.eff_now + lan_hop_us,
+                Ev::CertifyReturn {
+                    replica,
+                    txn,
+                    version: None,
+                },
+            );
+            return check.eff_now;
+        }
+        if ws.is_empty() {
+            // Mirrors the unified certifier: an empty writeset commits at
+            // the current global head, durable as soon as checked.
+            queue.schedule(
+                check.checked_at + lan_hop_us,
+                Ev::CertifyReturn {
+                    replica,
+                    txn,
+                    version: Some(Version(self.log.len() as u64)),
+                },
+            );
+            return check.eff_now;
+        }
+        let version = Version(self.log.len() as u64 + 1);
+        self.commit(
+            &[g],
+            version,
+            ws,
+            check.checked_at,
+            replica,
+            txn,
+            lan_hop_us,
+            queue,
+        );
+        check.eff_now
+    }
+
+    /// The cross-group atomic-commitment round: every touched group charges
+    /// a vote (a conflict check on the items it owns), the decide waits for
+    /// the slowest vote plus two LAN hops (vote collection + decision
+    /// broadcast), and a commit installs into every touched group under one
+    /// global version. Returns the effective arrival time.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_cross(
+        &mut self,
+        mask: u64,
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        now: SimTime,
+        lan_hop_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) -> SimTime {
+        let touched: Vec<usize> = group_bits(mask).collect();
+        let eff_now = touched.iter().fold(now, |t, g| {
+            t.max(
+                self.shards[*g]
+                    .as_ref()
+                    .expect("cert shard leased to a driver")
+                    .available_at(),
+            )
+        });
+        // Votes: each group's check runs on its own shard queue, started at
+        // the coordinated arrival time.
+        let mut vote_done = SimTime::ZERO;
+        let mut conflict = false;
+        for &g in &touched {
+            let gsnap = self.gsnap(g, ws.snapshot.version);
+            let shard = self.shards[g]
+                .as_mut()
+                .expect("cert shard leased to a driver");
+            let (_, checked_at) = shard.reserve_check(eff_now);
+            vote_done = vote_done.max(checked_at);
+            let map = &self.map;
+            if shard.probe(
+                ws.items.iter().filter(|i| map.group_of_rel(i.rel) == g),
+                gsnap,
+            ) {
+                conflict = true;
+            }
+        }
+        let decide_at = vote_done + 2 * lan_hop_us;
+        if conflict {
+            self.conflicts += 1;
+            queue.schedule(
+                decide_at + lan_hop_us,
+                Ev::CertifyReturn {
+                    replica,
+                    txn,
+                    version: None,
+                },
+            );
+            return eff_now;
+        }
+        let version = Version(self.log.len() as u64 + 1);
+        self.commit(
+            &touched, version, ws, decide_at, replica, txn, lan_hop_us, queue,
+        );
+        eff_now
+    }
+
+    /// Shared commit tail: installs the owned items into every touched
+    /// group's shard, appends one entry to the global log and each touched
+    /// group's version list, and schedules the durable response.
+    #[allow(clippy::too_many_arguments)]
+    fn commit(
+        &mut self,
+        touched: &[usize],
+        version: Version,
+        ws: Writeset,
+        commit_point: SimTime,
+        replica: usize,
+        txn: TxnId,
+        lan_hop_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        for &g in touched {
+            if touched.len() > 1 {
+                let map = &self.map;
+                let shard = self.shards[g]
+                    .as_mut()
+                    .expect("cert shard leased to a driver");
+                shard.install(ws.items.iter().filter(|i| map.group_of_rel(i.rel) == g));
+            }
+            // Single-group installs already happened inside the shard check.
+            self.group_commits[g].push(version.0);
+        }
+        self.committed += 1;
+        self.log_bytes += ws.bytes();
+        self.log.push(CommittedWriteset {
+            version,
+            writeset: ws,
+        });
+        let w = self.params.group_window_us.max(1);
+        let durable_at = SimTime::from_micros(
+            commit_point.as_micros().div_ceil(w) * w + self.params.log_write_us,
+        );
+        queue.schedule(
+            durable_at + lan_hop_us,
+            Ev::CertifyReturn {
+                replica,
+                txn,
+                version: Some(version),
+            },
+        );
+    }
+}
+
+/// Iterator over the group indices set in a touched-groups bitmask.
+fn group_bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64usize).filter(move |g| mask & (1 << g) != 0)
+}
+
+/// Wraps the certification engine — the unified [`Certifier`] or the
+/// sharded per-group engine — together with the propagation policy, the
+/// leader/backup [`CertifierGroup`]s (§4.4 fault tolerance), and the
+/// per-replica contact bookkeeping, handling both halves of the
 /// certification round-trip plus the periodic propagation pulls.
 ///
 /// Under partial replication the link is also the traffic gate: a committed
@@ -24,12 +269,21 @@ use crate::placement::{PlacementMap, WS_TICK_BYTES};
 /// version tick. The `sent`/`saved` byte counters measure exactly that
 /// split (the node-side [`tashkent_replica::UpdateFilter`] then skips the
 /// withheld items at zero cost, so behaviour and accounting agree).
+///
+/// When *every* member of a certifier group is dead, requests touching the
+/// group park in a FIFO wait queue and drain — in arrival order — when a
+/// member restarts ([`Ev::CertifierRestart`]): back-pressure, never
+/// spurious aborts.
 pub struct CertifierLink {
     certifier: Certifier,
     group: CertifierGroup,
     /// Certification requests arriving before this instant wait for the
     /// newly-elected leader (set by a leader kill's failover delay).
     available_at: SimTime,
+    /// Unified-mode queue-and-wait parking lot (all members dead).
+    wait: VecDeque<WaitingCert>,
+    /// The sharded engine, when the cluster runs sharded certification.
+    sharded: Option<ShardedCert>,
     propagation: PropagationPolicy,
     last_contact: Vec<SimTime>,
     lan_hop_us: u64,
@@ -49,12 +303,28 @@ impl CertifierLink {
             certifier: Certifier::new(params),
             group: CertifierGroup::paper_default(),
             available_at: SimTime::ZERO,
+            wait: VecDeque::new(),
+            sharded: None,
             propagation: PropagationPolicy::default(),
             last_contact: vec![SimTime::ZERO; replicas],
             lan_hop_us,
             sent_bytes: 0,
             saved_bytes: 0,
         }
+    }
+
+    /// Builds the sharded-certification link: one leader+backups group and
+    /// one [`CertShard`] per `map` relation group, a group-local order per
+    /// group, and the coordinator-side global log.
+    pub fn new_sharded(
+        params: CertifierParams,
+        replicas: usize,
+        lan_hop_us: u64,
+        map: Arc<CertMap>,
+    ) -> Self {
+        let mut link = Self::new(params, replicas, lan_hop_us);
+        link.sharded = Some(ShardedCert::new(params, map));
+        link
     }
 
     /// Cumulative propagation traffic `(shipped, saved)` in bytes: what was
@@ -77,55 +347,221 @@ impl CertifierLink {
         self.saved_bytes += saved;
     }
 
-    /// The wrapped certifier (tests and metrics).
+    /// The wrapped unified certifier (tests and metrics; meaningful only
+    /// under unified certification — the sharded engine keeps its own log).
     pub fn inner(&self) -> &Certifier {
         &self.certifier
     }
 
-    /// The certifier group's membership and leadership (tests and metrics).
-    pub fn group(&self) -> &CertifierGroup {
-        &self.group
+    /// Membership and leadership of certifier group `g` (group 0 under
+    /// unified certification).
+    pub fn group_of(&self, g: usize) -> &CertifierGroup {
+        match &self.sharded {
+            Some(s) => &s.groups[g],
+            None => &self.group,
+        }
     }
 
-    /// Kills group member `member`. A leader kill elects a backup and
-    /// delays certification responses until the new leader serves; the
-    /// log — and thus every commit — survives (it is replicated to the
-    /// backups).
-    pub fn on_kill(&mut self, now: SimTime, member: usize) -> Option<GroupEvent> {
-        let ev = self.group.kill(now, member);
-        if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
-            self.available_at = self.available_at.max(available_at);
+    /// The (first) certifier group's membership and leadership.
+    pub fn group(&self) -> &CertifierGroup {
+        self.group_of(0)
+    }
+
+    /// Number of certifier groups under sharded certification (0 under the
+    /// unified certifier).
+    pub fn cert_group_count(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |s| s.groups.len())
+    }
+
+    /// Per-group ascending global commit versions (empty under unified
+    /// certification) — part of the run's observable result.
+    pub fn cert_group_commits(&self) -> Vec<Vec<u64>> {
+        self.sharded
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.group_commits.clone())
+    }
+
+    /// Sharded-certification activity counters `(committed, conflicts)`.
+    pub fn cert_counts(&self) -> (u64, u64) {
+        self.sharded
+            .as_ref()
+            .map_or((0, 0), |s| (s.committed, s.conflicts))
+    }
+
+    /// Requests currently parked in queue-and-wait (all modes).
+    pub fn waiting_certs(&self) -> usize {
+        self.wait.len()
+            + self
+                .sharded
+                .as_ref()
+                .map_or(0, |s| s.wait.iter().map(VecDeque::len).sum())
+    }
+
+    /// Group `g`'s `gsnap` for a snapshot version — how many of the group's
+    /// commits the snapshot sees (the parallel driver computes this at
+    /// window formation to ship checks to pool workers).
+    pub fn cert_gsnap(&self, g: usize, snapshot: Version) -> u64 {
+        self.sharded
+            .as_ref()
+            .expect("gsnap queried under unified certification")
+            .gsnap(g, snapshot)
+    }
+
+    /// Leases group `g`'s certification shard out (to a driver worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already leased out or the link is unified.
+    pub fn take_cert_shard(&mut self, g: usize) -> Box<CertShard> {
+        self.sharded
+            .as_mut()
+            .expect("cert shards exist only under sharded certification")
+            .shards[g]
+            .take()
+            .expect("cert shard already leased to a driver")
+    }
+
+    /// Returns a leased certification shard.
+    pub fn put_cert_shard(&mut self, g: usize, shard: Box<CertShard>) {
+        let slot = &mut self
+            .sharded
+            .as_mut()
+            .expect("cert shards exist only under sharded certification")
+            .shards[g];
+        debug_assert!(slot.is_none(), "returning a cert shard never leased");
+        *slot = Some(shard);
+    }
+
+    /// Kills member `member` of certifier group `group`. A leader kill
+    /// elects a backup and delays the group's responses until the new
+    /// leader serves; the log — and thus every commit — survives (it is
+    /// replicated to the backups).
+    pub fn on_kill(&mut self, now: SimTime, group: usize, member: usize) -> Option<GroupEvent> {
+        match &mut self.sharded {
+            Some(s) => {
+                if group >= s.groups.len() {
+                    return None;
+                }
+                let ev = s.groups[group].kill(now, member);
+                if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
+                    s.shards[group]
+                        .as_mut()
+                        .expect("cert shard leased to a driver")
+                        .set_available_at(available_at);
+                }
+                ev
+            }
+            None => {
+                let ev = self.group.kill(now, member);
+                if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
+                    self.available_at = self.available_at.max(available_at);
+                }
+                ev
+            }
+        }
+    }
+
+    /// Restarts member `member` of certifier group `group`. If the group
+    /// had no live members, the restarted member is elected leader after
+    /// the failover delay and the requests parked during the outage drain
+    /// through it in arrival order.
+    pub fn on_restart(
+        &mut self,
+        now: SimTime,
+        group: usize,
+        member: usize,
+        queue: &mut EventQueue<Ev>,
+    ) -> Option<GroupEvent> {
+        let (ev, drained) = match &mut self.sharded {
+            Some(s) => {
+                if group >= s.groups.len() {
+                    return None;
+                }
+                let ev = s.groups[group].revive(now, member);
+                if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
+                    s.shards[group]
+                        .as_mut()
+                        .expect("cert shard leased to a driver")
+                        .set_available_at(available_at);
+                }
+                let drained = if s.groups[group].is_available() {
+                    std::mem::take(&mut s.wait[group])
+                } else {
+                    VecDeque::new()
+                };
+                (ev, drained)
+            }
+            None => {
+                let ev = self.group.revive(now, member);
+                if let Some(GroupEvent::FailedOver { available_at, .. }) = ev {
+                    self.available_at = self.available_at.max(available_at);
+                }
+                let drained = if self.group.is_available() {
+                    std::mem::take(&mut self.wait)
+                } else {
+                    VecDeque::new()
+                };
+                (ev, drained)
+            }
+        };
+        for w in drained {
+            // Re-certify at the original arrival time: the failover gap
+            // (`available_at`) defers the service start, so drained requests
+            // serve after the election in their original FIFO order.
+            self.on_send(w.arrived, w.replica, w.txn, w.ws, w.groups, queue);
         }
         ev
     }
 
     /// Head of the global commit order.
     pub fn version(&self) -> Version {
-        self.certifier.version()
+        match &self.sharded {
+            Some(s) => Version(s.log.len() as u64),
+            None => self.certifier.version(),
+        }
+    }
+
+    /// The global log's entries with versions in `(after, head]`.
+    fn log_since(&self, after: Version) -> &[CommittedWriteset] {
+        match &self.sharded {
+            Some(s) => {
+                let idx = (after.0 as usize).min(s.log.len());
+                &s.log[idx..]
+            }
+            None => self.certifier.writesets_since(after),
+        }
     }
 
     /// Certifies an arriving writeset and schedules the response back to the
-    /// origin replica: the commit version once durable, or an immediate
-    /// conflict.
+    /// origin replica: the commit version once durable, or a conflict. A
+    /// request touching a fully-dead group parks in its wait queue instead.
+    ///
+    /// `groups` is the touched-group bitmask stamped at send time (`0`
+    /// under unified certification; nonzero masks require the sharded
+    /// engine).
     pub fn on_send(
         &mut self,
         now: SimTime,
         replica: usize,
         txn: TxnId,
         ws: Writeset,
+        groups: u64,
         queue: &mut EventQueue<Ev>,
     ) {
+        if groups != 0 {
+            self.on_send_sharded(now, replica, txn, ws, groups, queue);
+            return;
+        }
         if !self.group.is_available() {
-            // Every member is dead: the service is gone, the request fails
-            // at the client like a conflict (it will retry, then give up).
-            queue.schedule(
-                now + self.lan_hop_us,
-                Ev::CertifyReturn {
-                    replica,
-                    txn,
-                    version: None,
-                },
-            );
+            // Every member is dead: queue-and-wait — the request parks and
+            // drains when a member restarts. Back-pressure, not an abort.
+            self.wait.push_back(WaitingCert {
+                arrived: now,
+                replica,
+                txn,
+                ws,
+                groups,
+            });
             return;
         }
         // A request landing in a failover gap waits for the new leader.
@@ -158,6 +594,70 @@ impl CertifierLink {
         self.last_contact[replica] = now;
     }
 
+    /// Sharded certification: a single-group request runs the group's shard
+    /// check then the coordinator decide; a cross-group request runs the
+    /// atomic-commitment round across the touched groups.
+    fn on_send_sharded(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        groups: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let lan = self.lan_hop_us;
+        let s = self
+            .sharded
+            .as_mut()
+            .expect("nonzero group mask under unified certification");
+        if let Some(g) = group_bits(groups).find(|g| !s.groups[*g].is_available()) {
+            s.wait[g].push_back(WaitingCert {
+                arrived: now,
+                replica,
+                txn,
+                ws,
+                groups,
+            });
+            return;
+        }
+        let eff_now = if groups.count_ones() == 1 {
+            let g = groups.trailing_zeros() as usize;
+            let gsnap = s.gsnap(g, ws.snapshot.version);
+            let check = s.shards[g]
+                .as_mut()
+                .expect("cert shard leased to a driver")
+                .check(now, &ws, gsnap);
+            s.decide_single(g, replica, txn, ws, check, lan, queue)
+        } else {
+            s.decide_cross(groups, replica, txn, ws, now, lan, queue)
+        };
+        self.last_contact[replica] = eff_now;
+    }
+
+    /// The decide half of a worker-executed single-group check: the
+    /// parallel driver ships the shard to a pool worker, the worker runs
+    /// [`CertShard::check`], and the coordinator replays the decision here
+    /// at the event's exact slot — global version assignment and response
+    /// scheduling are bit-identical to the inline path.
+    pub fn certify_decide(
+        &mut self,
+        group: usize,
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        check: ShardCheck,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let lan = self.lan_hop_us;
+        let s = self
+            .sharded
+            .as_mut()
+            .expect("certify_decide under unified certification");
+        let eff_now = s.decide_single(group, replica, txn, ws, check, lan, queue);
+        self.last_contact[replica] = eff_now;
+    }
+
     /// The commit half of the response path: applies the intervening remote
     /// writesets on the origin replica, commits locally, and returns when
     /// the replica is done.
@@ -177,8 +677,7 @@ impl CertifierLink {
             return now;
         }
         let pending: Vec<CommittedWriteset> = self
-            .certifier
-            .writesets_since(node.applied())
+            .log_since(node.applied())
             .iter()
             .filter(|cw| cw.version < version)
             .cloned()
@@ -201,16 +700,17 @@ impl CertifierLink {
         node: &mut ClusterNode,
         placement: Option<&PlacementMap>,
     ) -> SimTime {
-        let pending = self.certifier.writesets_since(node.applied());
-        let done = if pending.is_empty() {
-            now
-        } else {
-            let (sent, saved) = delivery_bytes(node.id(), pending, placement);
-            let done = node.apply_writesets(now, pending);
-            self.sent_bytes += sent;
-            self.saved_bytes += saved;
-            done
+        let (done, sent, saved) = {
+            let pending = self.log_since(node.applied());
+            if pending.is_empty() {
+                (now, 0, 0)
+            } else {
+                let (sent, saved) = delivery_bytes(node.id(), pending, placement);
+                (node.apply_writesets(now, pending), sent, saved)
+            }
         };
+        self.sent_bytes += sent;
+        self.saved_bytes += saved;
         self.last_contact[node.id()] = now;
         done
     }
@@ -226,14 +726,12 @@ impl CertifierLink {
         node: &mut ClusterNode,
         rels: &BTreeSet<RelationId>,
     ) -> SimTime {
-        let upto =
-            (node.applied().0 as usize).min(self.certifier.writesets_since(Version(0)).len());
         let before = node.replica().stats();
-        let done = node.backfill_writesets(
-            now,
-            &self.certifier.writesets_since(Version(0))[..upto],
-            rels,
-        );
+        let done = {
+            let log = self.log_since(Version(0));
+            let upto = (node.applied().0 as usize).min(log.len());
+            node.backfill_writesets(now, &log[..upto], rels)
+        };
         // The node's backfill counters are the single source of truth for
         // what was actually re-applied; the shipped bytes derive from them.
         let after = node.replica().stats();
@@ -245,7 +743,9 @@ impl CertifierLink {
     }
 
     /// Periodic propagation: pulls (or prods) pending writesets onto a
-    /// replica per the paper's 500 ms / 25-commit rules.
+    /// replica per the paper's 500 ms / 25-commit rules. The trigger reads
+    /// the *global* log head in both certification modes — sharded groups
+    /// share one propagation stream, since replicas apply the global order.
     pub fn maintenance_pull(
         &mut self,
         now: SimTime,
@@ -256,13 +756,20 @@ impl CertifierLink {
             now,
             self.last_contact[node.id()],
             node.applied(),
-            self.certifier.version(),
+            self.version(),
         );
         if action != PropagationAction::None {
-            let pending = self.certifier.writesets_since(node.applied());
-            if !pending.is_empty() {
-                let (sent, saved) = delivery_bytes(node.id(), pending, placement);
-                node.apply_writesets(now, pending);
+            let (applied, sent, saved) = {
+                let pending = self.log_since(node.applied());
+                if pending.is_empty() {
+                    (false, 0, 0)
+                } else {
+                    let (sent, saved) = delivery_bytes(node.id(), pending, placement);
+                    node.apply_writesets(now, pending);
+                    (true, sent, saved)
+                }
+            };
+            if applied {
                 self.sent_bytes += sent;
                 self.saved_bytes += saved;
                 self.last_contact[node.id()] = now;

@@ -35,6 +35,38 @@ impl PlacementSpec {
     }
 }
 
+/// How certification is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertifierSharding {
+    /// One certifier group establishes the single global total order (the
+    /// paper's deployment).
+    #[default]
+    Unified,
+    /// Sharded certification (Sutra & Shapiro direction): each relation
+    /// group from the [`crate::placement::CertMap`] is certified by its own
+    /// leader+backups group with a group-local order; cross-group
+    /// transactions run an atomic-commitment round (vote/decide) among the
+    /// touched groups, paying extra LAN hops. `max_groups = 1` degenerates
+    /// to a single group and reproduces `Unified` results bit for bit.
+    Sharded {
+        /// Upper bound on certifier groups (clamped to
+        /// `[1, MAX_CERT_GROUPS]`).
+        max_groups: usize,
+    },
+}
+
+impl CertifierSharding {
+    /// Label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            CertifierSharding::Unified => "unified".into(),
+            CertifierSharding::Sharded { max_groups } => {
+                format!("sharded(max_groups={max_groups})")
+            }
+        }
+    }
+}
+
 /// Which load-balancing policy the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicySpec {
@@ -142,6 +174,10 @@ pub struct ClusterConfig {
     /// [`PlacementSpec::Partial`]; not the update-filtering `min_copies`
     /// field above).
     pub placement: PlacementSpec,
+    /// Certification organization: one unified total order, or per-group
+    /// certifier shards with atomic commitment for cross-group
+    /// transactions (see [`CertifierSharding`]).
+    pub certifier_sharding: CertifierSharding,
     /// Overrides the allocator's merge threshold (e.g. `Some(0.0)` disables
     /// group merging — the §5.3 ablation).
     pub merge_threshold_override: Option<f64>,
@@ -170,6 +206,7 @@ impl ClusterConfig {
             stable_rounds_for_filter: 10,
             min_copies: 2,
             placement: PlacementSpec::Full,
+            certifier_sharding: CertifierSharding::Unified,
             merge_threshold_override: None,
             seed: 42,
         }
@@ -241,6 +278,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Convenience: set the certification organization.
+    pub fn with_certifier_sharding(mut self, sharding: CertifierSharding) -> Self {
+        self.certifier_sharding = sharding;
+        self
+    }
+
     /// Convenience: single-replica (standalone) variant with proportionally
     /// fewer clients.
     pub fn standalone(mut self, clients: usize) -> Self {
@@ -280,6 +323,22 @@ mod tests {
         assert_eq!(PolicySpec::malb_sc().label(), "MALB-SC");
         assert_eq!(PolicySpec::malb_sc_uf().label(), "MALB-SC+UF");
         assert_eq!(PolicySpec::Lard.label(), "LARD");
+        assert_eq!(CertifierSharding::Unified.label(), "unified");
+        assert_eq!(
+            CertifierSharding::Sharded { max_groups: 8 }.label(),
+            "sharded(max_groups=8)"
+        );
+    }
+
+    #[test]
+    fn default_certification_is_unified() {
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.certifier_sharding, CertifierSharding::Unified);
+        let s = c.with_certifier_sharding(CertifierSharding::Sharded { max_groups: 4 });
+        assert_eq!(
+            s.certifier_sharding,
+            CertifierSharding::Sharded { max_groups: 4 }
+        );
     }
 
     #[test]

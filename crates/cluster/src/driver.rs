@@ -78,7 +78,9 @@
 //! [`ClusterState::handle`] call the coordinator makes is preceded by a
 //! check of the event's [`crate::events::NodeDemand`]: a single-replica
 //! handler pulls exactly that node home (if leased), an all-nodes handler
-//! pulls everything home, a certifier-only handler pulls nothing. Because
+//! pulls everything home, a unified-certifier handler pulls nothing, and a
+//! sharded-certification handler ([`crate::events::NodeDemand::CertGroups`])
+//! pulls exactly the touched certifier shards home. Because
 //! each worker's job lane is FIFO, a recall enqueued after a job is
 //! processed after it — the worker finishes the shard, parks the node in
 //! its local rack, and only then sees the recall — so a recall can never
@@ -152,6 +154,45 @@
 //! Deferred stoppers and batch events predate everything the replay can
 //! schedule and carry the minimum stamp.
 //!
+//! # Sharded certification in the window
+//!
+//! Under [`crate::config::CertifierSharding::Sharded`], certification
+//! itself shards across the pool: each certifier group's conflict state
+//! ([`CertShard`]) leases to a stable worker exactly like a replica node
+//! (lease slot `replicas + group`, affinity `(replicas + group) %
+//! workers`), and a pooled window's eligible `CertifySend`s ship to that
+//! worker as a *cert job*. The worker runs the group-local conflict checks
+//! ([`CertShard::check`]: availability wait, service-time reservation,
+//! probe, install); the merge replays each *decision* — global version
+//! assignment, log append, per-group commit list, response scheduling —
+//! inline at the send's exact pop rank via [`ClusterState::certify_decide`].
+//! A send is eligible only when all of these hold:
+//!
+//! * it touches exactly one group (cross-group sends run an atomic
+//!   commitment round against several shards and always replay inline);
+//! * its group is available (a fully-dead group queues the request — the
+//!   back-pressure path — which is coordinator-side state);
+//! * it pops at or before `t0 + lan_hop_us`, which makes it senior, in
+//!   `(timestamp, rank)` order, to every certifier send a shard can emit
+//!   mid-window (children surface at `completion + lan_hop_us ≥ t0 +
+//!   lan_hop_us`, with a junior rank at a tie);
+//! * no earlier-popped send destined for inline handling touched its group.
+//!
+//! The last two rules make the worker-side checks of a group exactly the
+//! *senior prefix* of that group's sequential check order for the window:
+//! every inline send touching the group is junior to every dispatched
+//! check, and its handler recalls the shard first
+//! ([`crate::events::NodeDemand::CertGroups`]) — the worker's job lane is
+//! FIFO, so the recalled shard reflects precisely the window's checks,
+//! which is its sequential state at the inline send's slot. The group-local
+//! snapshot position (`gsnap`) each check needs is computed at formation:
+//! a transaction's snapshot predates the window, so commits the merge
+//! appends mid-window carry strictly larger global versions and cannot
+//! shift the partition point. The decision half consumes only
+//! coordinator-owned state (the global log) in exact pop order, so version
+//! assignment is bit-identical to the sequential driver; the degenerate
+//! one-group configuration reproduces the unified certifier bit-for-bit.
+//!
 //! Failure events (`ReplicaCrash`, `ReplicaRecover`, `CertifierKill`,
 //! `Rereplicate`) are `Footprint::Global` and still bound windows as true
 //! stoppers. The crash-specific wrinkle is *stale* steps: a crash drops a
@@ -177,7 +218,8 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-use tashkent_engine::TxnId;
+use tashkent_certifier::{CertShard, ShardCheck};
+use tashkent_engine::{TxnId, Writeset};
 use tashkent_sim::{EventQueue, SimTime};
 
 use crate::components::ClusterNode;
@@ -345,6 +387,15 @@ pub struct DriverStats {
     /// transcript was still in flight — merge/shard pipelining actually
     /// overlapped (wall-clock-dependent, unlike every other counter).
     pub pipelined: u64,
+    /// Single-group certification checks executed on pool workers (sharded
+    /// certification only; the decide half always replays on the
+    /// coordinator).
+    pub certifier_sharded: u64,
+    /// Certifier sends replayed inline by the merge: cross-group
+    /// commitment rounds, sends into unavailable or already-inline-touched
+    /// groups, every send of a non-pooled window, and all sends under
+    /// unified certification.
+    pub certifier_inline: u64,
     /// Per pooled window, nanoseconds the coordinator spent blocked on the
     /// pool (transcript or recall waits), log₂-bucketed; see
     /// [`HANDOFF_HIST_BUCKETS`].
@@ -393,7 +444,8 @@ impl DriverStats {
         format!(
             "parallel driver: {} windows ({} pooled, {} pipelined), {} single-step, \
              {:.2} items/window ({:.2} incl. singles), {:.2} shards/window, \
-             {} deferred stoppers, {} runs (max {} windows, {} leases retained, \
+             {} deferred stoppers, {} cert checks sharded / {} cert inline, \
+             {} runs (max {} windows, {} leases retained, \
              {} recalls), workers busy {:.3}ms / parked {:.3}ms (idle {:.1}%, \
              {} parks, {} spins), handoff hist {:?}, size hist {:?}",
             self.windows,
@@ -404,6 +456,8 @@ impl DriverStats {
             self.mean_window_incl_singles(),
             self.shards as f64 / self.windows.max(1) as f64,
             self.deferred,
+            self.certifier_sharded,
+            self.certifier_inline,
             self.runs,
             self.max_run_windows,
             self.leases_retained,
@@ -464,6 +518,73 @@ enum WinItem {
     /// A deferred stopper: executed inline by the merge at its exact slot
     /// in the sequential pop order.
     Deferred(Ev),
+    /// A single-group `CertifySend` eligible for worker-side checking
+    /// (see the module docs, "Sharded certification in the window").
+    /// Carried as its own variant so job-building can either ship it to
+    /// its group's cert job (pooled windows, becoming [`WinItem::CertCheck`])
+    /// or demote it to a deferred stopper (inline windows).
+    CertSend {
+        replica: usize,
+        txn: TxnId,
+        ws: Writeset,
+        groups: u64,
+    },
+    /// A dispatched certification check: the worker runs the group-local
+    /// conflict check; the merge consumes the check record at this exact
+    /// pop rank and replays the decision inline.
+    CertCheck { group: usize },
+}
+
+/// One certification check shipped to a cert group's worker, in pop order
+/// within the group.
+struct CertCheckItem {
+    /// The send's pop key; the check runs at `key.at`.
+    key: Key,
+    /// Origin replica (the response returns there).
+    replica: usize,
+    txn: TxnId,
+    ws: Writeset,
+    /// The group-local snapshot position, computed at formation (exact:
+    /// see the module docs).
+    gsnap: u64,
+}
+
+/// One certifier group's share of a pooled window, leased to its worker
+/// like a replica [`Job`]. `checks` and `recs` are recycled buffers.
+struct CertJob {
+    group: usize,
+    /// The group's conflict shard — or `None` when the assigned worker
+    /// already racks it under a lease from the previous pooled window.
+    shard: Option<Box<CertShard>>,
+    /// This group's checks, key-ascending (= pop order).
+    checks: Vec<CertCheckItem>,
+    /// Recycled record buffer (empty on entry).
+    recs: Vec<Option<CertRec>>,
+}
+
+/// The worker-side outcome of one certification check; the merge feeds it
+/// to [`ClusterState::certify_decide`] at the send's pop rank. `Option`
+/// wrapping lets the merge move the writeset out in consumption order.
+struct CertRec {
+    replica: usize,
+    txn: TxnId,
+    ws: Writeset,
+    check: ShardCheck,
+}
+
+/// A worker's answer to a [`CertJob`]: the check records in order (the
+/// shard stays racked at the worker, keeping the lease until recalled),
+/// plus the drained `checks` buffer for recycling.
+struct CertResult {
+    group: usize,
+    recs: Vec<Option<CertRec>>,
+    checks: Vec<CertCheckItem>,
+}
+
+/// One cert group's check records under replay, cursor-consumed.
+struct CertCursor {
+    recs: Vec<Option<CertRec>>,
+    rec_i: usize,
 }
 
 /// What a processed step produced.
@@ -657,6 +778,9 @@ enum Replay {
     /// A deferred stopper or an emission senior to the true stopper: handle
     /// it inline at its exact sequential pop position.
     Handle(Ev),
+    /// A dispatched certification check: consume the group's next check
+    /// record and replay the decision inline.
+    Cert(usize),
 }
 
 /// One pending element of the window replay.
@@ -701,9 +825,12 @@ impl Ord for ReplayEntry {
 struct MergeScratch {
     heap: BinaryHeap<Reverse<ReplayEntry>>,
     slot_of: Vec<usize>,
+    cert_slot_of: Vec<usize>,
     items_pool: Vec<Vec<(Key, TxnId)>>,
     steps_pool: Vec<Vec<StepRec>>,
     unproc_pool: Vec<Vec<(u64, TxnId)>>,
+    checks_pool: Vec<Vec<CertCheckItem>>,
+    recs_pool: Vec<Vec<Option<CertRec>>>,
 }
 
 impl MergeScratch {
@@ -723,6 +850,19 @@ impl MergeScratch {
         self.steps_pool.push(steps);
         unprocessed_batch.clear();
         self.unproc_pool.push(unprocessed_batch);
+    }
+
+    /// Same, for a cert job's buffers.
+    fn recycle_cert(&mut self, res: CertResult) {
+        let CertResult {
+            mut recs,
+            mut checks,
+            ..
+        } = res;
+        recs.clear();
+        self.recs_pool.push(recs);
+        checks.clear();
+        self.checks_pool.push(checks);
     }
 }
 
@@ -753,6 +893,10 @@ enum ToWorker {
     Job(Job),
     /// Return this replica's racked node to the coordinator.
     Recall(usize),
+    /// A certifier group's window checks (sharded certification).
+    CertJob(CertJob),
+    /// Return this group's racked cert shard to the coordinator.
+    RecallCert(usize),
 }
 
 /// Worker → coordinator messages, one FIFO lane per worker.
@@ -764,6 +908,10 @@ enum FromWorker {
         replica: usize,
         node: Box<ClusterNode>,
     },
+    /// A finished cert job (the worker racked the shard).
+    CertDone(CertResult),
+    /// A recalled cert shard coming home.
+    CertHome { group: usize, shard: Box<CertShard> },
     /// The worker panicked; the coordinator re-raises the payload.
     Panic(Box<dyn std::any::Any + Send>),
 }
@@ -774,22 +922,31 @@ enum FromWorker {
 /// already here".
 struct ShardFeed<'a> {
     pool: Option<&'a WorkerPool>,
+    /// Lease slots: replicas `0..replicas`, cert groups `replicas..`.
     lease: &'a mut [NodeLoc],
-    /// Transcripts dispatched but not yet absorbed.
+    /// Replica count — the base of the cert-group lease slots.
+    replicas: usize,
+    /// Transcripts (shard + cert) dispatched but not yet absorbed.
     pending: usize,
     /// Nanoseconds the merge spent blocked on the pool.
     stall_ns: u64,
-    /// Nodes recalled mid-merge.
+    /// Nodes and cert shards recalled mid-merge.
     recalls: u64,
     /// Whether any replay work happened while a transcript was in flight.
     overlapped: bool,
 }
 
 impl<'a> ShardFeed<'a> {
-    fn new(pool: Option<&'a WorkerPool>, lease: &'a mut [NodeLoc], pending: usize) -> Self {
+    fn new(
+        pool: Option<&'a WorkerPool>,
+        lease: &'a mut [NodeLoc],
+        replicas: usize,
+        pending: usize,
+    ) -> Self {
         ShardFeed {
             pool,
             lease,
+            replicas,
             pending,
             stall_ns: 0,
             recalls: 0,
@@ -820,12 +977,31 @@ impl<'a> ShardFeed<'a> {
         sc.items_pool.push(res.items);
     }
 
+    /// Installs one cert result as a check-record cursor (the shard stays
+    /// racked at the worker).
+    fn install_cert(
+        &mut self,
+        res: CertResult,
+        sc: &mut MergeScratch,
+        certs: &mut Vec<CertCursor>,
+    ) {
+        sc.cert_slot_of[res.group] = certs.len();
+        certs.push(CertCursor {
+            recs: res.recs,
+            rec_i: 0,
+        });
+        let mut checks = res.checks;
+        checks.clear();
+        sc.checks_pool.push(checks);
+    }
+
     fn absorb(
         &mut self,
         msg: FromWorker,
         state: &mut ClusterState,
         sc: &mut MergeScratch,
         shards: &mut Vec<ShardCursor>,
+        certs: &mut Vec<CertCursor>,
     ) {
         match msg {
             FromWorker::Shard(res) => {
@@ -836,6 +1012,15 @@ impl<'a> ShardFeed<'a> {
             FromWorker::Node { replica, node } => {
                 state.put_node(replica, node);
                 self.lease[replica] = NodeLoc::Home;
+            }
+            FromWorker::CertDone(res) => {
+                debug_assert!(self.pending > 0, "cert records nobody dispatched");
+                self.pending -= 1;
+                self.install_cert(res, sc, certs);
+            }
+            FromWorker::CertHome { group, shard } => {
+                state.put_cert_shard(group, shard);
+                self.lease[self.replicas + group] = NodeLoc::Home;
             }
             FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
         }
@@ -857,13 +1042,14 @@ impl<'a> ShardFeed<'a> {
         state: &mut ClusterState,
         sc: &mut MergeScratch,
         shards: &mut Vec<ShardCursor>,
+        certs: &mut Vec<CertCursor>,
     ) {
         if self.pending == 0 {
             return;
         }
         let Some(pool) = self.pool else { return };
         while let Some(msg) = pool.try_recv_any() {
-            self.absorb(msg, state, sc, shards);
+            self.absorb(msg, state, sc, shards, certs);
             if self.pending == 0 {
                 break;
             }
@@ -877,24 +1063,42 @@ impl<'a> ShardFeed<'a> {
         state: &mut ClusterState,
         sc: &mut MergeScratch,
         shards: &mut Vec<ShardCursor>,
+        certs: &mut Vec<CertCursor>,
     ) {
         while sc.slot_of[replica] == usize::MAX {
             assert!(self.pending > 0, "window item for an absent shard");
             let msg = self.blocking_next();
-            self.absorb(msg, state, sc, shards);
+            self.absorb(msg, state, sc, shards, certs);
         }
     }
 
-    /// Recalls whatever nodes `demand` requires and waits until they are
-    /// home. Transcripts arriving in the meantime are absorbed (each
-    /// worker's lanes are FIFO, so a recalled node follows any transcript
-    /// the same worker produced first).
+    /// Waits until cert group `group`'s check records have been installed.
+    fn ensure_cert_records(
+        &mut self,
+        group: usize,
+        state: &mut ClusterState,
+        sc: &mut MergeScratch,
+        shards: &mut Vec<ShardCursor>,
+        certs: &mut Vec<CertCursor>,
+    ) {
+        while sc.cert_slot_of[group] == usize::MAX {
+            assert!(self.pending > 0, "cert check for an absent cert job");
+            let msg = self.blocking_next();
+            self.absorb(msg, state, sc, shards, certs);
+        }
+    }
+
+    /// Recalls whatever nodes (or cert shards) `demand` requires and waits
+    /// until they are home. Transcripts arriving in the meantime are
+    /// absorbed (each worker's lanes are FIFO, so a recalled node follows
+    /// any transcript the same worker produced first).
     fn ensure(
         &mut self,
         demand: NodeDemand,
         state: &mut ClusterState,
         sc: &mut MergeScratch,
         shards: &mut Vec<ShardCursor>,
+        certs: &mut Vec<CertCursor>,
     ) {
         match demand {
             NodeDemand::NoNode => {}
@@ -907,7 +1111,25 @@ impl<'a> ShardFeed<'a> {
                 self.recalls += 1;
                 while self.lease[replica] != NodeLoc::Home {
                     let msg = self.blocking_next();
-                    self.absorb(msg, state, sc, shards);
+                    self.absorb(msg, state, sc, shards, certs);
+                }
+            }
+            NodeDemand::CertGroups(mask) => {
+                let mut m = mask;
+                while m != 0 {
+                    let g = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let slot = self.replicas + g;
+                    let Some(NodeLoc::AtWorker(w)) = self.lease.get(slot).copied() else {
+                        continue; // Home, or no cert leases (unified mode).
+                    };
+                    let pool = self.pool.expect("lease without a pool");
+                    pool.recall_cert(w, g);
+                    self.recalls += 1;
+                    while self.lease[slot] != NodeLoc::Home {
+                        let msg = self.blocking_next();
+                        self.absorb(msg, state, sc, shards, certs);
+                    }
                 }
             }
             NodeDemand::AllNodes => {
@@ -916,16 +1138,20 @@ impl<'a> ShardFeed<'a> {
                     return;
                 };
                 let mut any = false;
-                for (r, loc) in self.lease.iter().enumerate() {
+                for (slot, loc) in self.lease.iter().enumerate() {
                     if let NodeLoc::AtWorker(w) = *loc {
-                        pool.recall(w, r);
+                        if slot < self.replicas {
+                            pool.recall(w, slot);
+                        } else {
+                            pool.recall_cert(w, slot - self.replicas);
+                        }
                         self.recalls += 1;
                         any = true;
                     }
                 }
                 while any && self.lease.iter().any(|l| *l != NodeLoc::Home) {
                     let msg = self.blocking_next();
-                    self.absorb(msg, state, sc, shards);
+                    self.absorb(msg, state, sc, shards, certs);
                 }
             }
         }
@@ -994,10 +1220,14 @@ fn merge_window(
     // past it.
     let stop_ts = queue.peek_time();
     let pre_stopper = |at: SimTime| stop_ts.is_none_or(|s| at < s);
-    // Index transcripts by replica as they arrive.
+    // Index transcripts by replica (and cert records by group) as they
+    // arrive.
     sc.slot_of.clear();
     sc.slot_of.resize(state.config.replicas, usize::MAX);
+    sc.cert_slot_of.clear();
+    sc.cert_slot_of.resize(state.cert_group_count(), usize::MAX);
     let mut shards: Vec<ShardCursor> = Vec::with_capacity(ready.len() + feed.pending);
+    let mut certs: Vec<CertCursor> = Vec::new();
     for r in ready {
         feed.install(r, state, sc, &mut shards);
     }
@@ -1023,13 +1253,22 @@ fn merge_window(
                 replica: usize::MAX,
                 action: Replay::Handle(ev),
             },
+            WinItem::CertCheck { group } => ReplayEntry {
+                key,
+                stamp: i64::MIN,
+                replica: usize::MAX,
+                action: Replay::Cert(group),
+            },
+            WinItem::CertSend { .. } => {
+                unreachable!("cert sends resolve to CertCheck or Deferred before the merge")
+            }
         };
         sc.heap.push(Reverse(entry));
     }
     let mut next_rank = child_rank_base;
     while let Some((top_at, top_stamp)) = sc.heap.peek().map(|Reverse(e)| (e.key.at, e.stamp)) {
         // Keep lanes shallow: absorb transcripts that already landed.
-        feed.poll(state, sc, &mut shards);
+        feed.poll(state, sc, &mut shards, &mut certs);
         // Interleave: events the inline handling scheduled that
         // sequentially precede the next replay entry pop first.
         if queue
@@ -1037,7 +1276,7 @@ fn merge_window(
             .is_some_and(|(at, seq)| at < top_at || (at == top_at && seq < top_stamp))
         {
             let (at, ev) = queue.pop().expect("peeked event vanished");
-            feed.ensure(ev.footprint().demand(), state, sc, &mut shards);
+            feed.ensure(ev.footprint().demand(), state, sc, &mut shards, &mut certs);
             state.handle(at, ev, queue);
             feed.overlapped |= feed.pending > 0;
             if state.ended() {
@@ -1048,7 +1287,7 @@ fn merge_window(
         let Reverse(entry) = sc.heap.pop().expect("peeked entry vanished");
         match entry.action {
             Replay::Item(txn) => {
-                feed.ensure_transcript(entry.replica, state, sc, &mut shards);
+                feed.ensure_transcript(entry.replica, state, sc, &mut shards, &mut certs);
                 let slot = sc.slot_of[entry.replica];
                 debug_assert_ne!(slot, usize::MAX, "window item for an absent shard");
                 let take_unprocessed = {
@@ -1064,7 +1303,13 @@ fn merge_window(
                     // sequential turn is exactly now — execute it inline
                     // (which touches the node, so pull it home first).
                     shards[slot].unproc_i += 1;
-                    feed.ensure(NodeDemand::Node(entry.replica), state, sc, &mut shards);
+                    feed.ensure(
+                        NodeDemand::Node(entry.replica),
+                        state,
+                        sc,
+                        &mut shards,
+                        &mut certs,
+                    );
                     state.handle(
                         entry.key.at,
                         Ev::StepTxn {
@@ -1125,8 +1370,18 @@ fn merge_window(
                 }
             }
             Replay::Handle(ev) => {
-                feed.ensure(ev.footprint().demand(), state, sc, &mut shards);
+                feed.ensure(ev.footprint().demand(), state, sc, &mut shards, &mut certs);
                 state.handle(entry.key.at, ev, queue);
+            }
+            Replay::Cert(group) => {
+                feed.ensure_cert_records(group, state, sc, &mut shards, &mut certs);
+                let slot = sc.cert_slot_of[group];
+                let cur = &mut certs[slot];
+                let rec = cur.recs[cur.rec_i]
+                    .take()
+                    .expect("cert record consumed twice");
+                cur.rec_i += 1;
+                state.certify_decide(group, rec.replica, rec.txn, rec.ws, rec.check, queue);
             }
         }
         feed.overlapped |= feed.pending > 0;
@@ -1151,6 +1406,15 @@ fn merge_window(
         sc.steps_pool.push(shard.steps);
         shard.unprocessed.clear();
         sc.unproc_pool.push(shard.unprocessed);
+    }
+    for mut cur in certs {
+        debug_assert_eq!(
+            cur.rec_i,
+            cur.recs.len(),
+            "cert records longer than replayed checks"
+        );
+        cur.recs.clear();
+        sc.recs_pool.push(cur.recs);
     }
 }
 
@@ -1181,6 +1445,9 @@ struct WorkerPool {
     /// Shared spin/park/busy accounting across all workers (cumulative for
     /// the pool's lifetime; the driver snapshots deltas per run).
     counters: Arc<WaitCounters>,
+    /// Replica count — cert group `g`'s stable affinity is offset past the
+    /// replicas' so cert work spreads over different workers.
+    replicas: usize,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -1191,7 +1458,7 @@ struct WorkerPool {
 const LANE_CAP: usize = 64;
 
 impl WorkerPool {
-    fn new(workers: usize, replicas: usize) -> Self {
+    fn new(workers: usize, replicas: usize, cert_groups: usize) -> Self {
         let counters = Arc::new(WaitCounters::default());
         let mut jobs = Vec::with_capacity(workers);
         let mut results = Vec::with_capacity(workers);
@@ -1206,7 +1473,7 @@ impl WorkerPool {
                 thread::Builder::new()
                     .name(format!("tashkent-worker-{i}"))
                     .spawn(move || {
-                        worker_main(job_rx, res_tx, counters, replicas);
+                        worker_main(job_rx, res_tx, counters, replicas, cert_groups);
                     })
                     .expect("spawn worker thread"),
             );
@@ -1220,6 +1487,7 @@ impl WorkerPool {
             jobs,
             results,
             counters,
+            replicas,
             handles,
         }
     }
@@ -1229,6 +1497,12 @@ impl WorkerPool {
         replica % self.jobs.len()
     }
 
+    /// Stable cert-group affinity: group `g` always runs on this worker,
+    /// offset past the replica slots so certification overlaps execution.
+    fn worker_of_cert(&self, group: usize) -> usize {
+        (self.replicas + group) % self.jobs.len()
+    }
+
     fn send_job(&self, job: Job) {
         let w = self.worker_of(job.replica);
         if self.jobs[w].send(ToWorker::Job(job)).is_err() {
@@ -1236,9 +1510,24 @@ impl WorkerPool {
         }
     }
 
+    fn send_cert_job(&self, job: CertJob) {
+        let w = self.worker_of_cert(job.group);
+        if self.jobs[w].send(ToWorker::CertJob(job)).is_err() {
+            self.surface_death();
+        }
+    }
+
     /// Asks worker `w` (the lease holder) to send `replica`'s node home.
     fn recall(&self, w: usize, replica: usize) {
         if self.jobs[w].send(ToWorker::Recall(replica)).is_err() {
+            self.surface_death();
+        }
+    }
+
+    /// Asks worker `w` (the lease holder) to send group `g`'s cert shard
+    /// home.
+    fn recall_cert(&self, w: usize, group: usize) {
+        if self.jobs[w].send(ToWorker::RecallCert(group)).is_err() {
             self.surface_death();
         }
     }
@@ -1293,16 +1582,34 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Runs one cert group's window checks in pop order against the group's
+/// conflict shard, recording the outcome of each (the decide half replays
+/// on the coordinator).
+fn run_cert_job(shard: &mut CertShard, job: &mut CertJob) {
+    for item in job.checks.drain(..) {
+        let check = shard.check(item.key.at, &item.ws, item.gsnap);
+        job.recs.push(Some(CertRec {
+            replica: item.replica,
+            txn: item.txn,
+            ws: item.ws,
+            check,
+        }));
+    }
+}
+
 /// Body of each pool worker: drain the job lane, racking leased nodes in
-/// `held` between jobs, until the coordinator hangs up.
+/// `held` (and cert shards in `held_certs`) between jobs, until the
+/// coordinator hangs up.
 fn worker_main(
     job_rx: sync::Receiver<ToWorker>,
     res_tx: sync::Sender<FromWorker>,
     counters: Arc<WaitCounters>,
     replicas: usize,
+    cert_groups: usize,
 ) {
     let mut agenda = BinaryHeap::new();
     let mut held: Vec<Option<Box<ClusterNode>>> = (0..replicas).map(|_| None).collect();
+    let mut held_certs: Vec<Option<Box<CertShard>>> = (0..cert_groups).map(|_| None).collect();
     loop {
         let msg = match job_rx.recv(&counters) {
             Some(msg) => msg,
@@ -1337,6 +1644,35 @@ fn worker_main(
                     "recall for replica {replica} but no node is held"
                 ))),
             },
+            ToWorker::CertJob(mut job) => {
+                let mut shard = match job.shard.take() {
+                    Some(shard) => shard,
+                    // Leased from a previous window in this run.
+                    None => held_certs[job.group]
+                        .take()
+                        .expect("cert job for a shard neither sent nor leased"),
+                };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_cert_job(&mut shard, &mut job);
+                    job
+                })) {
+                    Ok(job) => {
+                        held_certs[job.group] = Some(shard);
+                        FromWorker::CertDone(CertResult {
+                            group: job.group,
+                            recs: job.recs,
+                            checks: job.checks,
+                        })
+                    }
+                    Err(payload) => FromWorker::Panic(payload),
+                }
+            }
+            ToWorker::RecallCert(group) => match held_certs[group].take() {
+                Some(shard) => FromWorker::CertHome { group, shard },
+                None => FromWorker::Panic(Box::new(format!(
+                    "recall for cert group {group} but no shard is held"
+                ))),
+            },
         };
         counters.add_busy_ns(t0.elapsed().as_nanos() as u64);
         let poisoned = matches!(out, FromWorker::Panic(_));
@@ -1359,17 +1695,32 @@ pub struct ParallelDriver {
     /// run inline instead. [`ParallelDriver::with_min_dispatch`] lifts the
     /// clamp so stress tests exercise the pool anywhere.
     effective: usize,
-    /// Smallest window (step events) worth a channel round-trip per shard;
-    /// smaller windows run inline on the coordinator. Purely a performance
-    /// knob — both paths run the identical algorithm.
+    /// Smallest window (step events + cert checks) worth a channel
+    /// round-trip per shard; smaller windows run inline on the
+    /// coordinator. Purely a performance knob — both paths run the
+    /// identical algorithm.
     min_dispatch: usize,
+    /// Whether `min_dispatch` retunes itself from the measured
+    /// handoff-stall histogram ([`DriverKind::Parallel`]; explicit
+    /// [`ParallelDriver::with_min_dispatch`] turns it off). Wall-clock
+    /// only: the threshold never changes simulation results.
+    auto_tune: bool,
+    /// Pooled windows observed since the run started (auto-tune sample).
+    tune_windows: u64,
+    /// Coordinator stall nanoseconds across those windows.
+    tune_stall_ns: u64,
+    /// Step events dispatched across those windows.
+    tune_steps: u64,
+    /// Pool busy-ns counter at run start (the pool counter is cumulative).
+    tune_busy0: u64,
     pool: Option<WorkerPool>,
     stats: DriverStats,
     /// Print the stats summary at the end of the run
     /// (`TASHKENT_DRIVER_STATS`).
     print_stats: bool,
-    /// Where each replica's node lives right now. Leases persist across
-    /// pooled windows; anything that demands a node recalls it first.
+    /// Where each replica's node (slots `0..replicas`) and each certifier
+    /// group's shard (slots `replicas..`) lives right now. Leases persist
+    /// across pooled windows; anything that demands one recalls it first.
     lease: Vec<NodeLoc>,
     /// Pooled windows since the last run-ending recall (see module docs).
     run_len: u64,
@@ -1379,9 +1730,30 @@ pub struct ParallelDriver {
     // `jobs` vector still allocates per window.
     batch: Vec<(SimTime, WinItem)>,
     job_of: Vec<usize>,
+    cert_job_of: Vec<usize>,
     defer_barrier: Vec<Option<Key>>,
     agenda: BinaryHeap<Reverse<(Key, u64, usize)>>,
     merge: MergeScratch,
+}
+
+/// The auto-tuned dispatch threshold: the measured mean coordinator stall
+/// per pooled window, divided by the mean worker-busy nanoseconds per
+/// dispatched step, estimates how many step events a window must carry
+/// before overlapped execution amortizes the handoff; clamping keeps the
+/// threshold inside the productive band even on noisy samples.
+fn tuned_min_dispatch(
+    stall_ns: u64,
+    pooled_windows: u64,
+    busy_ns: u64,
+    steps: u64,
+    fallback: usize,
+) -> usize {
+    if pooled_windows == 0 || steps == 0 || busy_ns == 0 {
+        return fallback;
+    }
+    let stall_per_window = stall_ns / pooled_windows;
+    let busy_per_step = (busy_ns / steps).max(1);
+    (stall_per_window / busy_per_step).clamp(2, 64) as usize
 }
 
 impl ParallelDriver {
@@ -1400,6 +1772,11 @@ impl ParallelDriver {
             workers,
             effective: workers.min(host),
             min_dispatch: Self::MIN_DISPATCH,
+            auto_tune: true,
+            tune_windows: 0,
+            tune_stall_ns: 0,
+            tune_steps: 0,
+            tune_busy0: 0,
             pool: None,
             stats: DriverStats::default(),
             print_stats: std::env::var_os("TASHKENT_DRIVER_STATS").is_some(),
@@ -1407,6 +1784,7 @@ impl ParallelDriver {
             run_len: 0,
             batch: Vec::new(),
             job_of: Vec::new(),
+            cert_job_of: Vec::new(),
             defer_barrier: Vec::new(),
             agenda: BinaryHeap::new(),
             merge: MergeScratch::default(),
@@ -1416,11 +1794,46 @@ impl ParallelDriver {
     /// Overrides the smallest step count dispatched to worker threads
     /// (stress/testing; `0` forces every multi-shard window through the
     /// pool). Also lifts the host-parallelism clamp, so the pooled path is
-    /// exercised even on single-core machines.
+    /// exercised even on single-core machines, and disables the
+    /// handoff-stall auto-tuner — an explicit threshold always wins.
     pub fn with_min_dispatch(mut self, min_dispatch: usize) -> Self {
         self.min_dispatch = min_dispatch;
         self.effective = self.workers;
+        self.auto_tune = false;
         self
+    }
+
+    /// Drains one pool message during a between-window recall, returning
+    /// whether it was a homecoming (node or cert shard). Transcripts that
+    /// arrive in the meantime are recycled — between windows every merge
+    /// has completed, so any stray transcript was orphaned by an `End`.
+    fn drain_recall_msg(
+        msg: FromWorker,
+        state: &mut ClusterState,
+        lease: &mut [NodeLoc],
+        merge: &mut MergeScratch,
+    ) -> bool {
+        match msg {
+            FromWorker::Node { replica, node } => {
+                state.put_node(replica, node);
+                lease[replica] = NodeLoc::Home;
+                true
+            }
+            FromWorker::CertHome { group, shard } => {
+                state.put_cert_shard(group, shard);
+                lease[state.config.replicas + group] = NodeLoc::Home;
+                true
+            }
+            FromWorker::Shard(res) => {
+                merge.recycle(res);
+                false
+            }
+            FromWorker::CertDone(res) => {
+                merge.recycle_cert(res);
+                false
+            }
+            FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Pulls one replica's node home if it is leased to a worker. Used for
@@ -1441,21 +1854,47 @@ impl ParallelDriver {
         pool.recall(w, replica);
         stats.recalls += 1;
         while lease[replica] != NodeLoc::Home {
-            match pool.recv_any() {
-                FromWorker::Node { replica: r, node } => {
-                    state.put_node(r, node);
-                    lease[r] = NodeLoc::Home;
-                }
-                FromWorker::Shard(res) => merge.recycle(res),
-                FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+            let msg = pool.recv_any();
+            Self::drain_recall_msg(msg, state, lease, merge);
+        }
+    }
+
+    /// Pulls the touched cert groups' shards home if leased. Used for
+    /// between-window certification events under sharding — the run (and
+    /// every other lease) stays alive.
+    fn recall_cert_groups(&mut self, state: &mut ClusterState, mask: u64) {
+        let replicas = state.config.replicas;
+        let ParallelDriver {
+            pool,
+            lease,
+            merge,
+            stats,
+            ..
+        } = self;
+        let mut m = mask;
+        while m != 0 {
+            let g = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let slot = replicas + g;
+            let Some(NodeLoc::AtWorker(w)) = lease.get(slot).copied() else {
+                continue;
+            };
+            let pool = pool.as_ref().expect("lease without a pool");
+            pool.recall_cert(w, g);
+            stats.recalls += 1;
+            while lease[slot] != NodeLoc::Home {
+                let msg = pool.recv_any();
+                Self::drain_recall_msg(msg, state, lease, merge);
             }
         }
     }
 
-    /// Pulls every leased node home and ends the current lease run. Called
-    /// for events that demand all nodes (true barriers) and at end of run.
+    /// Pulls every leased node and cert shard home and ends the current
+    /// lease run. Called for events that demand all nodes (true barriers)
+    /// and at end of run.
     fn recall_all(&mut self, state: &mut ClusterState) {
         self.run_len = 0;
+        let replicas = state.config.replicas;
         let ParallelDriver {
             pool,
             lease,
@@ -1467,28 +1906,28 @@ impl ParallelDriver {
             return;
         };
         let mut outstanding = 0u64;
-        for (r, loc) in lease.iter().enumerate() {
+        for (slot, loc) in lease.iter().enumerate() {
             if let NodeLoc::AtWorker(w) = *loc {
-                pool.recall(w, r);
+                if slot < replicas {
+                    pool.recall(w, slot);
+                } else {
+                    pool.recall_cert(w, slot - replicas);
+                }
                 stats.recalls += 1;
                 outstanding += 1;
             }
         }
         while outstanding > 0 {
-            match pool.recv_any() {
-                FromWorker::Node { replica, node } => {
-                    state.put_node(replica, node);
-                    lease[replica] = NodeLoc::Home;
-                    outstanding -= 1;
-                }
-                FromWorker::Shard(res) => merge.recycle(res),
-                FromWorker::Panic(payload) => std::panic::resume_unwind(payload),
+            let msg = pool.recv_any();
+            if Self::drain_recall_msg(msg, state, lease, merge) {
+                outstanding -= 1;
             }
         }
     }
 
     /// Executes one lookahead window starting from the already-popped
-    /// `StepTxn` at `t0`.
+    /// window-starter (`StepTxn`, or `CertifySend` under sharded
+    /// certification) at `t0`.
     fn run_window(
         &mut self,
         state: &mut ClusterState,
@@ -1498,41 +1937,96 @@ impl ParallelDriver {
     ) {
         let lan_hop_us = state.lan_hop_us();
         let horizon = t0 + 4 * lan_hop_us;
-        let Ev::StepTxn { replica, txn } = first else {
-            unreachable!("windows start on StepTxn");
-        };
         // A window-compatible event: inside the horizon and not
         // cross-cutting. Steps shard out; other non-global stoppers defer.
         let windowable =
             |t: SimTime, ev: &Ev| t <= horizon && !matches!(ev.footprint(), Footprint::Global);
-        // Lone steps dominate sparse phases; peek before paying for window
-        // formation on the hottest event type.
+        // Lone starters dominate sparse phases; peek before paying for
+        // window formation on the hottest event types.
         if !matches!(queue.peek(), Some((t, ev)) if windowable(t, ev)) {
             self.stats.observe_single();
-            // A lone step touches only its own node; pull just that one
-            // home — the other leases (and the run) survive.
-            self.recall_node(state, replica);
-            state.handle(t0, Ev::StepTxn { replica, txn }, queue);
+            // A lone starter touches only its own node (or cert groups);
+            // pull just those home — the other leases (and the run)
+            // survive.
+            match first.footprint().demand() {
+                NodeDemand::NoNode => {}
+                NodeDemand::Node(r) => self.recall_node(state, r),
+                NodeDemand::CertGroups(mask) => self.recall_cert_groups(state, mask),
+                NodeDemand::AllNodes => self.recall_all(state),
+            }
+            state.handle(t0, first, queue);
             return;
         }
         let replicas = state.config.replicas;
         self.batch.clear();
-        self.batch.push((t0, WinItem::Step { replica, txn }));
         self.defer_barrier.clear();
         self.defer_barrier.resize(replicas, None);
         // Barrier every shard observes (deferred dispatch events: the
         // submitted transaction's first step may land on any replica two
         // hops out).
         let mut all_barrier: Option<Key> = None;
-        let mut n_steps: u64 = 1;
-        while let Some((t, ev)) = queue.pop_if(windowable) {
+        let mut n_steps: u64 = 0;
+        // Sharded certification: groups touched by sends destined for
+        // inline handling (cross-group, late, unavailable) — later sends
+        // into them must stay inline too — plus the candidate checks and
+        // groups for worker dispatch.
+        let mut cert_inline_mask: u64 = 0;
+        let mut n_cert_inline: u64 = 0;
+        let mut cand_mask: u64 = 0;
+        let mut n_checks: u64 = 0;
+        // The starter runs through the same classification as every popped
+        // event — it is simply the window's rank-0 item.
+        let mut next = Some((t0, first));
+        while let Some((t, ev)) = next.take().or_else(|| queue.pop_if(windowable)) {
             let rank = self.batch.len() as u64;
             match ev {
                 Ev::StepTxn { replica, txn } => {
                     n_steps += 1;
                     self.batch.push((t, WinItem::Step { replica, txn }));
                 }
+                Ev::CertifySend {
+                    replica: origin,
+                    txn,
+                    ws,
+                    groups,
+                } if groups.count_ones() == 1
+                    && t <= t0 + lan_hop_us
+                    && groups & cert_inline_mask == 0
+                    && state
+                        .cert_link()
+                        .group_of(groups.trailing_zeros() as usize)
+                        .is_available() =>
+                {
+                    // Worker-checkable (see the module docs, "Sharded
+                    // certification in the window"): the group's shard runs
+                    // the conflict check on its pool worker; the decision
+                    // replays inline at this exact rank. The certifier's
+                    // answer still reaches the origin no earlier than one
+                    // hop out, so the origin's barrier is the same as for a
+                    // deferred send.
+                    let key = Key {
+                        at: t + lan_hop_us,
+                        rank,
+                    };
+                    let slot = &mut self.defer_barrier[origin];
+                    *slot = Some(slot.map_or(key, |b| b.min(key)));
+                    cand_mask |= groups;
+                    n_checks += 1;
+                    self.batch.push((
+                        t,
+                        WinItem::CertSend {
+                            replica: origin,
+                            txn,
+                            ws,
+                            groups,
+                        },
+                    ));
+                }
                 ev => {
+                    if let Ev::CertifySend { groups, .. } = &ev {
+                        cert_inline_mask |= *groups;
+                        n_cert_inline += 1;
+                    }
                     // A deferred stopper: the merge will handle it inline at
                     // this exact pop rank; bar the shard(s) it can reach
                     // from the first key its handling can touch them at.
@@ -1542,7 +2036,7 @@ impl ParallelDriver {
                             let slot = &mut self.defer_barrier[r];
                             *slot = Some(slot.map_or(key, |b| b.min(key)));
                         }
-                        Footprint::Certifier { origin } => {
+                        Footprint::Certifier { groups: _, origin } => {
                             let key = Key {
                                 at: t + lan_hop_us,
                                 rank,
@@ -1601,14 +2095,92 @@ impl ParallelDriver {
             jobs[self.job_of[*replica]].items.push((key, *txn));
         }
 
-        let pooled =
-            jobs.len() >= 2 && self.effective >= 2 && n_steps as usize >= self.min_dispatch;
+        // Certification checks count toward the dispatch economics like
+        // steps: a window with one replica job and one cert job still
+        // overlaps (checks run while the merge replays steps).
+        let n_cert_jobs = cand_mask.count_ones() as usize;
+        let pooled = jobs.len() + n_cert_jobs >= 2
+            && self.effective >= 2
+            && (n_steps + n_checks) as usize >= self.min_dispatch;
         self.stats.observe_window(
             n_steps,
             child_rank_base - n_steps,
             jobs.len() as u64,
             pooled,
         );
+        let mut cert_jobs: Vec<CertJob> = Vec::new();
+        if pooled {
+            // Resolve each eligible send into its group's cert job, in pop
+            // order; the batch slot becomes the check's replay marker.
+            self.stats.certifier_sharded += n_checks;
+            self.stats.certifier_inline += n_cert_inline;
+            if n_cert_jobs > 0 {
+                self.cert_job_of.clear();
+                self.cert_job_of
+                    .resize(state.cert_group_count(), usize::MAX);
+                cert_jobs.reserve(n_cert_jobs);
+                for (rank, (at, item)) in self.batch.iter_mut().enumerate() {
+                    if !matches!(item, WinItem::CertSend { .. }) {
+                        continue;
+                    }
+                    let WinItem::CertSend {
+                        replica,
+                        txn,
+                        ws,
+                        groups,
+                    } = std::mem::replace(item, WinItem::CertCheck { group: 0 })
+                    else {
+                        unreachable!()
+                    };
+                    let g = groups.trailing_zeros() as usize;
+                    *item = WinItem::CertCheck { group: g };
+                    if self.cert_job_of[g] == usize::MAX {
+                        self.cert_job_of[g] = cert_jobs.len();
+                        cert_jobs.push(CertJob {
+                            group: g,
+                            shard: None, // Resolved at dispatch.
+                            checks: self.merge.checks_pool.pop().unwrap_or_default(),
+                            recs: self.merge.recs_pool.pop().unwrap_or_default(),
+                        });
+                    }
+                    let gsnap = state.cert_gsnap(g, ws.snapshot.version);
+                    cert_jobs[self.cert_job_of[g]].checks.push(CertCheckItem {
+                        key: Key {
+                            at: *at,
+                            rank: rank as u64,
+                        },
+                        replica,
+                        txn,
+                        ws,
+                        gsnap,
+                    });
+                }
+            }
+        } else {
+            // Inline windows never form cert jobs: demote every eligible
+            // send back to a deferred stopper.
+            self.stats.certifier_inline += n_cert_inline + n_checks;
+            for (_, item) in self.batch.iter_mut() {
+                if !matches!(item, WinItem::CertSend { .. }) {
+                    continue;
+                }
+                let WinItem::CertSend {
+                    replica,
+                    txn,
+                    ws,
+                    groups,
+                } = std::mem::replace(item, WinItem::CertCheck { group: 0 })
+                else {
+                    unreachable!()
+                };
+                *item = WinItem::Deferred(Ev::CertifySend {
+                    replica,
+                    txn,
+                    ws,
+                    groups,
+                });
+            }
+        }
         if pooled {
             if self.run_len == 0 {
                 self.stats.runs += 1;
@@ -1617,16 +2189,23 @@ impl ParallelDriver {
             self.stats.max_run_windows = self.stats.max_run_windows.max(self.run_len);
             let workers = self.workers;
             let replicas = state.config.replicas;
+            let cert_groups = state.cert_group_count();
             let ParallelDriver {
                 pool,
                 lease,
                 merge,
                 stats,
                 batch,
+                min_dispatch,
+                auto_tune,
+                tune_windows,
+                tune_stall_ns,
+                tune_steps,
+                tune_busy0,
                 ..
             } = self;
-            let pool = pool.get_or_insert_with(|| WorkerPool::new(workers, replicas));
-            let n_jobs = jobs.len();
+            let pool = pool.get_or_insert_with(|| WorkerPool::new(workers, replicas, cert_groups));
+            let pending = jobs.len() + cert_jobs.len();
             for mut job in jobs {
                 match lease[job.replica] {
                     NodeLoc::Home => {
@@ -1641,12 +2220,44 @@ impl ParallelDriver {
                 }
                 pool.send_job(job);
             }
-            let mut feed = ShardFeed::new(Some(&*pool), lease, n_jobs);
+            for mut cj in cert_jobs {
+                match lease[replicas + cj.group] {
+                    NodeLoc::Home => {
+                        cj.shard = Some(state.take_cert_shard(cj.group));
+                        lease[replicas + cj.group] =
+                            NodeLoc::AtWorker(pool.worker_of_cert(cj.group));
+                    }
+                    NodeLoc::AtWorker(_) => {
+                        stats.leases_retained += 1;
+                    }
+                }
+                pool.send_cert_job(cj);
+            }
+            let mut feed = ShardFeed::new(Some(&*pool), lease, replicas, pending);
             merge_window(batch, Vec::new(), &mut feed, state, queue, merge);
             stats.observe_handoff(feed.stall_ns);
             stats.recalls += feed.recalls;
             if feed.overlapped {
                 stats.pipelined += 1;
+            }
+            if *auto_tune {
+                // Satellite: retune the dispatch threshold from the
+                // measured handoff stalls — seeded after the first few
+                // pooled windows, refreshed periodically. Wall-clock only;
+                // simulation results never depend on the threshold.
+                *tune_windows += 1;
+                *tune_stall_ns += feed.stall_ns;
+                *tune_steps += n_steps;
+                if *tune_windows == 8 || *tune_windows % 32 == 0 {
+                    let (_, _, _, busy) = pool.counters.snapshot();
+                    *min_dispatch = tuned_min_dispatch(
+                        *tune_stall_ns,
+                        *tune_windows,
+                        busy.saturating_sub(*tune_busy0),
+                        *tune_steps,
+                        Self::MIN_DISPATCH,
+                    );
+                }
             }
         } else {
             let mut ready = Vec::with_capacity(jobs.len());
@@ -1657,6 +2268,7 @@ impl ParallelDriver {
                 job.node = Some(state.take_node(job.replica));
                 ready.push(run_shard(job, &mut self.agenda));
             }
+            let replicas = state.config.replicas;
             let ParallelDriver {
                 pool,
                 lease,
@@ -1665,7 +2277,7 @@ impl ParallelDriver {
                 batch,
                 ..
             } = self;
-            let mut feed = ShardFeed::new(pool.as_ref(), lease, 0);
+            let mut feed = ShardFeed::new(pool.as_ref(), lease, replicas, 0);
             merge_window(batch, ready, &mut feed, state, queue, merge);
             stats.recalls += feed.recalls;
         }
@@ -1683,13 +2295,20 @@ impl Driver for ParallelDriver {
         // numbers are reported as deltas from this snapshot.
         self.stats = DriverStats::default();
         self.lease.clear();
-        self.lease.resize(state.config.replicas, NodeLoc::Home);
+        self.lease.resize(
+            state.config.replicas + state.cert_group_count(),
+            NodeLoc::Home,
+        );
         self.run_len = 0;
         let counters0 = self
             .pool
             .as_ref()
             .map(|p| p.counters.snapshot())
             .unwrap_or_default();
+        self.tune_windows = 0;
+        self.tune_stall_ns = 0;
+        self.tune_steps = 0;
+        self.tune_busy0 = counters0.3;
         let result = loop {
             if state.ended() {
                 break Ok(());
@@ -1699,6 +2318,12 @@ impl Driver for ParallelDriver {
             };
             match ev {
                 Ev::StepTxn { .. } => self.run_window(state, queue, now, ev),
+                // Under sharded certification, a certify send is a window
+                // starter too: bursts of near-simultaneous sends form
+                // cert-heavy windows whose per-group checks run on the pool.
+                Ev::CertifySend { .. } if state.cert_group_count() > 0 => {
+                    self.run_window(state, queue, now, ev)
+                }
                 ev => {
                     // A between-window stopper: pull home exactly the nodes
                     // its handler can touch. An all-nodes demand is a true
@@ -1706,6 +2331,7 @@ impl Driver for ParallelDriver {
                     match ev.footprint().demand() {
                         NodeDemand::NoNode => {}
                         NodeDemand::Node(r) => self.recall_node(state, r),
+                        NodeDemand::CertGroups(mask) => self.recall_cert_groups(state, mask),
                         NodeDemand::AllNodes => self.recall_all(state),
                     }
                     state.handle(now, ev, queue);
@@ -1870,7 +2496,7 @@ mod tests {
     ) {
         let mut batch = batch;
         let mut lease = vec![NodeLoc::Home; state.config.replicas];
-        let mut feed = ShardFeed::new(None, &mut lease, 0);
+        let mut feed = ShardFeed::new(None, &mut lease, state.config.replicas, 0);
         merge_window(
             &mut batch,
             results,
@@ -2193,7 +2819,7 @@ mod tests {
     fn worker_panics_propagate_from_the_persistent_pool() {
         let (mut state, _queue) = tiny_state();
         let t = SimTime::from_micros(100);
-        let pool = WorkerPool::new(2, state.config.replicas);
+        let pool = WorkerPool::new(2, state.config.replicas, 0);
         pool.send_job(Job {
             replica: 0,
             node: Some(state.take_node(0)),
@@ -2249,7 +2875,7 @@ mod tests {
     /// check the accounting says "parked", not "spinning".
     #[test]
     fn idle_workers_park_instead_of_spinning() {
-        let pool = WorkerPool::new(2, 1);
+        let pool = WorkerPool::new(2, 1, 0);
         let counters = Arc::clone(&pool.counters);
         std::thread::sleep(std::time::Duration::from_millis(30));
         drop(pool); // Unparks and joins; parked time is banked on wake-up.
@@ -2305,5 +2931,27 @@ mod tests {
         assert_eq!(stats.handoff_ns_hist[1], 1);
         assert_eq!(stats.handoff_ns_hist[4], 1);
         assert_eq!(stats.handoff_ns_hist[HANDOFF_HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn tuned_min_dispatch_follows_the_stall_to_step_ratio() {
+        // No samples yet (or degenerate counters): keep the fallback.
+        assert_eq!(tuned_min_dispatch(0, 0, 0, 0, 8), 8);
+        assert_eq!(tuned_min_dispatch(1_000, 4, 0, 100, 8), 8);
+        assert_eq!(tuned_min_dispatch(1_000, 4, 100, 0, 8), 8);
+        // 1000 ns stall per window over 100 ns busy per step: a window
+        // needs ~10 steps before dispatch amortizes its handoff.
+        assert_eq!(tuned_min_dispatch(4_000, 4, 10_000, 100, 8), 10);
+        // Cheap handoffs clamp up to 2 (never dispatch singletons)...
+        assert_eq!(tuned_min_dispatch(1, 1, 1_000_000, 1_000, 8), 2);
+        // ...and pathological stalls clamp down to 64 (never give up on
+        // dispatch entirely).
+        assert_eq!(tuned_min_dispatch(u64::MAX / 2, 1, 1_000, 1_000, 8), 64);
+    }
+
+    #[test]
+    fn auto_tune_is_on_by_default_and_off_under_an_explicit_threshold() {
+        assert!(ParallelDriver::new(2).auto_tune);
+        assert!(!ParallelDriver::new(2).with_min_dispatch(5).auto_tune);
     }
 }

@@ -52,8 +52,14 @@ pub enum Footprint {
     /// The handler touches only certifier-side state; its consequence (a
     /// `CertifyReturn`) reaches `origin`'s node no earlier than one LAN hop
     /// after the event (`CertifySend`). Deferrable with a barrier on
-    /// `origin` at `t + lan_hop_us`.
+    /// `origin` at `t + lan_hop_us`. Under sharded certification `groups`
+    /// is the bitmask of certifier groups the writeset touches (the
+    /// handler's conflict checks run against exactly those shards, which
+    /// may be leased to pool workers); `0` means the unified certifier,
+    /// whose state never leaves the coordinator.
     Certifier {
+        /// Touched certifier groups (bitmask; `0` = unified certifier).
+        groups: u64,
         /// The replica the certifier's answer returns to.
         origin: usize,
     },
@@ -94,6 +100,10 @@ pub enum NodeDemand {
     NoNode,
     /// The handler touches exactly this replica's node.
     Node(usize),
+    /// The handler touches the certifier shards in this group bitmask
+    /// (sharded certification: the shards may be leased to pool workers
+    /// and must come home first). It reads no replica node.
+    CertGroups(u64),
     /// The handler may touch any node (balancer dispatch, faults,
     /// placement changes, run control).
     AllNodes,
@@ -105,7 +115,8 @@ impl Footprint {
     pub fn demand(&self) -> NodeDemand {
         match self {
             Footprint::Replica(r) => NodeDemand::Node(*r),
-            Footprint::Certifier { .. } => NodeDemand::NoNode,
+            Footprint::Certifier { groups: 0, .. } => NodeDemand::NoNode,
+            Footprint::Certifier { groups, .. } => NodeDemand::CertGroups(*groups),
             Footprint::Dispatch | Footprint::Global => NodeDemand::AllNodes,
         }
     }
@@ -137,6 +148,11 @@ pub enum Ev {
         txn: TxnId,
         /// The writeset.
         ws: Writeset,
+        /// Certifier groups the writeset touches, as a bitmask computed at
+        /// send time from the run's `CertMap` (`0` under the unified
+        /// certifier). A single set bit certifies against one shard; more
+        /// bits run the cross-group atomic-commitment round.
+        groups: u64,
     },
     /// The certifier's response reaches the replica.
     CertifyReturn {
@@ -207,9 +223,23 @@ pub enum Ev {
     },
     /// Kill a certifier-group member. Killing the leader elects a backup
     /// after the failover delay; certification requests arriving in the gap
-    /// wait for the new leader (§4.4).
+    /// wait for the new leader (§4.4). If *every* member of the group is
+    /// dead, requests queue at the link and drain when a member restarts
+    /// ([`Ev::CertifierRestart`]) — back-pressure, never spurious aborts.
     CertifierKill {
+        /// Certifier group index (always `0` under the unified certifier).
+        group: usize,
         /// Group member index (the initial leader is member 0).
+        member: usize,
+    },
+    /// Restart a dead certifier-group member. If the group had no live
+    /// members, the restarted member is elected leader after the failover
+    /// delay and the requests queued during the outage drain through it in
+    /// arrival order.
+    CertifierRestart {
+        /// Certifier group index (always `0` under the unified certifier).
+        group: usize,
+        /// Group member index.
         member: usize,
     },
     /// Under partial replication: copy a relation group onto one more live
@@ -263,7 +293,12 @@ impl Ev {
             | Ev::CertifyReturn { replica, .. }
             | Ev::Maintenance { replica, .. }
             | Ev::TxnComplete { replica, .. } => Footprint::Replica(*replica),
-            Ev::CertifySend { replica, .. } => Footprint::Certifier { origin: *replica },
+            Ev::CertifySend {
+                replica, groups, ..
+            } => Footprint::Certifier {
+                groups: *groups,
+                origin: *replica,
+            },
             Ev::ClientArrive { .. } | Ev::TxnRetry { .. } => Footprint::Dispatch,
             Ev::LbTick
             | Ev::MixSwitch { .. }
@@ -271,6 +306,7 @@ impl Ev {
             | Ev::ReplicaCrash { .. }
             | Ev::ReplicaRecover { .. }
             | Ev::CertifierKill { .. }
+            | Ev::CertifierRestart { .. }
             | Ev::Rereplicate { .. }
             | Ev::EndWarmup
             | Ev::End => Footprint::Global,
@@ -333,17 +369,39 @@ mod tests {
 
     #[test]
     fn certify_send_is_certifier_only_with_an_origin() {
+        let ws = Writeset::new(
+            TxnId(9),
+            tashkent_engine::TxnTypeId(0),
+            tashkent_engine::Snapshot::at(Version(0)),
+            Vec::new(),
+        );
         let ev = Ev::CertifySend {
             replica: 4,
             txn: TxnId(9),
-            ws: Writeset::new(
-                TxnId(9),
-                tashkent_engine::TxnTypeId(0),
-                tashkent_engine::Snapshot::at(Version(0)),
-                Vec::new(),
-            ),
+            ws: ws.clone(),
+            groups: 0,
         };
-        assert_eq!(ev.footprint(), Footprint::Certifier { origin: 4 });
+        assert_eq!(
+            ev.footprint(),
+            Footprint::Certifier {
+                groups: 0,
+                origin: 4
+            }
+        );
+        // Sharded: the touched-group mask rides on the footprint.
+        let sharded = Ev::CertifySend {
+            replica: 4,
+            txn: TxnId(9),
+            ws,
+            groups: 0b101,
+        };
+        assert_eq!(
+            sharded.footprint(),
+            Footprint::Certifier {
+                groups: 0b101,
+                origin: 4
+            }
+        );
     }
 
     #[test]
@@ -370,7 +428,14 @@ mod tests {
             Ev::FreezeLb,
             Ev::ReplicaCrash { replica: 0 },
             Ev::ReplicaRecover { replica: 0 },
-            Ev::CertifierKill { member: 0 },
+            Ev::CertifierKill {
+                group: 0,
+                member: 0,
+            },
+            Ev::CertifierRestart {
+                group: 0,
+                member: 0,
+            },
             Ev::Rereplicate { group: 0 },
             Ev::EndWarmup,
             Ev::End,
@@ -382,11 +447,25 @@ mod tests {
 
     #[test]
     fn node_demand_tracks_the_footprint_except_for_dispatch() {
-        // Replica handlers demand their one node; certifier handlers none.
+        // Replica handlers demand their one node; the unified certifier
+        // (groups mask 0) demands none; sharded certification demands the
+        // touched shards home.
         assert_eq!(Footprint::Replica(3).demand(), NodeDemand::Node(3));
         assert_eq!(
-            Footprint::Certifier { origin: 2 }.demand(),
+            Footprint::Certifier {
+                groups: 0,
+                origin: 2
+            }
+            .demand(),
             NodeDemand::NoNode
+        );
+        assert_eq!(
+            Footprint::Certifier {
+                groups: 0b110,
+                origin: 2
+            }
+            .demand(),
+            NodeDemand::CertGroups(0b110)
         );
         // Dispatch defers like a two-hop barrier but admits onto a
         // balancer-chosen node the instant its handler runs — it must pull

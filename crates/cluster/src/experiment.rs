@@ -14,7 +14,7 @@ use tashkent_sim::SimTime;
 use tashkent_workloads::tpcw::TpcwScale;
 use tashkent_workloads::{rubis, tpcw, Mix, Workload};
 
-use crate::config::{ClusterConfig, PlacementSpec, PolicySpec};
+use crate::config::{CertifierSharding, ClusterConfig, PlacementSpec, PolicySpec};
 use crate::driver::{DriverKind, RunError};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
@@ -154,6 +154,10 @@ pub struct ScenarioKnobs {
     /// full replication; `Some(n)` with `n >= replicas` is the degenerate
     /// full-replication case and reproduces `None` results bit for bit.
     pub min_copies: Option<usize>,
+    /// Certifier sharding: maximum certifier groups. `None` keeps the
+    /// single unified certifier; `Some(1)` is the degenerate sharded case
+    /// and reproduces unified results bit for bit.
+    pub cert_groups: Option<usize>,
 }
 
 impl Default for ScenarioKnobs {
@@ -169,6 +173,7 @@ impl Default for ScenarioKnobs {
             seed: 42,
             driver: DriverKind::Sequential,
             min_copies: None,
+            cert_groups: None,
         }
     }
 }
@@ -210,6 +215,12 @@ impl ScenarioKnobs {
         self
     }
 
+    /// Sets (or clears) the certifier-sharding group cap.
+    pub fn with_cert_groups(mut self, cert_groups: Option<usize>) -> Self {
+        self.cert_groups = cert_groups;
+        self
+    }
+
     /// The cluster configuration these knobs describe, under `default`
     /// policy when no override is set.
     pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
@@ -223,6 +234,10 @@ impl ScenarioKnobs {
         config.placement = match self.min_copies {
             Some(min_copies) => PlacementSpec::Partial { min_copies },
             None => PlacementSpec::Full,
+        };
+        config.certifier_sharding = match self.cert_groups {
+            Some(max_groups) => CertifierSharding::Sharded { max_groups },
+            None => CertifierSharding::Unified,
         };
         config
     }

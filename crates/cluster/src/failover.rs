@@ -115,7 +115,10 @@ impl Scenario for Failover {
         if self.kill_certifier_leader {
             exp = exp.with_injection(
                 SimTime::from_secs(sched.leader_kill_at_secs),
-                Ev::CertifierKill { member: 0 },
+                Ev::CertifierKill {
+                    group: 0,
+                    member: 0,
+                },
             );
         }
         exp
@@ -180,7 +183,10 @@ mod tests {
             vec![
                 FaultKind::ReplicaCrash(victim),
                 FaultKind::ReplicaRecover(victim),
-                FaultKind::CertifierFailover(1),
+                FaultKind::CertifierFailover {
+                    group: 0,
+                    leader: 1
+                },
             ]
         );
         assert_eq!(

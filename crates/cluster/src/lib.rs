@@ -43,7 +43,7 @@ pub mod sync;
 pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
-pub use config::{ClusterConfig, PlacementSpec, PolicySpec};
+pub use config::{CertifierSharding, ClusterConfig, PlacementSpec, PolicySpec};
 pub use driver::{
     Driver, DriverKind, DriverStats, ParallelDriver, RunError, SequentialDriver,
     HANDOFF_HIST_BUCKETS, WINDOW_HIST_BUCKETS,

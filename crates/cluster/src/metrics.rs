@@ -22,8 +22,15 @@ pub enum FaultKind {
     ReplicaCrash(usize),
     /// A replica finished log-replay recovery and rejoined dispatch (index).
     ReplicaRecover(usize),
-    /// The certifier group elected a new leader (index) after a kill.
-    CertifierFailover(usize),
+    /// A certifier group elected a new leader after a kill (or after a
+    /// revival drained its wait queue). `group` is 0 under unified
+    /// certification, where there is exactly one group.
+    CertifierFailover {
+        /// Certifier-group index (always 0 under unified certification).
+        group: usize,
+        /// Index of the newly elected leader within the group.
+        leader: usize,
+    },
     /// Partial replication: relation group `group` was re-replicated onto
     /// replica `to` via certifier-log backfill (a crash dropped it below
     /// `min_copies` live holders, or an explicit `Rereplicate` event fired).
@@ -203,6 +210,7 @@ impl Metrics {
             propagated_ws_bytes: 0,
             filtered_ws_bytes: 0,
             driver_stats: None,
+            cert_group_commits: Vec::new(),
             faults: self.faults.clone(),
             per_type: self
                 .per_type
@@ -265,6 +273,12 @@ pub struct RunResult {
     /// the run executed — window sizes, deferral, pooling — and is
     /// therefore excluded from cross-driver equivalence fingerprints.
     pub driver_stats: Option<DriverStats>,
+    /// Per-certifier-group global commit versions, in group-local commit
+    /// order (filled by `World::finish_result`; empty under unified
+    /// certification). Part of the observable result: cross-driver
+    /// equivalence includes each group's log, so a driver that reordered
+    /// sharded certification would be caught.
+    pub cert_group_commits: Vec<Vec<u64>>,
     /// Injected faults as they took effect, in order, over the whole run
     /// (crashes, recoveries, certifier failovers).
     pub faults: Vec<FaultEvent>,

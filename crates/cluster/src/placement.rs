@@ -34,7 +34,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use tashkent_core::WorkingSetEstimator;
-use tashkent_engine::TxnTypeId;
+use tashkent_engine::{TxnTypeId, Writeset};
 use tashkent_replica::UpdateFilter;
 use tashkent_storage::RelationId;
 use tashkent_workloads::Workload;
@@ -315,6 +315,116 @@ impl ReplicationPlanner {
     }
 }
 
+/// Assigns every relation to exactly one *certifier group* — the sharding
+/// unit of certification. Groups are derived from the same distinct
+/// transaction-type relation sets the [`ReplicationPlanner`] places (the
+/// PR 4 placement unit), folded down to at most `max_groups` groups; a
+/// relation shared by several relation sets is owned by the lowest-indexed
+/// one, so ownership is a function — each item has exactly one certifying
+/// group, which is what makes the sharded conflict probe equivalent to the
+/// global one.
+#[derive(Debug, Clone)]
+pub struct CertMap {
+    n_groups: usize,
+    /// Owning certifier group per referenced relation; unreferenced
+    /// relations (never written) default to group 0.
+    owner: BTreeMap<RelationId, usize>,
+}
+
+/// Hard cap on certifier groups: touched-group sets travel as `u64`
+/// bitmasks through events and the driver.
+pub const MAX_CERT_GROUPS: usize = 64;
+
+impl CertMap {
+    /// Derives the certifier-group map for `workload`, folding the distinct
+    /// relation sets down to at most `max_groups` (clamped to
+    /// `[1, MAX_CERT_GROUPS]`) groups round-robin by relation-set index.
+    pub fn build(workload: &Workload, max_groups: usize) -> Self {
+        let catalog = &workload.catalog;
+        let estimator = WorkingSetEstimator::new(catalog);
+        // The same distinct-relation-set derivation as
+        // `ReplicationPlanner::plan`, in first-seen type order.
+        let mut rel_sets: Vec<BTreeSet<RelationId>> = Vec::new();
+        let mut seen: BTreeMap<BTreeSet<RelationId>, usize> = BTreeMap::new();
+        for t in &workload.types {
+            let ws = estimator.estimate(t.id, &workload.explain(t.id));
+            let mut rels: BTreeSet<RelationId> = ws.relations.keys().copied().collect();
+            for rel in rels.clone() {
+                let meta = catalog.get(rel);
+                if let Some(table) = meta.table {
+                    rels.insert(table);
+                }
+                for idx in catalog.indices_of(rel) {
+                    rels.insert(idx.id);
+                }
+            }
+            if rels.is_empty() {
+                continue;
+            }
+            if !seen.contains_key(&rels) {
+                seen.insert(rels.clone(), rel_sets.len());
+                rel_sets.push(rels);
+            }
+        }
+        let fold = rel_sets
+            .len()
+            .min(max_groups.clamp(1, MAX_CERT_GROUPS))
+            .max(1);
+        let mut owner: BTreeMap<RelationId, usize> = BTreeMap::new();
+        for (idx, rels) in rel_sets.iter().enumerate() {
+            for rel in rels {
+                owner.entry(*rel).or_insert(idx % fold);
+            }
+        }
+        // Compact away groups left owning nothing (every relation of their
+        // sets was claimed by a lower-indexed set): each surviving group
+        // must own at least one relation or it would never see traffic.
+        let mut remap = vec![usize::MAX; fold];
+        let mut n_groups = 0;
+        for g in owner.values() {
+            if remap[*g] == usize::MAX {
+                remap[*g] = 0; // mark; ids assigned in ascending group order
+            }
+        }
+        for slot in &mut remap {
+            if *slot == 0 {
+                *slot = n_groups;
+                n_groups += 1;
+            }
+        }
+        for g in owner.values_mut() {
+            *g = remap[*g];
+        }
+        CertMap {
+            n_groups: n_groups.max(1),
+            owner,
+        }
+    }
+
+    /// Number of certifier groups (1 ..= [`MAX_CERT_GROUPS`]).
+    pub fn group_count(&self) -> usize {
+        self.n_groups
+    }
+
+    /// The certifier group owning `rel`.
+    pub fn group_of_rel(&self, rel: RelationId) -> usize {
+        self.owner.get(&rel).copied().unwrap_or(0)
+    }
+
+    /// Bitmask of the certifier groups `ws` touches. Empty writesets
+    /// certify against group 0 (any single group works; 0 is canonical).
+    pub fn mask_for(&self, ws: &Writeset) -> u64 {
+        if ws.items.is_empty() {
+            return 1;
+        }
+        let mut mask = 0u64;
+        for item in &ws.items {
+            mask |= 1 << self.group_of_rel(item.rel);
+        }
+        mask
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +559,64 @@ mod tests {
         for r in 0..8 {
             assert!(map.holds(r, ghost));
         }
+    }
+
+    fn tpcw_cert_map(max_groups: usize) -> CertMap {
+        let (workload, _) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        CertMap::build(&workload, max_groups)
+    }
+
+    #[test]
+    fn cert_map_is_a_total_single_owner_function() {
+        let cert = tpcw_cert_map(8);
+        assert!(cert.group_count() >= 2, "TPC-W must shard into >1 group");
+        assert!(cert.group_count() <= MAX_CERT_GROUPS);
+        for g in cert.owner.values() {
+            assert!(*g < cert.group_count());
+        }
+        // Unreferenced relations fall to group 0.
+        assert_eq!(cert.group_of_rel(RelationId(10_000)), 0);
+    }
+
+    #[test]
+    fn cert_map_degenerates_to_one_group() {
+        let cert = tpcw_cert_map(1);
+        assert_eq!(cert.group_count(), 1);
+        let (workload, _) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        use tashkent_engine::{Snapshot, TxnId, Version, WritesetItem};
+        for rel in 0..workload.catalog.len() as u32 {
+            assert_eq!(cert.group_of_rel(RelationId(rel)), 0);
+        }
+        let ws = Writeset::new(
+            TxnId(1),
+            TxnTypeId(0),
+            Snapshot::at(Version(0)),
+            vec![WritesetItem {
+                rel: RelationId(3),
+                row: 9,
+            }],
+        );
+        assert_eq!(cert.mask_for(&ws), 1);
+        let empty = Writeset::new(TxnId(2), TxnTypeId(0), Snapshot::at(Version(0)), Vec::new());
+        assert_eq!(empty.items.len(), 0);
+        assert_eq!(cert.mask_for(&empty), 1, "empty writesets use group 0");
+    }
+
+    #[test]
+    fn cert_masks_cover_every_type_and_are_deterministic() {
+        let (workload, _) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let a = CertMap::build(&workload, 8);
+        let b = CertMap::build(&workload, 8);
+        assert_eq!(a.group_count(), b.group_count());
+        let mut union = 0u64;
+        for rel in &a.owner {
+            assert_eq!(Some(rel.1), b.owner.get(rel.0));
+            union |= 1 << *rel.1;
+        }
+        assert_eq!(
+            union.count_ones() as usize,
+            a.group_count(),
+            "every group must own at least one relation"
+        );
     }
 }

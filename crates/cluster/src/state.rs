@@ -16,8 +16,9 @@
 //! runtimes) plug into.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use tashkent_certifier::Certifier;
+use tashkent_certifier::{CertShard, Certifier, ShardCheck};
 use tashkent_core::{LoadBalancer, ReplicaId, ResourceLoad};
 use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version};
 use tashkent_replica::{ReplicaNode, UpdateFilter};
@@ -25,11 +26,11 @@ use tashkent_sim::{EventQueue, SimRng, SimTime};
 use tashkent_workloads::{ClientPool, Mix, Workload};
 
 use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
-use crate::config::{ClusterConfig, PlacementSpec};
+use crate::config::{CertifierSharding, ClusterConfig, PlacementSpec};
 use crate::driver::DriverStats;
 use crate::events::Ev;
 use crate::metrics::{GroupSnapshot, Metrics};
-use crate::placement::{PlacementMap, ReplicationPlanner};
+use crate::placement::{CertMap, PlacementMap, ReplicationPlanner};
 
 /// Bookkeeping for one in-flight transaction.
 struct TxnMeta {
@@ -133,7 +134,32 @@ impl ClusterState {
             }
             balancer.set_type_eligibility(Some(p.type_masks(workload.types.len())));
         }
-        let certifier = CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us);
+        // Sharded certification: derive the relation → certifier-group map
+        // from the workload, stamp it onto every node (so outgoing
+        // `CertifySend`s carry their touched-group bitmask), and build the
+        // sharded link around it.
+        let cert_map = match config.certifier_sharding {
+            CertifierSharding::Unified => None,
+            CertifierSharding::Sharded { max_groups } => {
+                Some(Arc::new(CertMap::build(&workload, max_groups)))
+            }
+        };
+        let certifier = match &cert_map {
+            Some(map) => {
+                for slot in nodes.iter_mut() {
+                    slot.as_mut()
+                        .expect("nodes are present at build time")
+                        .set_cert_map(Arc::clone(map));
+                }
+                CertifierLink::new_sharded(
+                    config.certifier,
+                    config.replicas,
+                    config.lan_hop_us,
+                    Arc::clone(map),
+                )
+            }
+            None => CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us),
+        };
         let clients = ClientPool::new(config.clients, config.think_mean_us);
         ClusterState {
             balancer,
@@ -277,6 +303,47 @@ impl ClusterState {
         self.certifier.group()
     }
 
+    /// The full certifier link (tests and alternate drivers).
+    pub fn cert_link(&self) -> &CertifierLink {
+        &self.certifier
+    }
+
+    /// Number of certifier groups (0 under unified certification).
+    pub fn cert_group_count(&self) -> usize {
+        self.certifier.cert_group_count()
+    }
+
+    /// Group `g`'s `gsnap` for a snapshot version (sharded certification;
+    /// see [`CertifierLink::cert_gsnap`]).
+    pub fn cert_gsnap(&self, g: usize, snapshot: Version) -> u64 {
+        self.certifier.cert_gsnap(g, snapshot)
+    }
+
+    /// Leases certifier group `g`'s shard out (to a driver worker).
+    pub fn take_cert_shard(&mut self, g: usize) -> Box<CertShard> {
+        self.certifier.take_cert_shard(g)
+    }
+
+    /// Returns a leased certification shard.
+    pub fn put_cert_shard(&mut self, g: usize, shard: Box<CertShard>) {
+        self.certifier.put_cert_shard(g, shard)
+    }
+
+    /// Replays the coordinator decide for a worker-executed single-group
+    /// certification check (see [`CertifierLink::certify_decide`]).
+    pub fn certify_decide(
+        &mut self,
+        group: usize,
+        replica: usize,
+        txn: TxnId,
+        ws: tashkent_engine::Writeset,
+        check: ShardCheck,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        self.certifier
+            .certify_decide(group, replica, txn, ws, check, queue)
+    }
+
     /// Total CPU and disk busy microseconds across replicas.
     fn busy_totals(&self) -> (u64, u64) {
         let mut cpu = 0;
@@ -312,6 +379,7 @@ impl ClusterState {
         result.propagated_ws_bytes = sent.saturating_sub(self.prop0.0);
         result.filtered_ws_bytes = saved.saturating_sub(self.prop0.1);
         result.driver_stats = self.driver_stats;
+        result.cert_group_commits = self.certifier.cert_group_commits();
         result
     }
 
@@ -364,9 +432,12 @@ impl ClusterState {
         match ev {
             Ev::ClientArrive { client } => self.on_client_arrive(now, client, queue),
             Ev::StepTxn { replica, txn } => self.node_mut(replica).on_step(now, txn, queue),
-            Ev::CertifySend { replica, txn, ws } => {
-                self.certifier.on_send(now, replica, txn, ws, queue)
-            }
+            Ev::CertifySend {
+                replica,
+                txn,
+                ws,
+                groups,
+            } => self.certifier.on_send(now, replica, txn, ws, groups, queue),
             Ev::CertifyReturn {
                 replica,
                 txn,
@@ -413,12 +484,26 @@ impl ClusterState {
             Ev::FreezeLb => self.balancer.freeze(),
             Ev::ReplicaCrash { replica } => self.on_replica_crash(now, replica, queue),
             Ev::ReplicaRecover { replica } => self.on_replica_recover(now, replica),
-            Ev::CertifierKill { member } => {
+            Ev::CertifierKill { group, member } => {
                 if let Some(tashkent_certifier::GroupEvent::FailedOver { leader, .. }) =
-                    self.certifier.on_kill(now, member)
+                    self.certifier.on_kill(now, group, member)
                 {
-                    self.metrics
-                        .record_fault(now, crate::metrics::FaultKind::CertifierFailover(leader));
+                    self.metrics.record_fault(
+                        now,
+                        crate::metrics::FaultKind::CertifierFailover { group, leader },
+                    );
+                }
+            }
+            Ev::CertifierRestart { group, member } => {
+                if let Some(tashkent_certifier::GroupEvent::FailedOver { leader, .. }) =
+                    self.certifier.on_restart(now, group, member, queue)
+                {
+                    // A revival election is a failover too: the restarted
+                    // member pays the delay before draining the wait queue.
+                    self.metrics.record_fault(
+                        now,
+                        crate::metrics::FaultKind::CertifierFailover { group, leader },
+                    );
                 }
             }
             Ev::EndWarmup => self.on_end_warmup(now),

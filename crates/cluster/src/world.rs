@@ -124,6 +124,12 @@ impl World {
         self.state.certifier_group()
     }
 
+    /// The full certifier link — per-group state under sharded
+    /// certification (tests and metrics).
+    pub fn cert_link(&self) -> &crate::components::CertifierLink {
+        self.state.cert_link()
+    }
+
     /// Finalizes the run into a [`RunResult`], including mean CPU/disk
     /// utilizations over the measurement window.
     pub fn finish_result(&self) -> RunResult {

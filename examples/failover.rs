@@ -41,8 +41,8 @@ fn main() {
             FaultKind::ReplicaRecover(r) => {
                 format!("replica {r} replayed the certifier log and rejoined")
             }
-            FaultKind::CertifierFailover(l) => {
-                format!("certifier leader died; member {l} elected after 200 ms")
+            FaultKind::CertifierFailover { group, leader } => {
+                format!("certifier group {group} leader died; member {leader} elected after 200 ms")
             }
             FaultKind::Rereplicate { group, to } => {
                 format!("relation group {group} re-replicated onto replica {to}")

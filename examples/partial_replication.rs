@@ -73,7 +73,9 @@ fn main() {
             FaultKind::ReplicaRecover(r) => {
                 format!("replica {r} replayed its held groups and rejoined")
             }
-            FaultKind::CertifierFailover(l) => format!("certifier failed over to member {l}"),
+            FaultKind::CertifierFailover { group, leader } => {
+                format!("certifier group {group} failed over to member {leader}")
+            }
             FaultKind::Rereplicate { group, to } => format!(
                 "group {group} dropped below {min_copies} live holders -> backfilled onto replica {to}"
             ),

@@ -28,6 +28,10 @@ struct Fingerprint {
     /// Partial-replication propagation accounting, exact to the byte.
     propagated_ws_bytes: u64,
     filtered_ws_bytes: u64,
+    /// Sharded certification: per-group global commit versions, ascending
+    /// — the decide order itself is part of the contract (empty under the
+    /// unified certifier).
+    cert_group_commits: Vec<Vec<u64>>,
 }
 
 impl Fingerprint {
@@ -46,6 +50,7 @@ impl Fingerprint {
             faults: r.faults.clone(),
             propagated_ws_bytes: r.propagated_ws_bytes,
             filtered_ws_bytes: r.filtered_ws_bytes,
+            cert_group_commits: r.cert_group_commits.clone(),
         }
     }
 }
@@ -367,6 +372,44 @@ fn deferred_stoppers_stay_exact_while_transcripts_stream() {
             stats.deferred > 0 && stats.pooled > 0,
             "the streaming path must carry deferred stoppers: {stats:?}"
         );
+    }
+}
+
+#[test]
+fn sharded_certification_runs_identically_under_both_drivers() {
+    // Sharded certification across the scenario matrix: per-group commit
+    // logs and every commit decision are in the bit-exact fingerprint.
+    // Cert sends become window starters and (when eligible) worker-side
+    // checks under the parallel driver — none of which may change a single
+    // decision. The failover scenario adds a group-0 leader kill mid-run.
+    for (scenario, seed) in [
+        ("tpcw-steady-state", 1),
+        ("tpcw-steady-state", 42),
+        ("rubis-auction", 11),
+        ("failover", 5),
+    ] {
+        let knobs = ScenarioKnobs::smoke()
+            .with_seed(seed)
+            .with_cert_groups(Some(4));
+        let sequential = run_scenario(scenario, &knobs.clone().with_driver(DriverKind::Sequential))
+            .expect("sequential sharded run completes");
+        assert!(
+            !sequential.cert_group_commits.is_empty(),
+            "sharded runs must expose per-group commit logs"
+        );
+        for kind in parallel_kinds() {
+            let parallel = run_scenario(scenario, &knobs.clone().with_driver(kind))
+                .expect("parallel sharded run completes");
+            assert_eq!(
+                Fingerprint::of(&sequential),
+                Fingerprint::of(&parallel),
+                "drivers diverged on sharded {scenario} with seed {seed} under {kind:?}"
+            );
+            assert_eq!(
+                sequential.completions, parallel.completions,
+                "completion timestamps diverged on sharded {scenario} with seed {seed} under {kind:?}"
+            );
+        }
     }
 }
 

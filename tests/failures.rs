@@ -160,7 +160,10 @@ fn failover_scenario_recovers_throughput() {
         vec![
             FaultKind::ReplicaCrash(2),
             FaultKind::ReplicaRecover(2),
-            FaultKind::CertifierFailover(1),
+            FaultKind::CertifierFailover {
+                group: 0,
+                leader: 1
+            },
         ]
     );
     assert_eq!(r.faults[0].at, SimTime::from_secs(sched.crash_at_secs));
@@ -196,7 +199,13 @@ fn certifier_leader_kill_through_the_harness_fails_over() {
     let exp = Failover::default().experiment(&failover_knobs());
     let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
     world.prime();
-    world.schedule(SimTime::from_secs(3), Ev::CertifierKill { member: 0 });
+    world.schedule(
+        SimTime::from_secs(3),
+        Ev::CertifierKill {
+            group: 0,
+            member: 0,
+        },
+    );
     world.schedule(SimTime::from_secs(10), Ev::End);
     world.run_to_end().expect("End event scheduled");
     let group = world.certifier_group();
@@ -205,6 +214,117 @@ fn certifier_leader_kill_through_the_harness_fails_over() {
     assert!(
         world.certifier().version().0 > 0,
         "certification keeps serving after the failover delay"
+    );
+}
+
+/// Runs a world with every member of certifier group 0 killed at 3 s,
+/// optionally restarting member 0 at `restart_at_secs`, ending at
+/// `end_secs`.
+fn full_certifier_outage(end_secs: u64, restart_at_secs: Option<u64>) -> World {
+    let exp = Failover::default().experiment(&failover_knobs());
+    let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
+    world.prime();
+    world.schedule(SimTime::from_secs(1), Ev::EndWarmup);
+    for member in 0..3 {
+        world.schedule(
+            SimTime::from_secs(3),
+            Ev::CertifierKill { group: 0, member },
+        );
+    }
+    if let Some(at) = restart_at_secs {
+        world.schedule(
+            SimTime::from_secs(at),
+            Ev::CertifierRestart {
+                group: 0,
+                member: 0,
+            },
+        );
+    }
+    world.schedule(SimTime::from_secs(end_secs), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    world
+}
+
+#[test]
+fn dead_certifier_parks_requests_instead_of_aborting() {
+    // Queue-and-wait back-pressure: with the whole group dead, new
+    // certification requests park at the link — they are *not* failed like
+    // conflicts. No outcome of any kind can originate from the dead
+    // certifier, so the abort count must be frozen at its kill-time value:
+    // two truncations of the same outage, 1 s and 3 s in, see identical
+    // aborts (the no-spurious-aborts assertion), while requests pile up.
+    let short = full_certifier_outage(4, None);
+    let long = full_certifier_outage(6, None);
+    assert!(
+        !long.certifier_group().is_available(),
+        "all three members dead leaves the group unavailable"
+    );
+    assert!(
+        long.cert_link().waiting_certs() > 0,
+        "an unavailable certifier must park requests, not fail them"
+    );
+    assert_eq!(
+        short.finish_result().aborts,
+        long.finish_result().aborts,
+        "two extra seconds of total certifier outage produced aborts — \
+         a dead certifier must never fail requests like conflicts"
+    );
+}
+
+#[test]
+fn certifier_restart_drains_parked_requests_in_arrival_order() {
+    // The drain half: restarting one member elects it leader after the
+    // failover delay and the parked requests go through it — committing
+    // normally, in arrival order, with nothing left waiting.
+    let outage = full_certifier_outage(6, None);
+    let drained = full_certifier_outage(20, Some(6));
+    assert_eq!(
+        drained.cert_link().waiting_certs(),
+        0,
+        "queue fully drained"
+    );
+    assert!(drained.certifier_group().is_available());
+    assert!(
+        drained.certifier().version() > outage.certifier().version(),
+        "drained requests must commit after the restart"
+    );
+    assert!(
+        drained.finish_result().committed > outage.finish_result().committed,
+        "throughput resumes after the restart"
+    );
+}
+
+#[test]
+fn sharded_group_outage_parks_only_its_own_groups_requests() {
+    // Per-group back-pressure under sharded certification: killing every
+    // member of one group parks only the transactions touching it; the
+    // other groups keep certifying and the cluster keeps committing.
+    let knobs = failover_knobs().with_cert_groups(Some(4));
+    let exp = tashkent::cluster::TpcwSteadyState::default().experiment(&knobs);
+    let mut world = World::new(exp.config, exp.workload, vec![exp.phases[0].1.clone()]);
+    world.prime();
+    world.schedule(SimTime::from_secs(1), Ev::EndWarmup);
+    for member in 0..3 {
+        world.schedule(
+            SimTime::from_secs(3),
+            Ev::CertifierKill { group: 1, member },
+        );
+    }
+    world.schedule(SimTime::from_secs(10), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    assert!(!world.cert_link().group_of(1).is_available());
+    assert!(
+        world.cert_link().waiting_certs() > 0,
+        "requests touching the dead group must park"
+    );
+    let commits = world.cert_link().cert_group_commits();
+    let dead_head = commits[1].last().copied().unwrap_or(0);
+    assert!(
+        commits
+            .iter()
+            .enumerate()
+            .any(|(g, log)| g != 1 && log.last().copied().unwrap_or(0) > dead_head),
+        "the surviving groups must keep committing past the dead group's head"
     );
 }
 
