@@ -46,8 +46,19 @@ fn main() {
             FaultKind::CertifierFailover { group, leader } => {
                 format!("certifier group {group} failed over to member {leader}")
             }
-            FaultKind::Rereplicate { group, to } => {
-                format!("relation group {group} re-replicated onto replica {to}")
+            FaultKind::Rereplicate { group, to, bytes } => {
+                format!("relation group {group} re-replicated onto replica {to} ({bytes} B)")
+            }
+            FaultKind::Migrate {
+                group,
+                from,
+                to,
+                bytes,
+            } => {
+                format!("relation group {group} migrated {from} -> {to} ({bytes} B)")
+            }
+            FaultKind::ShrinkHolder { group, from } => {
+                format!("relation group {group} shed surplus holder {from}")
             }
         };
         println!("  {:>6.0}s {label}", f.at.as_secs_f64());

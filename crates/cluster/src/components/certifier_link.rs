@@ -719,27 +719,85 @@ impl CertifierLink {
     /// for `rels` — versions up to the node's applied version; later ones
     /// arrive through normal propagation once its filter widens — and
     /// re-applies them so the node's pages for those relations are current.
-    /// Returns when the backfill work completes.
+    /// Returns when the backfill work completes and the bytes it shipped.
     pub fn backfill(
         &mut self,
         now: SimTime,
         node: &mut ClusterNode,
         rels: &BTreeSet<RelationId>,
-    ) -> SimTime {
+    ) -> (SimTime, u64) {
+        let upto = self.backfill_upto(node);
+        let (done, bytes, _) = self.backfill_chunk(now, node, rels, 0, upto, u64::MAX);
+        (done, bytes)
+    }
+
+    /// The log index a backfill onto `node` must reach: its applied version
+    /// (later entries arrive through normal propagation once its filter
+    /// widens). Fixed when a staged backfill starts, so the chunks have a
+    /// stable target.
+    pub fn backfill_upto(&self, node: &ClusterNode) -> usize {
+        (node.applied().0 as usize).min(self.log_since(Version(0)).len())
+    }
+
+    /// One bandwidth-capped slice of a backfill: re-applies log entries
+    /// `[from, upto)` whose items touch `rels`, stopping once the shipped
+    /// bytes reach `max_bytes` (always making progress past at least one
+    /// shipping entry, so a tiny cap cannot stall the copy forever).
+    /// Returns `(done, shipped_bytes, next_index)` — the chunk is finished
+    /// when `next_index == upto`.
+    pub fn backfill_chunk(
+        &mut self,
+        now: SimTime,
+        node: &mut ClusterNode,
+        rels: &BTreeSet<RelationId>,
+        from: usize,
+        upto: usize,
+        max_bytes: u64,
+    ) -> (SimTime, u64, usize) {
         let before = node.replica().stats();
-        let done = {
+        let (done, next) = {
             let log = self.log_since(Version(0));
-            let upto = (node.applied().0 as usize).min(log.len());
-            node.backfill_writesets(now, &log[..upto], rels)
+            let upto = upto.min(log.len());
+            let from = from.min(upto);
+            // Pick the chunk end by the same byte formula the accounting
+            // below uses: header + per-item bytes for the entries that ship
+            // anything; entries touching none of `rels` are free to skip.
+            let mut end = from;
+            let mut used = 0u64;
+            let mut shipped_any = false;
+            while end < upto {
+                let items = log[end]
+                    .writeset
+                    .items
+                    .iter()
+                    .filter(|i| rels.contains(&i.rel))
+                    .count() as u64;
+                let cost = if items > 0 {
+                    WS_HEADER_BYTES + items * WS_ITEM_BYTES
+                } else {
+                    0
+                };
+                if shipped_any && used.saturating_add(cost) > max_bytes {
+                    break;
+                }
+                used = used.saturating_add(cost);
+                shipped_any |= cost > 0;
+                end += 1;
+                if used >= max_bytes {
+                    break;
+                }
+            }
+            (node.backfill_writesets(now, &log[from..end], rels), end)
         };
         // The node's backfill counters are the single source of truth for
         // what was actually re-applied; the shipped bytes derive from them.
         let after = node.replica().stats();
         let shipped_ws = after.writesets_backfilled - before.writesets_backfilled;
         let shipped_items = after.items_backfilled - before.items_backfilled;
-        self.sent_bytes += shipped_ws * WS_HEADER_BYTES + shipped_items * WS_ITEM_BYTES;
+        let bytes = shipped_ws * WS_HEADER_BYTES + shipped_items * WS_ITEM_BYTES;
+        self.sent_bytes += bytes;
         self.last_contact[node.id()] = now;
-        done
+        (done, bytes, next)
     }
 
     /// Periodic propagation: pulls (or prods) pending writesets onto a

@@ -178,6 +178,18 @@ pub struct ClusterConfig {
     /// certifier shards with atomic commitment for cross-group
     /// transactions (see [`CertifierSharding`]).
     pub certifier_sharding: CertifierSharding,
+    /// Bandwidth cap on placement backfill (re-replication and migration),
+    /// in bytes per second of simulated time. `0` means uncapped: the whole
+    /// backfill is charged through the target's CPU/disk models at the
+    /// instant it starts (the historical synchronous behaviour). A non-zero
+    /// cap stages the copy through `Ev::BackfillChunk` events so migration
+    /// I/O competes with foreground propagation over simulated time.
+    pub backfill_bytes_per_sec: u64,
+    /// Period of the skew-driven migration tick (`Ev::RebalanceTick`) under
+    /// partial replication: each tick may migrate the hottest relation
+    /// group from its most-loaded holder toward the least-loaded
+    /// non-holder. `None` (the default) disables migration entirely.
+    pub migration_period: Option<SimTime>,
     /// Overrides the allocator's merge threshold (e.g. `Some(0.0)` disables
     /// group merging — the §5.3 ablation).
     pub merge_threshold_override: Option<f64>,
@@ -207,6 +219,8 @@ impl ClusterConfig {
             min_copies: 2,
             placement: PlacementSpec::Full,
             certifier_sharding: CertifierSharding::Unified,
+            backfill_bytes_per_sec: 0,
+            migration_period: None,
             merge_threshold_override: None,
             seed: 42,
         }

@@ -254,6 +254,29 @@ pub enum Ev {
         /// Relation-group index in the run's `PlacementMap`.
         group: usize,
     },
+    /// One bandwidth-capped slice of an in-flight backfill: ship up to the
+    /// chunk budget of certifier-log pages onto the task's target replica
+    /// through its CPU/disk models, then self-schedule the next chunk (or
+    /// the [`Ev::BackfillDone`]) at the time the cap allows. Staging the
+    /// copy through the queue is what makes migration I/O compete with
+    /// foreground propagation instead of being charged instantaneously.
+    BackfillChunk {
+        /// Index into the cluster's backfill-task table.
+        task: usize,
+    },
+    /// An asynchronous backfill finished: the target replica's copy of the
+    /// task's relations is complete, dispatch eligibility widens to include
+    /// it, and — for a migration — the donor holder is dropped.
+    BackfillDone {
+        /// Index into the cluster's backfill-task table.
+        task: usize,
+    },
+    /// Periodic skew-driven migration tick: examine per-relation-group
+    /// dispatch load, and migrate the hottest group from its most-loaded
+    /// holder toward the least-loaded non-holder (capped backfill, then the
+    /// donor is dropped on completion). Scheduled only when
+    /// `ClusterConfig::migration_period` is set under partial replication.
+    RebalanceTick,
     /// End of warm-up: reset the measurement window.
     EndWarmup,
     /// End of run.
@@ -308,6 +331,9 @@ impl Ev {
             | Ev::CertifierKill { .. }
             | Ev::CertifierRestart { .. }
             | Ev::Rereplicate { .. }
+            | Ev::BackfillChunk { .. }
+            | Ev::BackfillDone { .. }
+            | Ev::RebalanceTick
             | Ev::EndWarmup
             | Ev::End => Footprint::Global,
         }
@@ -437,6 +463,12 @@ mod tests {
                 member: 0,
             },
             Ev::Rereplicate { group: 0 },
+            // Backfill chunks touch the target node's CPU/disk and the
+            // completion/rebalance handlers change placement-wide
+            // eligibility: all of them barrier a window, like LbTick.
+            Ev::BackfillChunk { task: 0 },
+            Ev::BackfillDone { task: 0 },
+            Ev::RebalanceTick,
             Ev::EndWarmup,
             Ev::End,
         ];

@@ -21,6 +21,7 @@ use crate::world::{Ev, World};
 
 pub use crate::failover::{Failover, FailoverSchedule};
 pub use crate::partial::PartialReplication;
+pub use crate::rebalance::Rebalance;
 
 /// One experiment: a cluster configuration plus one or more workload-mix
 /// phases (multiple phases reproduce the Figure 6 mix switches).
@@ -158,6 +159,11 @@ pub struct ScenarioKnobs {
     /// single unified certifier; `Some(1)` is the degenerate sharded case
     /// and reproduces unified results bit for bit.
     pub cert_groups: Option<usize>,
+    /// Bandwidth cap for placement backfills (re-replication and
+    /// migration), bytes per simulated second. `None` keeps the
+    /// instantaneous copy (the historical behaviour); `Some(b)` stages
+    /// copies through `Ev::BackfillChunk` at that rate.
+    pub backfill_bytes_per_sec: Option<u64>,
 }
 
 impl Default for ScenarioKnobs {
@@ -174,6 +180,7 @@ impl Default for ScenarioKnobs {
             driver: DriverKind::Sequential,
             min_copies: None,
             cert_groups: None,
+            backfill_bytes_per_sec: None,
         }
     }
 }
@@ -221,6 +228,12 @@ impl ScenarioKnobs {
         self
     }
 
+    /// Sets (or clears) the placement-backfill bandwidth cap.
+    pub fn with_backfill_cap(mut self, bytes_per_sec: Option<u64>) -> Self {
+        self.backfill_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
     /// The cluster configuration these knobs describe, under `default`
     /// policy when no override is set.
     pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
@@ -239,6 +252,7 @@ impl ScenarioKnobs {
             Some(max_groups) => CertifierSharding::Sharded { max_groups },
             None => CertifierSharding::Unified,
         };
+        config.backfill_bytes_per_sec = self.backfill_bytes_per_sec.unwrap_or(0);
         config
     }
 }
@@ -398,6 +412,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(DynamicReconfig::default()),
         Box::new(Failover::default()),
         Box::new(PartialReplication::default()),
+        Box::new(Rebalance::default()),
     ]
 }
 

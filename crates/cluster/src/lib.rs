@@ -38,6 +38,7 @@ pub mod failover;
 pub mod metrics;
 pub mod partial;
 pub mod placement;
+pub mod rebalance;
 pub mod state;
 pub mod sync;
 pub mod world;
@@ -57,5 +58,6 @@ pub use experiment::{
 pub use metrics::{FaultEvent, FaultKind, GroupSnapshot, Metrics, RunResult};
 pub use partial::PartialReplication;
 pub use placement::{PlacementMap, RelationGroup, ReplicationPlanner, WS_TICK_BYTES};
+pub use rebalance::Rebalance;
 pub use state::ClusterState;
 pub use world::World;

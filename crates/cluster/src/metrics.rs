@@ -34,11 +34,39 @@ pub enum FaultKind {
     /// Partial replication: relation group `group` was re-replicated onto
     /// replica `to` via certifier-log backfill (a crash dropped it below
     /// `min_copies` live holders, or an explicit `Rereplicate` event fired).
+    /// Recorded at backfill *completion* time, carrying the traffic volume,
+    /// so cross-driver equivalence covers migration timing and bytes.
     Rereplicate {
         /// Relation-group index in the run's placement map.
         group: usize,
         /// The replica that became a holder.
         to: usize,
+        /// Bytes the backfill shipped onto the new holder.
+        bytes: u64,
+    },
+    /// Skew-driven migration: relation group `group` moved from holder
+    /// `from` to replica `to` (capped backfill onto the target, then the
+    /// donor dropped). Recorded at backfill completion with the traffic
+    /// volume, like [`FaultKind::Rereplicate`].
+    Migrate {
+        /// Relation-group index in the run's placement map.
+        group: usize,
+        /// The donor holder dropped once the copy completed.
+        from: usize,
+        /// The replica that became a holder.
+        to: usize,
+        /// Bytes the backfill shipped onto the new holder.
+        bytes: u64,
+    },
+    /// Post-recovery shrink: replica `from` was dropped from relation group
+    /// `group`'s holder set because the group was over-replicated (a
+    /// crash-triggered widening plus the crashed holder's recovery left it
+    /// above `min_copies`).
+    ShrinkHolder {
+        /// Relation-group index in the run's placement map.
+        group: usize,
+        /// The holder dropped from the group.
+        from: usize,
     },
 }
 
@@ -209,6 +237,8 @@ impl Metrics {
             lb: LbSummary::default(),
             propagated_ws_bytes: 0,
             filtered_ws_bytes: 0,
+            migration_bytes: 0,
+            migration_us: 0,
             driver_stats: None,
             cert_group_commits: Vec::new(),
             faults: self.faults.clone(),
@@ -268,6 +298,14 @@ pub struct RunResult {
     /// the window — propagation traffic saved vs full replication (filled
     /// by `World::finish_result`; zero under full replication).
     pub filtered_ws_bytes: u64,
+    /// Bytes shipped by placement backfills (crash re-replication and
+    /// skew-driven migration) over the whole run (filled by
+    /// `World::finish_result`; zero under full replication).
+    pub migration_bytes: u64,
+    /// Total simulated time backfills were in flight, in µs, summed over
+    /// tasks (filled by `World::finish_result`). Under a bandwidth cap this
+    /// scales inversely with the cap — the observable cost of migration.
+    pub migration_us: u64,
     /// Window accounting from the parallel driver (`None` under the
     /// sequential driver; filled by `World::finish_result`). Describes how
     /// the run executed — window sizes, deferral, pooling — and is

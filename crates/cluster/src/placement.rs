@@ -70,6 +70,12 @@ pub struct PlacementMap {
     holders: Vec<Vec<usize>>,
     /// Cached per-replica held relations: the union over assigned groups.
     held: Vec<BTreeSet<RelationId>>,
+    /// Relations a replica has been assigned but whose pages are still in
+    /// flight from a capped backfill. A pending relation is *held* (the
+    /// filter accepts foreground propagation so the copy converges) but the
+    /// replica is not dispatch-eligible for any type touching it until the
+    /// backfill completes.
+    pending: Vec<BTreeSet<RelationId>>,
     /// Every relation referenced by some group (relations outside this set
     /// never appear in a writeset and count as held everywhere), with its
     /// size in pages (catalog `relpages`).
@@ -119,13 +125,13 @@ impl PlacementMap {
     /// Whether `replica` may serve transactions of `txn_type`: its held set
     /// covers the type's whole relation group (holder sets qualify by
     /// construction; so does a replica covering the group through other
-    /// groups' overlap).
+    /// groups' overlap) *and* none of those relations are still being
+    /// backfilled — a still-backfilling holder must never receive dispatch.
     pub fn eligible(&self, txn_type: TxnTypeId, replica: usize) -> bool {
         match self.group_of_type(txn_type) {
-            Some(g) => self.groups[g]
-                .relations
-                .iter()
-                .all(|rel| self.held[replica].contains(rel)),
+            Some(g) => self.groups[g].relations.iter().all(|rel| {
+                self.held[replica].contains(rel) && !self.pending[replica].contains(rel)
+            }),
             None => true,
         }
     }
@@ -148,6 +154,48 @@ impl PlacementMap {
                 true
             }
         }
+    }
+
+    /// Removes `replica` from `group`'s holder set, recomputing its held
+    /// relations as the union over its remaining groups (a relation shared
+    /// with another held group stays held); returns whether it was a
+    /// holder. Pending relations the replica no longer holds are dropped
+    /// with it.
+    pub fn remove_holder(&mut self, group: usize, replica: usize) -> bool {
+        match self.holders[group].binary_search(&replica) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.holders[group].remove(pos);
+                let mut held = BTreeSet::new();
+                for (g, holders) in self.holders.iter().enumerate() {
+                    if holders.binary_search(&replica).is_ok() {
+                        held.extend(self.groups[g].relations.iter().copied());
+                    }
+                }
+                self.pending[replica].retain(|rel| held.contains(rel));
+                self.held[replica] = held;
+                true
+            }
+        }
+    }
+
+    /// Marks `rels` on `replica` as backfill-in-flight: held (the filter
+    /// keeps the copy converging) but not dispatch-eligible.
+    pub fn mark_pending(&mut self, replica: usize, rels: &BTreeSet<RelationId>) {
+        self.pending[replica].extend(rels.iter().copied());
+    }
+
+    /// Clears the backfill-in-flight mark for `rels` on `replica`: the
+    /// pages have arrived and the replica may serve types touching them.
+    pub fn complete_backfill(&mut self, replica: usize, rels: &BTreeSet<RelationId>) {
+        for rel in rels {
+            self.pending[replica].remove(rel);
+        }
+    }
+
+    /// Relations still being backfilled onto `replica`.
+    pub fn pending_relations(&self, replica: usize) -> &BTreeSet<RelationId> {
+        &self.pending[replica]
     }
 
     /// Relations `replica` keeps current (union over its groups).
@@ -310,6 +358,7 @@ impl ReplicationPlanner {
             group_of_type,
             holders,
             held,
+            pending: vec![BTreeSet::new(); replicas],
             referenced,
         }
     }
@@ -539,6 +588,61 @@ mod tests {
         // types.
         for t in &map.groups()[g].types {
             assert!(map.eligible(*t, outsider));
+        }
+    }
+
+    #[test]
+    fn remove_holder_narrows_but_keeps_overlap_held() {
+        let mut map = tpcw_map(8, 2);
+        let g = 0;
+        let outsider = (0..8)
+            .find(|r| !map.holds_group(*r, g))
+            .expect("partial placement has non-holders");
+        map.add_holder(g, outsider);
+        assert!(map.remove_holder(g, outsider));
+        assert!(!map.holds_group(outsider, g));
+        assert_eq!(map.holders(g).len(), 2);
+        assert!(!map.remove_holder(g, outsider), "idempotent");
+        // Held is exactly the union over the remaining groups: relations
+        // shared with another held group stay, group-exclusive ones go.
+        let mut expect = BTreeSet::new();
+        for (og, group) in map.groups().iter().enumerate() {
+            if map.holds_group(outsider, og) {
+                expect.extend(group.relations.iter().copied());
+            }
+        }
+        assert_eq!(*map.held_relations(outsider), expect);
+    }
+
+    #[test]
+    fn pending_backfill_blocks_eligibility_until_complete() {
+        let mut map = tpcw_map(8, 2);
+        // A non-holder that actually misses some of the group's relations
+        // (overlap through other groups can make a copy free).
+        let (g, outsider, missing) = (0..map.group_count())
+            .flat_map(|g| (0..8).map(move |r| (g, r)))
+            .filter(|(g, r)| !map.holds_group(*r, *g))
+            .map(|(g, r)| (g, r, map.missing_relations(r, g)))
+            .find(|(_, _, missing)| !missing.is_empty())
+            .expect("some non-holder misses relations of some group");
+        map.add_holder(g, outsider);
+        map.mark_pending(outsider, &missing);
+        // Held (the filter must accept propagation) but not eligible.
+        for rel in &missing {
+            assert!(map.holds(outsider, *rel));
+            assert!(map.filter_for(outsider).accepts(*rel));
+        }
+        for t in &map.groups()[g].types.clone() {
+            assert!(!map.eligible(*t, outsider), "pending holder dispatched");
+        }
+        let masks = map.type_masks(13);
+        for t in &map.groups()[g].types {
+            assert!(!masks[t.0 as usize][outsider]);
+        }
+        map.complete_backfill(outsider, &missing);
+        assert!(map.pending_relations(outsider).is_empty());
+        for t in &map.groups()[g].types {
+            assert!(map.eligible(*t, outsider), "completed holder stays barred");
         }
     }
 

@@ -15,7 +15,7 @@
 //! this is the seam the sequential and parallel drivers (and future async
 //! runtimes) plug into.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use tashkent_certifier::{CertShard, Certifier, ShardCheck};
@@ -23,6 +23,7 @@ use tashkent_core::{LoadBalancer, ReplicaId, ResourceLoad};
 use tashkent_engine::{TxnExecutor, TxnId, TxnTypeId, Version};
 use tashkent_replica::{ReplicaNode, UpdateFilter};
 use tashkent_sim::{EventQueue, SimRng, SimTime};
+use tashkent_storage::RelationId;
 use tashkent_workloads::{ClientPool, Mix, Workload};
 
 use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
@@ -43,6 +44,43 @@ struct TxnMeta {
     /// Replica the transaction was dispatched to — a crash there orphans
     /// the transaction and the client retries elsewhere.
     replica: usize,
+}
+
+/// Bytes shipped per [`Ev::BackfillChunk`] under a bandwidth cap. Small
+/// enough that foreground propagation interleaves with a long copy, large
+/// enough that the event count stays negligible next to transaction traffic.
+const BACKFILL_CHUNK_BYTES: u64 = 64 * 1024;
+
+/// The minimum bottleneck-utilization gap between the busiest holder and
+/// the idlest non-holder before the rebalancer migrates a hot group —
+/// hysteresis so balanced clusters don't churn placement.
+const MIGRATION_MIN_IMBALANCE: f64 = 0.10;
+
+/// One in-flight certifier-log backfill onto a target replica: a durability
+/// re-replication (crash or explicit [`Ev::Rereplicate`]) or, when
+/// `drop_source` is set, a skew-driven migration that sheds the donor once
+/// the copy completes. Tasks are append-only for the run — `Ev::BackfillChunk
+/// { task }` indexes into [`ClusterState::backfills`] — and a crash of the
+/// target cancels the task rather than removing it.
+struct BackfillTask {
+    group: usize,
+    target: usize,
+    /// Relations being copied (the ones the target did not already hold).
+    rels: BTreeSet<RelationId>,
+    /// Next certifier-log index to ship.
+    next: usize,
+    /// Log index the copy must reach — fixed at task creation; later
+    /// versions arrive through normal propagation (the filter is already
+    /// widened), so a busy cluster cannot push completion out forever.
+    upto: usize,
+    /// Bytes shipped so far.
+    bytes: u64,
+    started: SimTime,
+    done: bool,
+    cancelled: bool,
+    /// Migration donor: dropped from the holder set at completion (unless
+    /// that would leave the group under-replicated).
+    drop_source: Option<usize>,
 }
 
 /// Components plus cross-cutting transaction/client/metrics state — the
@@ -75,6 +113,16 @@ pub struct ClusterState {
     /// placement filter is authoritative on every node — it subsumes §3
     /// update filtering (holder sets are the "keep current" lists).
     placement: Option<PlacementMap>,
+    /// Every backfill started this run, live and finished (event payloads
+    /// index into it, so entries are never removed).
+    backfills: Vec<BackfillTask>,
+    /// Per-relation-group dispatch counts since the last migration — the
+    /// skew signal the rebalancer acts on. Empty under full replication.
+    group_load: Vec<u64>,
+    /// Total bytes shipped by completed backfills (re-replication and
+    /// migration) and total in-flight time, for [`crate::metrics::RunResult`].
+    migration_bytes: u64,
+    migration_us: u64,
     /// Metrics accumulator.
     pub metrics: Metrics,
     /// Window accounting deposited by the driver at the end of the run
@@ -161,6 +209,10 @@ impl ClusterState {
             None => CertifierLink::new(config.certifier, config.replicas, config.lan_hop_us),
         };
         let clients = ClientPool::new(config.clients, config.think_mean_us);
+        let group_load = placement
+            .as_ref()
+            .map(|p| vec![0; p.group_count()])
+            .unwrap_or_default();
         ClusterState {
             balancer,
             nodes,
@@ -170,6 +222,10 @@ impl ClusterState {
             next_txn: 0,
             txns: HashMap::new(),
             placement,
+            backfills: Vec::new(),
+            group_load,
+            migration_bytes: 0,
+            migration_us: 0,
             metrics: Metrics::new(),
             driver_stats: None,
             active_mix: 0,
@@ -197,6 +253,14 @@ impl ClusterState {
             );
         }
         queue.schedule(SimTime::from_secs(1), Ev::LbTick);
+        // Skew-driven placement rebalancing only makes sense when placement
+        // is actually partial — under full replication (or the degenerate
+        // all-holders plan) there is nothing to migrate.
+        if let (Some(period), Some(p)) = (self.config.migration_period, &self.placement) {
+            if !p.is_full() {
+                queue.schedule(SimTime::ZERO + period.as_micros(), Ev::RebalanceTick);
+            }
+        }
     }
 
     /// Whether the `End` event has fired.
@@ -380,6 +444,8 @@ impl ClusterState {
         result.filtered_ws_bytes = saved.saturating_sub(self.prop0.1);
         result.driver_stats = self.driver_stats;
         result.cert_group_commits = self.certifier.cert_group_commits();
+        result.migration_bytes = self.migration_bytes;
+        result.migration_us = self.migration_us;
         result
     }
 
@@ -478,8 +544,11 @@ impl ClusterState {
                 }
             }
             Ev::Rereplicate { group } => {
-                self.rereplicate_group(now, group);
+                self.rereplicate_group(now, group, queue);
             }
+            Ev::BackfillChunk { task } => self.on_backfill_chunk(now, task, queue),
+            Ev::BackfillDone { task } => self.on_backfill_done(now, task),
+            Ev::RebalanceTick => self.on_rebalance_tick(now, queue),
             Ev::MixSwitch { mix } => self.active_mix = mix.min(self.mixes.len() - 1),
             Ev::FreezeLb => self.balancer.freeze(),
             Ev::ReplicaCrash { replica } => self.on_replica_crash(now, replica, queue),
@@ -527,12 +596,19 @@ impl ClusterState {
         let replica = self.balancer.dispatch(txn_type).0;
         if let Some(p) = &self.placement {
             // Partial replication's routing invariant: a transaction only
-            // ever runs where every relation it touches is resident.
+            // ever runs where every relation it touches is resident *and*
+            // fully backfilled — a still-pending holder is never a dispatch
+            // target.
             assert!(
                 p.eligible(txn_type, replica),
                 "dispatch routed type {} to non-holder replica {replica}",
                 txn_type.0
             );
+            if let Some(g) = p.group_of_type(txn_type) {
+                // Skew signal for the rebalancer: dispatches per group
+                // since the last migration.
+                self.group_load[g] += 1;
+            }
         }
         let plan = self.workload.types[txn_type.0 as usize].plan.clone();
         let is_update = plan.is_update();
@@ -581,6 +657,36 @@ impl ClusterState {
         self.balancer.replica_failed(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaCrash(replica));
+        // An in-flight backfill onto the crashed replica can never finish —
+        // the partial copy died with the cache. Cancel the task and roll
+        // back the holder membership it had optimistically widened, so the
+        // durability scan below sees the true live-copy counts.
+        if self.placement.is_some() {
+            let mut rolled_back = false;
+            for task in 0..self.backfills.len() {
+                let t = &self.backfills[task];
+                if t.target != replica || t.done || t.cancelled {
+                    continue;
+                }
+                let (group, rels) = (t.group, t.rels.clone());
+                self.backfills[task].cancelled = true;
+                let p = self.placement.as_mut().expect("placement checked above");
+                p.complete_backfill(replica, &rels);
+                p.remove_holder(group, replica);
+                rolled_back = true;
+            }
+            if rolled_back {
+                let (filter, masks) = {
+                    let p = self.placement.as_ref().expect("placement checked above");
+                    (
+                        p.filter_for(replica),
+                        p.type_masks(self.workload.types.len()),
+                    )
+                };
+                self.node_mut(replica).set_filter(filter);
+                self.balancer.set_type_eligibility(Some(masks));
+            }
+        }
         // Durability invariant under partial replication: any group this
         // crash leaves below `min_copies` live holders is re-replicated onto
         // a survivor *now*, via certifier-log backfill, before the orphan
@@ -613,7 +719,7 @@ impl ClusterState {
                     if live_holders >= min_copies.min(live) {
                         break;
                     }
-                    if self.rereplicate_group(now, g).is_none() {
+                    if self.rereplicate_group(now, g, queue).is_none() {
                         break;
                     }
                 }
@@ -648,16 +754,25 @@ impl ClusterState {
         }
     }
 
-    /// Copies relation group `group` onto one more live replica: backfills
-    /// the group's pages from the certifier's persistent log (charged
-    /// through the target's CPU/disk models), widens the target's update
-    /// filter and the dispatch eligibility masks, and records the fault.
+    /// Copies relation group `group` onto one more live replica: widens the
+    /// target's holder membership and update filter *immediately* (so the
+    /// copy converges through foreground propagation while it backfills),
+    /// marks the target pending (dispatch eligibility waits for
+    /// [`Ev::BackfillDone`]), and starts the backfill — instantaneous when
+    /// `backfill_bytes_per_sec` is zero, staged through bandwidth-capped
+    /// [`Ev::BackfillChunk`]s otherwise. The fault is recorded at
+    /// completion, carrying the shipped bytes.
     ///
     /// The target is the live non-holder with the fewest placed pages (ties
     /// to the lowest id) — deterministic, so both drivers re-replicate
     /// identically. Returns the new holder, or `None` when placement is
     /// full-replication or every live replica already holds the group.
-    fn rereplicate_group(&mut self, now: SimTime, group: usize) -> Option<usize> {
+    fn rereplicate_group(
+        &mut self,
+        now: SimTime,
+        group: usize,
+        queue: &mut EventQueue<Ev>,
+    ) -> Option<usize> {
         let (target, rels) = {
             let p = self.placement.as_ref()?;
             if group >= p.group_count() {
@@ -677,15 +792,23 @@ impl ClusterState {
             // cheap, exactly like §3's standby choice.
             (target, p.missing_relations(target, group))
         };
-        // Backfill before widening the filter: versions past the target's
-        // applied prefix arrive through normal propagation afterwards.
-        let node = self.nodes[target]
-            .as_mut()
-            .expect("node leased to a driver shard");
-        let _backfill_done = self.certifier.backfill(now, node, &rels);
+        self.widen_holder(group, target, &rels);
+        self.start_backfill(now, group, target, rels, None, queue);
+        Some(target)
+    }
+
+    /// Adds `target` as a holder of `group` with `rels` pending: the filter
+    /// widens now (foreground propagation keeps the copy converging during
+    /// the backfill) while the recomputed eligibility masks exclude the
+    /// still-pending holder from dispatch.
+    fn widen_holder(&mut self, group: usize, target: usize, rels: &BTreeSet<RelationId>) {
         let (filter, masks) = {
-            let p = self.placement.as_mut().expect("placement checked above");
+            let p = self
+                .placement
+                .as_mut()
+                .expect("placement checked by caller");
             p.add_holder(group, target);
+            p.mark_pending(target, rels);
             (
                 p.filter_for(target),
                 p.type_masks(self.workload.types.len()),
@@ -693,11 +816,222 @@ impl ClusterState {
         };
         self.node_mut(target).set_filter(filter);
         self.balancer.set_type_eligibility(Some(masks));
-        self.metrics.record_fault(
-            now,
-            crate::metrics::FaultKind::Rereplicate { group, to: target },
-        );
-        Some(target)
+    }
+
+    /// Creates a [`BackfillTask`] and schedules its copy. With no bandwidth
+    /// cap (or nothing to ship) the whole log prefix is charged through the
+    /// target's CPU/disk models at `now` — the historical instantaneous
+    /// path — and only the completion event is scheduled. Under a cap the
+    /// copy is staged through [`Ev::BackfillChunk`]s paced at
+    /// `backfill_bytes_per_sec`, so the shipped pages compete with
+    /// foreground propagation for the target's disk and the copy takes
+    /// simulated time proportional to its volume.
+    fn start_backfill(
+        &mut self,
+        now: SimTime,
+        group: usize,
+        target: usize,
+        rels: BTreeSet<RelationId>,
+        drop_source: Option<usize>,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let upto = {
+            let node = self.nodes[target]
+                .as_ref()
+                .expect("node leased to a driver shard");
+            self.certifier.backfill_upto(node)
+        };
+        let task = self.backfills.len();
+        self.backfills.push(BackfillTask {
+            group,
+            target,
+            rels,
+            next: 0,
+            upto,
+            bytes: 0,
+            started: now,
+            done: false,
+            cancelled: false,
+            drop_source,
+        });
+        let cap = self.config.backfill_bytes_per_sec;
+        let t = &self.backfills[task];
+        if cap == 0 || t.upto == 0 || t.rels.is_empty() {
+            // Uncapped (or empty) copy: charge the whole log prefix through
+            // the target's models and complete *synchronously* — the
+            // historical semantics, where a crash-triggered re-replication
+            // leaves the new holder dispatch-eligible before the orphan
+            // sweep retries its clients.
+            let rels = t.rels.clone();
+            let node = self.nodes[target]
+                .as_mut()
+                .expect("node leased to a driver shard");
+            let (done, bytes) = self.certifier.backfill(now, node, &rels);
+            let t = &mut self.backfills[task];
+            t.bytes = bytes;
+            t.next = t.upto;
+            self.on_backfill_done(done, task);
+        } else {
+            // The first chunk pays the request's LAN hop; each chunk then
+            // paces itself by the bytes it actually shipped.
+            queue.schedule(now + self.config.lan_hop_us, Ev::BackfillChunk { task });
+        }
+    }
+
+    /// Ships one bandwidth-capped slice of backfill task `task` and
+    /// schedules the next chunk (or completion) paced by the cap.
+    fn on_backfill_chunk(&mut self, now: SimTime, task: usize, queue: &mut EventQueue<Ev>) {
+        let t = &self.backfills[task];
+        if t.done || t.cancelled {
+            return;
+        }
+        let (target, from, upto) = (t.target, t.next, t.upto);
+        let rels = t.rels.clone();
+        let node = self.nodes[target]
+            .as_mut()
+            .expect("node leased to a driver shard");
+        let (_applied_at, bytes, next) =
+            self.certifier
+                .backfill_chunk(now, node, &rels, from, upto, BACKFILL_CHUNK_BYTES);
+        let t = &mut self.backfills[task];
+        t.bytes += bytes;
+        t.next = next;
+        let cap = self.config.backfill_bytes_per_sec.max(1);
+        let delay = (bytes.saturating_mul(1_000_000) / cap).max(1);
+        if next >= upto {
+            // Completion pays the last chunk's transfer time too, so the
+            // total copy duration scales inversely with the cap.
+            queue.schedule(now + delay, Ev::BackfillDone { task });
+        } else {
+            queue.schedule(now + delay, Ev::BackfillChunk { task });
+        }
+    }
+
+    /// Finishes backfill task `task`: clears the target's pending set (it
+    /// becomes dispatch-eligible), sheds the migration donor when safe,
+    /// recomputes the eligibility masks, and records the fault with the
+    /// shipped volume.
+    fn on_backfill_done(&mut self, now: SimTime, task: usize) {
+        let t = &mut self.backfills[task];
+        if t.done || t.cancelled {
+            return;
+        }
+        t.done = true;
+        let (group, target, bytes, started, drop_source) =
+            (t.group, t.target, t.bytes, t.started, t.drop_source);
+        let rels = t.rels.clone();
+        self.migration_us += now.saturating_since(started);
+        self.migration_bytes += bytes;
+        // Migration: drop the donor now that the copy is complete — never
+        // below `min_copies` holders (a concurrent crash may have shed
+        // other copies since the migration started).
+        let (dropped, masks) = {
+            let p = self
+                .placement
+                .as_mut()
+                .expect("backfill tasks only exist under partial placement");
+            p.complete_backfill(target, &rels);
+            let dropped = match drop_source {
+                Some(src)
+                    if p.holds_group(src, group) && p.holders(group).len() > p.min_copies() =>
+                {
+                    p.remove_holder(group, src);
+                    Some((src, p.filter_for(src)))
+                }
+                _ => None,
+            };
+            (dropped, p.type_masks(self.workload.types.len()))
+        };
+        let dropped = dropped.map(|(src, filter)| {
+            self.node_mut(src).set_filter(filter);
+            src
+        });
+        self.balancer.set_type_eligibility(Some(masks));
+        let kind = match dropped {
+            Some(from) => crate::metrics::FaultKind::Migrate {
+                group,
+                from,
+                to: target,
+                bytes,
+            },
+            None => crate::metrics::FaultKind::Rereplicate {
+                group,
+                to: target,
+                bytes,
+            },
+        };
+        self.metrics.record_fault(now, kind);
+    }
+
+    /// Periodic skew check: when the busiest holder of the hottest group is
+    /// sufficiently more loaded than the idlest live non-holder, migrate
+    /// the group there — capped backfill onto the target, donor dropped at
+    /// completion. Single-flight: at most one backfill runs at a time, so
+    /// copy traffic stays bounded by the cap.
+    fn on_rebalance_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let Some(period) = self.config.migration_period else {
+            return;
+        };
+        queue.schedule(now + period.as_micros(), Ev::RebalanceTick);
+        if self.backfills.iter().any(|t| !t.done && !t.cancelled) {
+            return;
+        }
+        let Some((hot, src, dst, rels)) = self.pick_migration() else {
+            return;
+        };
+        self.widen_holder(hot, dst, &rels);
+        self.start_backfill(now, hot, dst, rels, Some(src), queue);
+        // Restart the skew window so the next tick judges post-migration
+        // traffic, not the history that triggered this move.
+        for l in &mut self.group_load {
+            *l = 0;
+        }
+    }
+
+    /// Chooses the migration for this rebalance round: hottest group by
+    /// dispatch count, donor = its busiest live holder, target = idlest
+    /// live non-holder, all ties to the lowest id. Returns `None` when
+    /// there is no skew signal, no candidate pair, or the imbalance is
+    /// within the hysteresis band.
+    fn pick_migration(&self) -> Option<(usize, usize, usize, BTreeSet<RelationId>)> {
+        let p = self.placement.as_ref()?;
+        if p.is_full() {
+            return None;
+        }
+        let (hot, load) = self
+            .group_load
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        if load == 0 {
+            return None;
+        }
+        let loads = self.balancer.inner().loads();
+        let live = |r: &usize| {
+            self.nodes[*r]
+                .as_ref()
+                .expect("node leased to a driver shard")
+                .is_up()
+        };
+        let src = p.holders(hot).iter().copied().filter(live).max_by(|a, b| {
+            loads[*a]
+                .bottleneck()
+                .total_cmp(&loads[*b].bottleneck())
+                .then(b.cmp(a))
+        })?;
+        let dst = (0..self.config.replicas)
+            .filter(|r| live(r) && !p.holds_group(*r, hot))
+            .min_by(|a, b| {
+                loads[*a]
+                    .bottleneck()
+                    .total_cmp(&loads[*b].bottleneck())
+                    .then(a.cmp(b))
+            })?;
+        if loads[src].bottleneck() < loads[dst].bottleneck() + MIGRATION_MIN_IMBALANCE {
+            return None;
+        }
+        Some((hot, src, dst, p.missing_relations(dst, hot)))
     }
 
     /// Recovers a crashed replica: the durable prefix (its applied version)
@@ -721,6 +1055,106 @@ impl ClusterState {
         self.balancer.replica_recovered(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaRecover(replica));
+        // The crash-time re-replication widened holder sets to keep
+        // `min_copies` *live* copies; this recovery may leave groups
+        // over-replicated. Shrink back so placement converges instead of
+        // ratcheting wider with every crash/recover cycle.
+        self.shrink_over_replicated(now);
+    }
+
+    /// Drops surplus holders until every group is back at exactly
+    /// `min_copies` copies. Victims are chosen deterministically: first a
+    /// holder whose backfill is still in flight (the copy is cancelled —
+    /// cheaper to abandon than to finish), then crashed holders (their
+    /// pages are stale until replay anyway), then the live holder with the
+    /// most placed pages; ties to the highest id. Dropping a holder only
+    /// narrows its update filter — no transaction state is touched, so the
+    /// shrink can never abort anything.
+    fn shrink_over_replicated(&mut self, now: SimTime) {
+        let group_count = match &self.placement {
+            Some(p) if !p.is_full() => p.group_count(),
+            _ => return,
+        };
+        let mut dirty = false;
+        for g in 0..group_count {
+            loop {
+                let min_copies = {
+                    let p = self.placement.as_ref().expect("placement checked above");
+                    if p.holders(g).len() <= p.min_copies() {
+                        break;
+                    }
+                    p.min_copies()
+                };
+                let pending_task = self
+                    .backfills
+                    .iter()
+                    .position(|t| t.group == g && !t.done && !t.cancelled);
+                let victim = match pending_task {
+                    Some(task) => {
+                        let target = self.backfills[task].target;
+                        let rels = self.backfills[task].rels.clone();
+                        self.backfills[task].cancelled = true;
+                        let p = self.placement.as_mut().expect("placement checked above");
+                        p.complete_backfill(target, &rels);
+                        target
+                    }
+                    None => {
+                        let p = self.placement.as_ref().expect("placement checked above");
+                        let live_holders = p
+                            .holders(g)
+                            .iter()
+                            .filter(|r| {
+                                self.nodes[**r]
+                                    .as_ref()
+                                    .expect("node leased to a driver shard")
+                                    .is_up()
+                            })
+                            .count();
+                        p.holders(g)
+                            .iter()
+                            .copied()
+                            .filter(|r| {
+                                let up = self.nodes[*r]
+                                    .as_ref()
+                                    .expect("node leased to a driver shard")
+                                    .is_up();
+                                // Never shed a live copy if that would
+                                // leave fewer than `min_copies` live.
+                                !up || live_holders > min_copies
+                            })
+                            .max_by_key(|r| {
+                                let up = self.nodes[*r]
+                                    .as_ref()
+                                    .expect("node leased to a driver shard")
+                                    .is_up();
+                                (!up, p.held_pages(*r), *r)
+                            })
+                            .expect("over-replicated group has a droppable holder")
+                    }
+                };
+                let filter = {
+                    let p = self.placement.as_mut().expect("placement checked above");
+                    p.remove_holder(g, victim);
+                    p.filter_for(victim)
+                };
+                self.node_mut(victim).set_filter(filter);
+                self.metrics.record_fault(
+                    now,
+                    crate::metrics::FaultKind::ShrinkHolder {
+                        group: g,
+                        from: victim,
+                    },
+                );
+                dirty = true;
+            }
+        }
+        if dirty {
+            let masks = {
+                let p = self.placement.as_ref().expect("placement checked above");
+                p.type_masks(self.workload.types.len())
+            };
+            self.balancer.set_type_eligibility(Some(masks));
+        }
     }
 
     fn on_client_arrive(&mut self, now: SimTime, client: usize, queue: &mut EventQueue<Ev>) {

@@ -44,8 +44,19 @@ fn main() {
             FaultKind::CertifierFailover { group, leader } => {
                 format!("certifier group {group} leader died; member {leader} elected after 200 ms")
             }
-            FaultKind::Rereplicate { group, to } => {
-                format!("relation group {group} re-replicated onto replica {to}")
+            FaultKind::Rereplicate { group, to, bytes } => {
+                format!("relation group {group} re-replicated onto replica {to} ({bytes} B)")
+            }
+            FaultKind::Migrate {
+                group,
+                from,
+                to,
+                bytes,
+            } => {
+                format!("relation group {group} migrated from replica {from} to {to} ({bytes} B)")
+            }
+            FaultKind::ShrinkHolder { group, from } => {
+                format!("relation group {group} shed surplus holder {from}")
             }
         };
         println!("  {:>5.1}s  {label}", f.at.as_secs_f64());

@@ -76,9 +76,15 @@ fn main() {
             FaultKind::CertifierFailover { group, leader } => {
                 format!("certifier group {group} failed over to member {leader}")
             }
-            FaultKind::Rereplicate { group, to } => format!(
-                "group {group} dropped below {min_copies} live holders -> backfilled onto replica {to}"
+            FaultKind::Rereplicate { group, to, bytes } => format!(
+                "group {group} dropped below {min_copies} live holders -> backfilled onto replica {to} ({bytes} B)"
             ),
+            FaultKind::Migrate { group, from, to, bytes } => {
+                format!("group {group} migrated from replica {from} to {to} ({bytes} B)")
+            }
+            FaultKind::ShrinkHolder { group, from } => {
+                format!("group {group} shed surplus holder {from} after recovery")
+            }
         };
         println!("  {:>5.1}s  {label}", f.at.as_secs_f64());
     }

@@ -28,6 +28,9 @@ struct Fingerprint {
     /// Partial-replication propagation accounting, exact to the byte.
     propagated_ws_bytes: u64,
     filtered_ws_bytes: u64,
+    /// Placement-backfill traffic (re-replication + skew migration), exact
+    /// to the byte — covers the rebalancing lifecycle's copies.
+    migration_bytes: u64,
     /// Sharded certification: per-group global commit versions, ascending
     /// — the decide order itself is part of the contract (empty under the
     /// unified certifier).
@@ -50,6 +53,7 @@ impl Fingerprint {
             faults: r.faults.clone(),
             propagated_ws_bytes: r.propagated_ws_bytes,
             filtered_ws_bytes: r.filtered_ws_bytes,
+            migration_bytes: r.migration_bytes,
             cert_group_commits: r.cert_group_commits.clone(),
         }
     }
@@ -263,6 +267,51 @@ fn partial_replication_runs_identically_under_both_drivers_across_seeds_and_thre
             assert_eq!(
                 sequential.completions, parallel.completions,
                 "completion timestamps diverged on partial-replication with seed {seed} under {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rebalance_runs_identically_under_both_drivers_across_seeds_and_threads() {
+    // Live rebalancing exercises the newest window territory: bandwidth-
+    // capped backfill chunks interleave with foreground propagation,
+    // eligibility masks flip at BackfillDone, the rebalancer reads balancer
+    // loads at its tick, and migration drops donors mid-run. The fault log
+    // (with exact bytes), migration_bytes, and completion timestamps are
+    // all in the fingerprint. 2 seeds, every parallel width against the
+    // same sequential reference.
+    for seed in [13, 42] {
+        let knobs = ScenarioKnobs {
+            replicas: 4,
+            clients_per_replica: 4,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_seed(seed);
+        let sequential = run_scenario(
+            "rebalance",
+            &knobs.clone().with_driver(DriverKind::Sequential),
+        )
+        .expect("sequential rebalance run completes");
+        assert!(
+            sequential.faults.iter().any(|f| matches!(
+                f.kind,
+                tashkent::cluster::FaultKind::Rereplicate { .. }
+                    | tashkent::cluster::FaultKind::Migrate { .. }
+            )),
+            "the rebalance scenario must put backfill events into the fingerprint"
+        );
+        for kind in parallel_kinds() {
+            let parallel = run_scenario("rebalance", &knobs.clone().with_driver(kind))
+                .expect("parallel rebalance run completes");
+            assert_eq!(
+                Fingerprint::of(&sequential),
+                Fingerprint::of(&parallel),
+                "drivers diverged on rebalance with seed {seed} under {kind:?}"
+            );
+            assert_eq!(
+                sequential.completions, parallel.completions,
+                "completion timestamps diverged on rebalance with seed {seed} under {kind:?}"
             );
         }
     }

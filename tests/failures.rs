@@ -4,12 +4,16 @@
 //! scenario in the shared harness.
 
 use tashkent::certifier::{Certifier, CertifierGroup, CertifyOutcome, GroupEvent};
-use tashkent::cluster::{Ev, Failover, FaultKind, Scenario, ScenarioKnobs, World};
+use tashkent::cluster::{
+    run, Ev, Failover, FaultKind, PartialReplication, ReplicationPlanner, RunResult, Scenario,
+    ScenarioKnobs, World,
+};
 use tashkent::core::LoadBalancer;
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent::replica::{ReplicaConfig, ReplicaNode};
 use tashkent::sim::{SimRng, SimTime};
 use tashkent::storage::{Catalog, RelationId};
+use tashkent::workloads::tpcw::{self, TpcwScale};
 
 fn mini_catalog() -> Catalog {
     let mut c = Catalog::new();
@@ -291,6 +295,77 @@ fn certifier_restart_drains_parked_requests_in_arrival_order() {
     assert!(
         drained.finish_result().committed > outage.finish_result().committed,
         "throughput resumes after the restart"
+    );
+}
+
+/// Runs a quiet partial-replication schedule (no crash faults) with the
+/// rebalancer ticking every 2 s and one bandwidth-capped re-replication of
+/// `group` injected at 6 s, ending at `warmup + measured_secs`. The tight
+/// 512 B/s cap keeps the injected copy in flight for seconds of simulated
+/// time.
+fn migration_truncation(measured_secs: u64, group: usize) -> RunResult {
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 3,
+        measured_secs,
+        ..ScenarioKnobs::smoke()
+    }
+    .with_backfill_cap(Some(512));
+    let mut exp = PartialReplication {
+        faults: false,
+        ..PartialReplication::default()
+    }
+    .experiment(&knobs);
+    exp.config.migration_period = Some(SimTime::from_secs(2));
+    run(exp.with_injection(SimTime::from_secs(6), Ev::Rereplicate { group }))
+        .expect("partial run completes")
+}
+
+#[test]
+fn migration_window_introduces_no_spurious_aborts() {
+    // Truncation equality, same shape as the dead-certifier test: the two
+    // runs share one deterministic schedule and differ only in when End
+    // fires, so the short run is an exact prefix of the long one and any
+    // abort-count difference could only originate in the extra window —
+    // which here contains the capped copy's completion (filter widening
+    // finalised, dispatch eligibility flipped, holder set changed) plus
+    // further rebalancer ticks. Rebalancing must never fail client
+    // requests, so the counts must match.
+    const SHORT_MEASURED: u64 = 3; // ends at 8 s — the copy still in flight
+    const LONG_MEASURED: u64 = 10; // ends at 15 s — completion + more ticks
+    let short_end = SimTime::from_secs(ScenarioKnobs::smoke().warmup_secs + SHORT_MEASURED);
+    // Pick a group whose injected copy ships real bytes and completes only
+    // inside the extra window; overlap can make some groups' copies free.
+    let (workload, _) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+    let groups = ReplicationPlanner::new(2).plan(&workload, 4).group_count();
+    let (group, long) = (0..groups)
+        .find_map(|g| {
+            let r = migration_truncation(LONG_MEASURED, g);
+            r.faults
+                .iter()
+                .any(|f| {
+                    f.at > short_end
+                        && matches!(f.kind, FaultKind::Rereplicate { bytes, .. } if bytes > 0)
+                })
+                .then_some((g, r))
+        })
+        .expect("some group's capped copy completes inside the extra window");
+    let short = migration_truncation(SHORT_MEASURED, group);
+    assert!(
+        !short
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Rereplicate { .. })),
+        "the injected copy must still be in flight when the short run ends"
+    );
+    assert!(
+        long.migration_bytes > short.migration_bytes,
+        "the extra window must ship migration traffic"
+    );
+    assert_eq!(
+        short.aborts, long.aborts,
+        "completing a migration in the extra window changed the abort \
+         count — rebalancing must never fail in-flight requests"
     );
 }
 

@@ -107,6 +107,26 @@ fn durability_holds_at_every_event_across_the_failover_schedule() {
             "seed {seed}: the crash must have forced re-replication"
         );
         assert_durable(&state, true);
+        // Convergence: the post-recovery shrink pass drops the surplus
+        // copies the crash-time re-replication added, so placement returns
+        // to exactly `min_copies` holders per group instead of ratcheting
+        // wider with every crash/recover cycle.
+        let p = state.placement().expect("partial run has a placement");
+        for g in 0..p.group_count() {
+            assert_eq!(
+                p.holders(g).len(),
+                p.min_copies(),
+                "seed {seed}: group {g} still over-replicated after recovery"
+            );
+        }
+        assert!(
+            state
+                .metrics
+                .faults()
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::ShrinkHolder { .. })),
+            "seed {seed}: the recovery must have shed the surplus holder"
+        );
     }
 }
 
@@ -144,7 +164,7 @@ fn rereplicate_event_widens_the_holder_set() {
         .faults()
         .iter()
         .find_map(|f| match f.kind {
-            FaultKind::Rereplicate { group: 0, to } => Some(to),
+            FaultKind::Rereplicate { group: 0, to, .. } => Some(to),
             _ => None,
         })
         .expect("re-replication recorded in the fault log");
