@@ -100,12 +100,12 @@ fn main() {
             println!("      {:?} x{} load={:.2}", g.types, g.replicas, g.load);
         }
         // Slowest transaction types (diagnostics for calibration).
-        let mut typed: Vec<(usize, (u64, f64, f64))> =
+        let mut typed: Vec<(usize, (u64, f64, f64, u64))> =
             r.per_type.iter().copied().enumerate().collect();
         typed.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1));
-        for (tid, (count, mean, max)) in typed.iter().take(4) {
+        for (tid, (count, mean, max, aborts)) in typed.iter().take(4) {
             println!(
-                "      slow: {:<12} n={count:<6} mean={mean:.2}s max={max:.1}s",
+                "      slow: {:<12} n={count:<6} mean={mean:.2}s max={max:.1}s aborts={aborts}",
                 workload.type_name(tashkent_engine::TxnTypeId(*tid as u32)),
             );
         }

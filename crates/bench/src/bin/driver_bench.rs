@@ -283,6 +283,36 @@ fn main() {
         forced.wall
     );
 
+    // Tracing overhead: the same sequential run with full lifecycle tracing
+    // recording and exporting, against the untraced baseline above (which
+    // already carries the disabled instrumentation — its cost is one branch
+    // per site). The ratio lands in the trajectory entry so any creep in
+    // either the disabled or the enabled path shows up across PRs.
+    let trace_path =
+        std::env::temp_dir().join(format!("driver_bench-{}.jsonl", std::process::id()));
+    let trace_base = trace_path.to_str().expect("temp path is UTF-8");
+    let traced = run(
+        &scenario,
+        &knobs.clone().with_trace(trace_base),
+        DriverKind::Sequential,
+    );
+    assert_eq!(
+        fingerprint(&seq.result),
+        fingerprint(&traced.result),
+        "tracing must not change the simulation"
+    );
+    let trace_summary = traced
+        .result
+        .trace_summary
+        .expect("traced runs record a summary");
+    let trace_ratio = traced.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
+    println!(
+        "  traced:     {:?} (sequential, {} events) -> {trace_ratio:.2}x of untraced",
+        traced.wall, trace_summary.recorded
+    );
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(format!("{trace_base}.chrome.json"));
+
     // One schema-stable entry for the cross-PR trajectory at the repo root.
     let label = std::env::var("TASHKENT_BENCH_LABEL").unwrap_or_else(|_| "local".into());
     let crossover = trajectory
@@ -316,6 +346,13 @@ fn main() {
         entry,
         "    \"forced_pool\": {{ \"threads\": 2, \"min_dispatch\": 0, \"wall_us\": {}, \"ratio\": {forced_ratio:.4} }},",
         forced.wall.as_micros()
+    );
+    let _ = writeln!(
+        entry,
+        "    \"trace\": {{ \"untraced_wall_us\": {}, \"traced_wall_us\": {}, \"overhead_ratio\": {trace_ratio:.4}, \"events\": {} }},",
+        seq.wall.as_micros(),
+        traced.wall.as_micros(),
+        trace_summary.recorded
     );
     let _ = writeln!(
         entry,

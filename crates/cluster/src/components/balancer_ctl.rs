@@ -86,13 +86,15 @@ impl BalancerCtl {
 
     /// Runs one rebalance tick and schedules the next one; returns the
     /// update filters the reconfiguration wants installed, for the cluster
-    /// state to apply to the affected nodes.
+    /// state to apply to the affected nodes, and the number of MALB replica
+    /// moves the tick performed (for the trace's `lb` instant events).
     pub fn on_tick(
         &mut self,
         now: SimTime,
         queue: &mut EventQueue<Ev>,
-    ) -> Vec<(ReplicaId, UpdateFilter)> {
+    ) -> (Vec<(ReplicaId, UpdateFilter)>, usize) {
         let mut filters = Vec::new();
+        let mut moves = 0;
         for action in self.lb.tick(now) {
             match action {
                 ReconfigAction::SetFilter { replica, tables } => {
@@ -102,10 +104,10 @@ impl BalancerCtl {
                     };
                     filters.push((replica, filter));
                 }
-                ReconfigAction::Moved { .. } => {}
+                ReconfigAction::Moved { .. } => moves += 1,
             }
         }
         queue.schedule(now + LB_TICK_US, Ev::LbTick);
-        filters
+        (filters, moves)
     }
 }

@@ -14,6 +14,7 @@ use tashkent_storage::RelationId;
 use crate::components::ClusterNode;
 use crate::events::Ev;
 use crate::placement::{CertMap, PlacementMap, WS_TICK_BYTES};
+use crate::trace::{TraceData, Tracer};
 
 /// A certification request parked while every member of a touched group is
 /// dead — back-pressure instead of a spurious abort. Drained in arrival
@@ -101,10 +102,20 @@ impl ShardedCert {
         ws: Writeset,
         check: ShardCheck,
         lan_hop_us: u64,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) -> SimTime {
         if !check.committed {
             self.conflicts += 1;
+            tracer.emit(
+                check.eff_now,
+                TraceData::Certify {
+                    txn: txn.0,
+                    groups: 1 << g,
+                    committed: false,
+                    version: None,
+                },
+            );
             queue.schedule(
                 check.eff_now + lan_hop_us,
                 Ev::CertifyReturn {
@@ -118,6 +129,15 @@ impl ShardedCert {
         if ws.is_empty() {
             // Mirrors the unified certifier: an empty writeset commits at
             // the current global head, durable as soon as checked.
+            tracer.emit(
+                check.checked_at,
+                TraceData::Certify {
+                    txn: txn.0,
+                    groups: 1 << g,
+                    committed: true,
+                    version: Some(self.log.len() as u64),
+                },
+            );
             queue.schedule(
                 check.checked_at + lan_hop_us,
                 Ev::CertifyReturn {
@@ -129,6 +149,15 @@ impl ShardedCert {
             return check.eff_now;
         }
         let version = Version(self.log.len() as u64 + 1);
+        tracer.emit(
+            check.checked_at,
+            TraceData::Certify {
+                txn: txn.0,
+                groups: 1 << g,
+                committed: true,
+                version: Some(version.0),
+            },
+        );
         self.commit(
             &[g],
             version,
@@ -156,6 +185,7 @@ impl ShardedCert {
         ws: Writeset,
         now: SimTime,
         lan_hop_us: u64,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) -> SimTime {
         let touched: Vec<usize> = group_bits(mask).collect();
@@ -189,6 +219,15 @@ impl ShardedCert {
         let decide_at = vote_done + 2 * lan_hop_us;
         if conflict {
             self.conflicts += 1;
+            tracer.emit(
+                decide_at,
+                TraceData::Certify {
+                    txn: txn.0,
+                    groups: mask,
+                    committed: false,
+                    version: None,
+                },
+            );
             queue.schedule(
                 decide_at + lan_hop_us,
                 Ev::CertifyReturn {
@@ -200,6 +239,15 @@ impl ShardedCert {
             return eff_now;
         }
         let version = Version(self.log.len() as u64 + 1);
+        tracer.emit(
+            decide_at,
+            TraceData::Certify {
+                txn: txn.0,
+                groups: mask,
+                committed: true,
+                version: Some(version.0),
+            },
+        );
         self.commit(
             &touched, version, ws, decide_at, replica, txn, lan_hop_us, queue,
         );
@@ -470,6 +518,7 @@ impl CertifierLink {
         now: SimTime,
         group: usize,
         member: usize,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) -> Option<GroupEvent> {
         let (ev, drained) = match &mut self.sharded {
@@ -508,7 +557,7 @@ impl CertifierLink {
             // Re-certify at the original arrival time: the failover gap
             // (`available_at`) defers the service start, so drained requests
             // serve after the election in their original FIFO order.
-            self.on_send(w.arrived, w.replica, w.txn, w.ws, w.groups, queue);
+            self.on_send(w.arrived, w.replica, w.txn, w.ws, w.groups, tracer, queue);
         }
         ev
     }
@@ -539,6 +588,7 @@ impl CertifierLink {
     /// `groups` is the touched-group bitmask stamped at send time (`0`
     /// under unified certification; nonzero masks require the sharded
     /// engine).
+    #[allow(clippy::too_many_arguments)]
     pub fn on_send(
         &mut self,
         now: SimTime,
@@ -546,10 +596,11 @@ impl CertifierLink {
         txn: TxnId,
         ws: Writeset,
         groups: u64,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) {
         if groups != 0 {
-            self.on_send_sharded(now, replica, txn, ws, groups, queue);
+            self.on_send_sharded(now, replica, txn, ws, groups, tracer, queue);
             return;
         }
         if !self.group.is_available() {
@@ -571,6 +622,15 @@ impl CertifierLink {
                 version,
                 durable_at,
             } => {
+                tracer.emit(
+                    durable_at,
+                    TraceData::Certify {
+                        txn: txn.0,
+                        groups: 0,
+                        committed: true,
+                        version: Some(version.0),
+                    },
+                );
                 queue.schedule(
                     durable_at + self.lan_hop_us,
                     Ev::CertifyReturn {
@@ -581,6 +641,15 @@ impl CertifierLink {
                 );
             }
             CertifyOutcome::Conflict => {
+                tracer.emit(
+                    now,
+                    TraceData::Certify {
+                        txn: txn.0,
+                        groups: 0,
+                        committed: false,
+                        version: None,
+                    },
+                );
                 queue.schedule(
                     now + self.lan_hop_us,
                     Ev::CertifyReturn {
@@ -597,6 +666,7 @@ impl CertifierLink {
     /// Sharded certification: a single-group request runs the group's shard
     /// check then the coordinator decide; a cross-group request runs the
     /// atomic-commitment round across the touched groups.
+    #[allow(clippy::too_many_arguments)]
     fn on_send_sharded(
         &mut self,
         now: SimTime,
@@ -604,6 +674,7 @@ impl CertifierLink {
         txn: TxnId,
         ws: Writeset,
         groups: u64,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) {
         let lan = self.lan_hop_us;
@@ -628,9 +699,9 @@ impl CertifierLink {
                 .as_mut()
                 .expect("cert shard leased to a driver")
                 .check(now, &ws, gsnap);
-            s.decide_single(g, replica, txn, ws, check, lan, queue)
+            s.decide_single(g, replica, txn, ws, check, lan, tracer, queue)
         } else {
-            s.decide_cross(groups, replica, txn, ws, now, lan, queue)
+            s.decide_cross(groups, replica, txn, ws, now, lan, tracer, queue)
         };
         self.last_contact[replica] = eff_now;
     }
@@ -640,6 +711,7 @@ impl CertifierLink {
     /// [`CertShard::check`], and the coordinator replays the decision here
     /// at the event's exact slot — global version assignment and response
     /// scheduling are bit-identical to the inline path.
+    #[allow(clippy::too_many_arguments)]
     pub fn certify_decide(
         &mut self,
         group: usize,
@@ -647,6 +719,7 @@ impl CertifierLink {
         txn: TxnId,
         ws: Writeset,
         check: ShardCheck,
+        tracer: &mut Tracer,
         queue: &mut EventQueue<Ev>,
     ) {
         let lan = self.lan_hop_us;
@@ -654,7 +727,7 @@ impl CertifierLink {
             .sharded
             .as_mut()
             .expect("certify_decide under unified certification");
-        let eff_now = s.decide_single(group, replica, txn, ws, check, lan, queue);
+        let eff_now = s.decide_single(group, replica, txn, ws, check, lan, tracer, queue);
         self.last_contact[replica] = eff_now;
     }
 

@@ -8,6 +8,7 @@ use tashkent_sim::{EventQueue, SimTime};
 
 use crate::events::Ev;
 use crate::placement::CertMap;
+use crate::trace::{TraceData, TraceEvent};
 
 /// Wraps a [`ReplicaNode`] with its cluster identity and network position,
 /// translating execution outcomes into scheduled events.
@@ -20,6 +21,14 @@ pub struct ClusterNode {
     /// each outgoing [`Ev::CertifySend`] with its touched-group bitmask.
     /// `None` under unified certification (mask 0).
     cert_map: Option<Arc<CertMap>>,
+    /// Whether step events are recorded into `trace_buf`.
+    trace_on: bool,
+    /// Step trace events buffered node-side. Under the parallel driver the
+    /// node is owned by a worker thread for the window, so `step_child`
+    /// cannot reach the coordinator's `Tracer`; it buffers here and the
+    /// driver replays the buffer at the step's exact sequential pop slot
+    /// (the sequential driver drains it immediately after each step).
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl ClusterNode {
@@ -32,7 +41,20 @@ impl ClusterNode {
             lan_hop_us,
             up: true,
             cert_map: None,
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
+    }
+
+    /// Enables or disables step-event tracing on this node.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+    }
+
+    /// Takes the buffered step trace events (empty when tracing is off —
+    /// `std::mem::take` of an empty `Vec` does not allocate).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_buf)
     }
 
     /// Installs the certification map (sharded mode); subsequent
@@ -164,29 +186,51 @@ impl ClusterNode {
             return None;
         }
         let replica = self.id;
-        Some(match self.node.step(txn, now) {
-            StepOutcome::Busy(t) => (t, Ev::StepTxn { replica, txn }),
+        let (outcome, ws_bytes, child) = match self.node.step(txn, now) {
+            StepOutcome::Busy(t) => ("exec", 0, (t, Ev::StepTxn { replica, txn })),
             StepOutcome::Done(t) => (
-                t,
-                Ev::TxnComplete {
-                    replica,
-                    txn,
-                    committed: true,
-                },
+                "done",
+                0,
+                (
+                    t,
+                    Ev::TxnComplete {
+                        replica,
+                        txn,
+                        committed: true,
+                    },
+                ),
             ),
             StepOutcome::ReadyToCommit(t, ws) => {
                 let groups = self.cert_map.as_ref().map_or(0, |m| m.mask_for(&ws));
+                let bytes = ws.bytes();
                 (
-                    t + self.lan_hop_us,
-                    Ev::CertifySend {
-                        replica,
-                        txn,
-                        ws,
-                        groups,
-                    },
+                    "cert",
+                    bytes,
+                    (
+                        t + self.lan_hop_us,
+                        Ev::CertifySend {
+                            replica,
+                            txn,
+                            ws,
+                            groups,
+                        },
+                    ),
                 )
             }
-        })
+        };
+        if self.trace_on {
+            self.trace_buf.push(TraceEvent {
+                at: now,
+                data: TraceData::Step {
+                    txn: txn.0,
+                    replica,
+                    outcome,
+                    next_at: child.0.as_micros(),
+                    ws_bytes,
+                },
+            });
+        }
+        Some(child)
     }
 
     /// Frees the Gatekeeper slot after a completion; a queued transaction

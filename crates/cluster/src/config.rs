@@ -6,6 +6,8 @@ use tashkent_replica::ReplicaConfig;
 use tashkent_sim::SimTime;
 use tashkent_storage::{DiskParams, WriterConfig, PAGE_SIZE};
 
+use crate::trace::TraceConfig;
+
 /// How the database is placed across the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlacementSpec {
@@ -193,6 +195,16 @@ pub struct ClusterConfig {
     /// Overrides the allocator's merge threshold (e.g. `Some(0.0)` disables
     /// group merging — the §5.3 ablation).
     pub merge_threshold_override: Option<f64>,
+    /// Response-time histogram bucket width, in seconds (default 50 ms,
+    /// matching the historical hardcoded `Histogram::new(0.050, 400)`).
+    pub resp_hist_bucket_s: f64,
+    /// Response-time histogram bucket count (default 400, saturating at
+    /// `bucket_s * buckets` = 20 s with the defaults).
+    pub resp_hist_buckets: usize,
+    /// Run tracing: disabled by default; set an exporter path (directly or
+    /// via `TASHKENT_TRACE` / `ScenarioKnobs::with_trace`) to record the
+    /// full deterministic event trace. See [`crate::trace`].
+    pub trace: TraceConfig,
     /// RNG seed (runs are bit-reproducible per seed).
     pub seed: u64,
 }
@@ -222,6 +234,9 @@ impl ClusterConfig {
             backfill_bytes_per_sec: 0,
             migration_period: None,
             merge_threshold_override: None,
+            resp_hist_bucket_s: 0.050,
+            resp_hist_buckets: 400,
+            trace: TraceConfig::default(),
             seed: 42,
         }
     }
@@ -317,6 +332,14 @@ mod tests {
         assert_eq!(c.replicas, 16);
         assert_eq!(c.ram_bytes, 512 * 1024 * 1024);
         assert_eq!(c.overhead_bytes, 70 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tracing_off_and_histogram_bounds_default() {
+        let c = ClusterConfig::paper_default();
+        assert!(!c.trace.enabled(), "tracing must be opt-in");
+        assert_eq!(c.resp_hist_bucket_s, 0.050);
+        assert_eq!(c.resp_hist_buckets, 400);
     }
 
     #[test]

@@ -604,6 +604,11 @@ enum ChildOut {
 struct StepRec {
     child_at: SimTime,
     child: ChildOut,
+    /// Step trace events the node buffered while executing this item
+    /// (empty when tracing is off). The merge replays them into the
+    /// coordinator's tracer at the item's exact sequential pop slot, so
+    /// the trace stream is byte-identical to the sequential driver's.
+    trace: Vec<crate::trace::TraceEvent>,
 }
 
 /// One replica's work for a window, leased to a worker. The `items`,
@@ -702,9 +707,11 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
             steps.push(StepRec {
                 child_at: key.at,
                 child: ChildOut::Stale,
+                trace: Vec::new(),
             });
             continue;
         };
+        let trace = node.take_trace();
         let ckey = Key {
             at: child_at,
             rank: next_rank,
@@ -722,6 +729,7 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
             steps.push(StepRec {
                 child_at,
                 child: ChildOut::Local(ctxn),
+                trace,
             });
         } else {
             let consequence = match child_ev {
@@ -741,6 +749,7 @@ fn run_shard(mut job: Job, agenda: &mut BinaryHeap<Reverse<(Key, u64, usize)>>) 
             steps.push(StepRec {
                 child_at,
                 child: ChildOut::Emit(child_ev),
+                trace,
             });
         }
     }
@@ -1329,9 +1338,13 @@ fn merge_window(
                         StepRec {
                             child_at: SimTime::ZERO,
                             child: ChildOut::Stale,
+                            trace: Vec::new(),
                         },
                     );
                     shard.step_i += 1;
+                    // This is the step's sequential pop slot: replay its
+                    // buffered trace events before anything it scheduled.
+                    state.tracer.replay(rec.trace);
                     match rec.child {
                         ChildOut::Local(ctxn) => {
                             let key = Key {
@@ -2455,6 +2468,7 @@ mod tests {
     fn emit_complete(replica: usize, txn: u64, at: SimTime) -> StepRec {
         StepRec {
             child_at: at,
+            trace: Vec::new(),
             child: ChildOut::Emit(Ev::TxnComplete {
                 replica,
                 txn: TxnId(txn),
@@ -2637,6 +2651,7 @@ mod tests {
                 StepRec {
                     child_at: t,
                     child: ChildOut::Stale,
+                    trace: Vec::new(),
                 },
                 emit_complete(0, 4, t),
             ],

@@ -122,6 +122,7 @@ pub fn run(exp: Experiment) -> Result<RunResult, RunError> {
         world.schedule(at, ev);
     }
     world.run_to_end()?;
+    world.export_traces().expect("trace export failed");
     Ok(world.finish_result())
 }
 
@@ -164,6 +165,11 @@ pub struct ScenarioKnobs {
     /// instantaneous copy (the historical behaviour); `Some(b)` stages
     /// copies through `Ev::BackfillChunk` at that rate.
     pub backfill_bytes_per_sec: Option<u64>,
+    /// Trace output base path: when set (or when the `TASHKENT_TRACE`
+    /// environment variable is set), the run records lifecycle spans and
+    /// writes `<path>` (JSONL) plus `<path>.chrome.json` (Chrome
+    /// `trace_event` format). `None` (the default) keeps tracing off.
+    pub trace: Option<String>,
 }
 
 impl Default for ScenarioKnobs {
@@ -181,6 +187,7 @@ impl Default for ScenarioKnobs {
             min_copies: None,
             cert_groups: None,
             backfill_bytes_per_sec: None,
+            trace: None,
         }
     }
 }
@@ -234,6 +241,13 @@ impl ScenarioKnobs {
         self
     }
 
+    /// Enables run tracing, writing `<path>` (JSONL) and
+    /// `<path>.chrome.json` (Chrome `trace_event`) when the run finishes.
+    pub fn with_trace(mut self, path: impl Into<String>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// The cluster configuration these knobs describe, under `default`
     /// policy when no override is set.
     pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
@@ -253,6 +267,15 @@ impl ScenarioKnobs {
             None => CertifierSharding::Unified,
         };
         config.backfill_bytes_per_sec = self.backfill_bytes_per_sec.unwrap_or(0);
+        // The knob wins over the environment; either enables both exporters.
+        let trace_base = self
+            .trace
+            .clone()
+            .or_else(|| std::env::var("TASHKENT_TRACE").ok());
+        if let Some(base) = trace_base {
+            config.trace.jsonl_path = Some(base.clone());
+            config.trace.chrome_path = Some(format!("{base}.chrome.json"));
+        }
         config
     }
 }

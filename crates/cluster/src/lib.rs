@@ -24,6 +24,9 @@
 //!   identical results for the same seed** — pick sequential for minimal
 //!   overhead on small runs, parallel for multi-replica sweeps on
 //!   multi-core hosts;
+//! * [`trace`] — deterministic run tracing: lifecycle span events,
+//!   utilization timelines, JSONL and Chrome `trace_event` exporters, with
+//!   the trace byte-equal across drivers;
 //! * [`world`] — thin glue binding state + queue + driver into one handle;
 //! * [`experiment`] — experiment descriptions, the [`experiment::Scenario`]
 //!   registry every entry point builds runs from, the runner, and
@@ -41,6 +44,7 @@ pub mod placement;
 pub mod rebalance;
 pub mod state;
 pub mod sync;
+pub mod trace;
 pub mod world;
 
 pub use components::{BalancerCtl, CertifierLink, ClusterNode};
@@ -60,4 +64,5 @@ pub use partial::PartialReplication;
 pub use placement::{PlacementMap, RelationGroup, ReplicationPlanner, WS_TICK_BYTES};
 pub use rebalance::Rebalance;
 pub use state::ClusterState;
+pub use trace::{TraceConfig, TraceData, TraceEvent, TraceSummary, Tracer};
 pub use world::World;

@@ -3,6 +3,7 @@
 use tashkent_sim::{Histogram, OnlineStats, SimTime};
 
 use crate::driver::DriverStats;
+use crate::trace::TraceSummary;
 
 /// One group → replica-count line, for the paper's Tables 2 and 4.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,10 +94,15 @@ pub struct Metrics {
     retries_exhausted: u64,
     resp: OnlineStats,
     resp_hist: Histogram,
+    /// Response-histogram bounds, kept so window resets preserve them.
+    hist_bucket_s: f64,
+    hist_buckets: usize,
     /// Completion timestamps (for time-series output).
     completions: Vec<SimTime>,
     /// Per-transaction-type response statistics, indexed by type id.
     per_type: Vec<OnlineStats>,
+    /// Per-transaction-type certification-abort counts, indexed by type id.
+    per_type_aborts: Vec<u64>,
     /// Disk byte counters at the start of the measurement window.
     read_bytes0: u64,
     write_bytes0: u64,
@@ -112,8 +118,16 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Creates empty metrics with the window starting at time zero.
+    /// Creates empty metrics with the window starting at time zero and the
+    /// historical response-histogram bounds (50 ms buckets to 20 s).
     pub fn new() -> Self {
+        Self::with_hist(0.050, 400)
+    }
+
+    /// Creates empty metrics with configurable response-histogram bounds
+    /// ([`crate::config::ClusterConfig::resp_hist_bucket_s`] /
+    /// [`crate::config::ClusterConfig::resp_hist_buckets`]).
+    pub fn with_hist(bucket_s: f64, buckets: usize) -> Self {
         Metrics {
             window_start: SimTime::ZERO,
             committed: 0,
@@ -121,9 +135,12 @@ impl Metrics {
             aborts: 0,
             retries_exhausted: 0,
             resp: OnlineStats::new(),
-            resp_hist: Histogram::new(0.050, 400), // 50 ms buckets to 20 s
+            resp_hist: Histogram::new(bucket_s, buckets),
+            hist_bucket_s: bucket_s,
+            hist_buckets: buckets,
             completions: Vec::new(),
             per_type: Vec::new(),
+            per_type_aborts: Vec::new(),
             read_bytes0: 0,
             write_bytes0: 0,
             faults: Vec::new(),
@@ -135,7 +152,7 @@ impl Metrics {
     /// the whole run, so it survives the reset.
     pub fn start_window(&mut self, now: SimTime, read_bytes: u64, write_bytes: u64) {
         let faults = std::mem::take(&mut self.faults);
-        *self = Metrics::new();
+        *self = Metrics::with_hist(self.hist_bucket_s, self.hist_buckets);
         self.faults = faults;
         self.window_start = now;
         self.read_bytes0 = read_bytes;
@@ -181,9 +198,15 @@ impl Metrics {
         self.per_type[idx].observe(resp_s);
     }
 
-    /// Records a certification abort (the client will retry).
-    pub fn record_abort(&mut self) {
+    /// Records a certification abort of the given transaction type (the
+    /// client will retry).
+    pub fn record_abort(&mut self, txn_type: u32) {
         self.aborts += 1;
+        let idx = txn_type as usize;
+        if self.per_type_aborts.len() <= idx {
+            self.per_type_aborts.resize(idx + 1, 0);
+        }
+        self.per_type_aborts[idx] += 1;
     }
 
     /// Records a transaction whose retries were exhausted.
@@ -226,6 +249,7 @@ impl Metrics {
             retries_exhausted: self.retries_exhausted,
             mean_response_s: self.resp.mean(),
             p95_response_s: self.resp_hist.percentile(95.0),
+            p99_response_s: self.resp_hist.percentile(99.0),
             read_kb_per_txn: per_txn(read_bytes.saturating_sub(self.read_bytes0)),
             write_kb_per_txn: per_txn(write_bytes.saturating_sub(self.write_bytes0)),
             window_s,
@@ -240,13 +264,22 @@ impl Metrics {
             migration_bytes: 0,
             migration_us: 0,
             driver_stats: None,
+            trace_summary: None,
             cert_group_commits: Vec::new(),
             faults: self.faults.clone(),
-            per_type: self
-                .per_type
-                .iter()
-                .map(|s| (s.count(), s.mean(), s.max()))
-                .collect(),
+            per_type: {
+                let n = self.per_type.len().max(self.per_type_aborts.len());
+                (0..n)
+                    .map(|i| {
+                        let (count, mean, max) = self
+                            .per_type
+                            .get(i)
+                            .map_or((0, 0.0, 0.0), |s| (s.count(), s.mean(), s.max()));
+                        let aborts = self.per_type_aborts.get(i).copied().unwrap_or(0);
+                        (count, mean, max, aborts)
+                    })
+                    .collect()
+            },
         }
     }
 }
@@ -269,6 +302,10 @@ pub struct RunResult {
     pub mean_response_s: f64,
     /// 95th-percentile response time, in seconds.
     pub p95_response_s: f64,
+    /// 99th-percentile response time, in seconds (same histogram; its
+    /// bounds are configurable via `ClusterConfig::resp_hist_bucket_s` /
+    /// `resp_hist_buckets`).
+    pub p99_response_s: f64,
     /// Cluster-wide disk read KB per committed transaction (Tables 1/3/5).
     pub read_kb_per_txn: f64,
     /// Cluster-wide disk write KB per committed transaction (Tables 1/3/5).
@@ -311,6 +348,12 @@ pub struct RunResult {
     /// the run executed — window sizes, deferral, pooling — and is
     /// therefore excluded from cross-driver equivalence fingerprints.
     pub driver_stats: Option<DriverStats>,
+    /// Trace event accounting when tracing was enabled (`None` otherwise;
+    /// filled by `ClusterState::finish_result`). Like `driver_stats` it
+    /// describes the observation of the run, not its outcome, and is
+    /// excluded from cross-driver equivalence fingerprints — the trace
+    /// *bytes* have their own, stricter, equality test axis.
+    pub trace_summary: Option<TraceSummary>,
     /// Per-certifier-group global commit versions, in group-local commit
     /// order (filled by `World::finish_result`; empty under unified
     /// certification). Part of the observable result: cross-driver
@@ -320,9 +363,10 @@ pub struct RunResult {
     /// Injected faults as they took effect, in order, over the whole run
     /// (crashes, recoveries, certifier failovers).
     pub faults: Vec<FaultEvent>,
-    /// Per-type `(count, mean response s, max response s)` indexed by type
-    /// id (types never completed may be missing from the tail).
-    pub per_type: Vec<(u64, f64, f64)>,
+    /// Per-type `(count, mean response s, max response s, aborts)` indexed
+    /// by type id (types never completed nor aborted may be missing from
+    /// the tail).
+    pub per_type: Vec<(u64, f64, f64, u64)>,
 }
 
 /// Summary of load-balancer reconfiguration activity.
@@ -440,10 +484,45 @@ mod tests {
     fn start_window_resets_counts() {
         let mut m = Metrics::new();
         m.record_completion(SimTime::from_secs(1), SimTime::ZERO, false);
-        m.record_abort();
+        m.record_abort(0);
         m.start_window(SimTime::from_secs(60), 0, 0);
         assert_eq!(m.committed(), 0);
         assert_eq!(m.aborts(), 0);
+    }
+
+    #[test]
+    fn start_window_keeps_configured_histogram_bounds() {
+        // 1 ms buckets up to 10 ms: a 5 ms response lands mid-histogram,
+        // which the default 50 ms buckets could not resolve.
+        let mut m = Metrics::with_hist(0.001, 10);
+        m.start_window(SimTime::from_secs(1), 0, 0);
+        for _ in 0..100 {
+            m.record_completion(SimTime::from_millis(1005), SimTime::from_secs(1), false);
+        }
+        let r = m.finish(SimTime::from_secs(2), 0, 0, Vec::new());
+        assert!(
+            r.p95_response_s > 0.004 && r.p95_response_s < 0.007,
+            "p95 {} must resolve at 1 ms granularity",
+            r.p95_response_s
+        );
+        assert!(r.p99_response_s >= r.p95_response_s);
+    }
+
+    #[test]
+    fn per_type_aborts_are_counted() {
+        let mut m = Metrics::new();
+        m.start_window(SimTime::ZERO, 0, 0);
+        m.record_completion_typed(SimTime::from_secs(1), SimTime::ZERO, true, 0);
+        m.record_abort(2);
+        m.record_abort(2);
+        m.record_abort(0);
+        let r = m.finish(SimTime::from_secs(2), 0, 0, Vec::new());
+        assert_eq!(r.aborts, 3);
+        assert_eq!(r.per_type.len(), 3, "padded to the aborting type");
+        assert_eq!(r.per_type[0].0, 1);
+        assert_eq!(r.per_type[0].3, 1);
+        assert_eq!(r.per_type[1].3, 0);
+        assert_eq!(r.per_type[2], (0, 0.0, 0.0, 2), "abort-only type");
     }
 
     #[test]
@@ -483,7 +562,7 @@ mod tests {
         let mut m = Metrics::new();
         m.start_window(SimTime::ZERO, 0, 0);
         m.record_completion(SimTime::from_secs(1), SimTime::ZERO, true);
-        m.record_abort();
+        m.record_abort(0);
         let r = m.finish(SimTime::from_secs(2), 0, 0, Vec::new());
         assert!((r.abort_fraction() - 0.5).abs() < 1e-9);
     }

@@ -32,6 +32,7 @@ use crate::driver::DriverStats;
 use crate::events::Ev;
 use crate::metrics::{GroupSnapshot, Metrics};
 use crate::placement::{CertMap, PlacementMap, ReplicationPlanner};
+use crate::trace::{TraceData, Tracer};
 
 /// Bookkeeping for one in-flight transaction.
 struct TxnMeta {
@@ -125,6 +126,12 @@ pub struct ClusterState {
     migration_us: u64,
     /// Metrics accumulator.
     pub metrics: Metrics,
+    /// Run tracer (disabled unless the config sets an exporter path). All
+    /// handler-side emissions happen here, on the coordinator, in exact
+    /// event pop order — worker-executed steps buffer on their node and the
+    /// driver replays them at the same slots — so the trace is byte-equal
+    /// across drivers.
+    pub tracer: Tracer,
     /// Window accounting deposited by the driver at the end of the run
     /// (`None` under the sequential driver). Carried into
     /// [`crate::metrics::RunResult::driver_stats`]; deliberately *not* part
@@ -213,6 +220,15 @@ impl ClusterState {
             .as_ref()
             .map(|p| vec![0; p.group_count()])
             .unwrap_or_default();
+        let tracer = Tracer::new(&config.trace);
+        if tracer.on() {
+            for slot in nodes.iter_mut() {
+                slot.as_mut()
+                    .expect("nodes are present at build time")
+                    .set_tracing(true);
+            }
+        }
+        let metrics = Metrics::with_hist(config.resp_hist_bucket_s, config.resp_hist_buckets);
         ClusterState {
             balancer,
             nodes,
@@ -226,7 +242,8 @@ impl ClusterState {
             group_load,
             migration_bytes: 0,
             migration_us: 0,
-            metrics: Metrics::new(),
+            metrics,
+            tracer,
             driver_stats: None,
             active_mix: 0,
             config,
@@ -405,7 +422,7 @@ impl ClusterState {
         queue: &mut EventQueue<Ev>,
     ) {
         self.certifier
-            .certify_decide(group, replica, txn, ws, check, queue)
+            .certify_decide(group, replica, txn, ws, check, &mut self.tracer, queue)
     }
 
     /// Total CPU and disk busy microseconds across replicas.
@@ -446,6 +463,7 @@ impl ClusterState {
         result.cert_group_commits = self.certifier.cert_group_commits();
         result.migration_bytes = self.migration_bytes;
         result.migration_us = self.migration_us;
+        result.trace_summary = self.tracer.summary();
         result
     }
 
@@ -497,13 +515,21 @@ impl ClusterState {
     pub fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
         match ev {
             Ev::ClientArrive { client } => self.on_client_arrive(now, client, queue),
-            Ev::StepTxn { replica, txn } => self.node_mut(replica).on_step(now, txn, queue),
+            Ev::StepTxn { replica, txn } => {
+                self.node_mut(replica).on_step(now, txn, queue);
+                if self.tracer.on() {
+                    let buffered = self.node_mut(replica).take_trace();
+                    self.tracer.replay(buffered);
+                }
+            }
             Ev::CertifySend {
                 replica,
                 txn,
                 ws,
                 groups,
-            } => self.certifier.on_send(now, replica, txn, ws, groups, queue),
+            } => self
+                .certifier
+                .on_send(now, replica, txn, ws, groups, &mut self.tracer, queue),
             Ev::CertifyReturn {
                 replica,
                 txn,
@@ -522,7 +548,15 @@ impl ClusterState {
             } => self.submit_txn(now, client, txn_type, arrived, retries, queue),
             Ev::Maintenance { replica, round } => self.on_maintenance(now, replica, round, queue),
             Ev::LbTick => {
-                for (replica, filter) in self.balancer.on_tick(now, queue) {
+                let (filters, moves) = self.balancer.on_tick(now, queue);
+                self.tracer.emit(
+                    now,
+                    TraceData::Lb {
+                        filters: filters.len(),
+                        moves,
+                    },
+                );
+                for (replica, filter) in filters {
                     // Under partial replication, placement *subsumes* §3
                     // update filtering: the holder sets already are the
                     // "keep current" lists with an explicit `min_copies`,
@@ -561,11 +595,20 @@ impl ClusterState {
                         now,
                         crate::metrics::FaultKind::CertifierFailover { group, leader },
                     );
+                    if self.tracer.on() {
+                        self.tracer.emit(
+                            now,
+                            TraceData::Fault {
+                                desc: format!("certifier failover group={group} leader={leader}"),
+                            },
+                        );
+                    }
                 }
             }
             Ev::CertifierRestart { group, member } => {
-                if let Some(tashkent_certifier::GroupEvent::FailedOver { leader, .. }) =
-                    self.certifier.on_restart(now, group, member, queue)
+                if let Some(tashkent_certifier::GroupEvent::FailedOver { leader, .. }) = self
+                    .certifier
+                    .on_restart(now, group, member, &mut self.tracer, queue)
                 {
                     // A revival election is a failover too: the restarted
                     // member pays the delay before draining the wait queue.
@@ -573,6 +616,16 @@ impl ClusterState {
                         now,
                         crate::metrics::FaultKind::CertifierFailover { group, leader },
                     );
+                    if self.tracer.on() {
+                        self.tracer.emit(
+                            now,
+                            TraceData::Fault {
+                                desc: format!(
+                                    "certifier restart-failover group={group} leader={leader}"
+                                ),
+                            },
+                        );
+                    }
                 }
             }
             Ev::EndWarmup => self.on_end_warmup(now),
@@ -593,7 +646,26 @@ impl ClusterState {
     ) {
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
+        if self.tracer.on() {
+            self.tracer.emit(
+                now,
+                TraceData::Arrive {
+                    txn: txn.0,
+                    client,
+                    txn_type: txn_type.0,
+                    type_name: self.workload.type_name(txn_type).to_string(),
+                    retries,
+                },
+            );
+        }
         let replica = self.balancer.dispatch(txn_type).0;
+        self.tracer.emit(
+            now,
+            TraceData::Dispatch {
+                txn: txn.0,
+                replica,
+            },
+        );
         if let Some(p) = &self.placement {
             // Partial replication's routing invariant: a transaction only
             // ever runs where every relation it touches is resident *and*
@@ -657,6 +729,14 @@ impl ClusterState {
         self.balancer.replica_failed(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaCrash(replica));
+        if self.tracer.on() {
+            self.tracer.emit(
+                now,
+                TraceData::Fault {
+                    desc: format!("crash replica={replica}"),
+                },
+            );
+        }
         // An in-flight backfill onto the crashed replica can never finish —
         // the partial copy died with the cache. Cancel the task and roll
         // back the holder membership it had optimistically widened, so the
@@ -749,6 +829,13 @@ impl ClusterState {
                 );
             } else {
                 self.metrics.record_gave_up();
+                self.tracer.emit(
+                    now,
+                    TraceData::GaveUp {
+                        txn: txn.0,
+                        client: meta.client,
+                    },
+                );
                 self.schedule_next_arrival(now, meta.client, queue);
             }
         }
@@ -896,6 +983,8 @@ impl ClusterState {
         let t = &mut self.backfills[task];
         t.bytes += bytes;
         t.next = next;
+        self.tracer
+            .emit(now, TraceData::BackfillChunk { task, bytes });
         let cap = self.config.backfill_bytes_per_sec.max(1);
         let delay = (bytes.saturating_mul(1_000_000) / cap).max(1);
         if next >= upto {
@@ -961,6 +1050,15 @@ impl ClusterState {
             },
         };
         self.metrics.record_fault(now, kind);
+        self.tracer.emit(
+            now,
+            TraceData::BackfillDone {
+                task,
+                group,
+                to: target,
+                bytes,
+            },
+        );
     }
 
     /// Periodic skew check: when the busiest holder of the hottest group is
@@ -974,11 +1072,21 @@ impl ClusterState {
         };
         queue.schedule(now + period.as_micros(), Ev::RebalanceTick);
         if self.backfills.iter().any(|t| !t.done && !t.cancelled) {
+            self.tracer
+                .emit(now, TraceData::Rebalance { migration: None });
             return;
         }
         let Some((hot, src, dst, rels)) = self.pick_migration() else {
+            self.tracer
+                .emit(now, TraceData::Rebalance { migration: None });
             return;
         };
+        self.tracer.emit(
+            now,
+            TraceData::Rebalance {
+                migration: Some((hot, src, dst)),
+            },
+        );
         self.widen_holder(hot, dst, &rels);
         self.start_backfill(now, hot, dst, rels, Some(src), queue);
         // Restart the skew window so the next tick judges post-migration
@@ -1055,6 +1163,14 @@ impl ClusterState {
         self.balancer.replica_recovered(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaRecover(replica));
+        if self.tracer.on() {
+            self.tracer.emit(
+                now,
+                TraceData::Fault {
+                    desc: format!("recover replica={replica}"),
+                },
+            );
+        }
         // The crash-time re-replication widened holder sets to keep
         // `min_copies` *live* copies; this recovery may leave groups
         // over-replicated. Shrink back so placement converges instead of
@@ -1145,6 +1261,14 @@ impl ClusterState {
                         from: victim,
                     },
                 );
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        now,
+                        TraceData::Fault {
+                            desc: format!("shrink group={g} holder={victim}"),
+                        },
+                    );
+                }
                 dirty = true;
             }
         }
@@ -1190,7 +1314,8 @@ impl ClusterState {
                     .on_return_commit(now, node, v, self.placement.as_ref())
             }
             None => {
-                self.metrics.record_abort();
+                let txn_type = self.txns[&txn].txn_type.0;
+                self.metrics.record_abort(txn_type);
                 now
             }
         };
@@ -1227,6 +1352,15 @@ impl ClusterState {
         self.node_mut(replica).on_finish(now, committed, queue);
         self.balancer.complete(ReplicaId(replica));
         let response_at = now + 2 * self.config.lan_hop_us;
+        self.tracer.emit(
+            now,
+            TraceData::Complete {
+                txn: txn.0,
+                replica,
+                committed,
+                response_us: response_at.saturating_since(meta.arrived),
+            },
+        );
         if committed {
             self.metrics.record_completion_typed(
                 response_at,
@@ -1247,6 +1381,13 @@ impl ClusterState {
             );
         } else {
             self.metrics.record_gave_up();
+            self.tracer.emit(
+                now,
+                TraceData::GaveUp {
+                    txn: txn.0,
+                    client: meta.client,
+                },
+            );
             self.schedule_next_arrival(response_at, meta.client, queue);
         }
     }
@@ -1284,6 +1425,29 @@ impl ClusterState {
                         disk: report.disk,
                     },
                 );
+                // Utilization timeline: one sample per replica per 1 s
+                // balancer-report round, from the same smoothed load the
+                // balancer sees plus the node's queue/memory state and any
+                // in-flight backfill traffic targeting it.
+                if self.tracer.on() {
+                    let backfill_bytes = self
+                        .backfills
+                        .iter()
+                        .filter(|t| t.target == replica && !t.done && !t.cancelled)
+                        .map(|t| t.bytes)
+                        .sum();
+                    self.tracer.emit(
+                        now,
+                        TraceData::Util {
+                            replica,
+                            cpu: report.cpu,
+                            disk: report.disk,
+                            queue: node.replica().outstanding(),
+                            resident_bytes: node.replica().resident_bytes(),
+                            backfill_bytes,
+                        },
+                    );
+                }
             }
         }
         queue.schedule(

@@ -163,6 +163,24 @@ impl World {
     pub fn set_filter(&mut self, replica: usize, filter: UpdateFilter) {
         self.state.set_filter(replica, filter);
     }
+
+    /// Writes the recorded trace to the paths configured in
+    /// [`crate::trace::TraceConfig`] — JSONL and/or Chrome `trace_event`
+    /// JSON. A no-op when tracing is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing either output file.
+    pub fn export_traces(&self) -> std::io::Result<()> {
+        let cfg = &self.state.config.trace;
+        if let Some(path) = &cfg.jsonl_path {
+            std::fs::write(path, self.state.tracer.export_jsonl())?;
+        }
+        if let Some(path) = &cfg.chrome_path {
+            std::fs::write(path, self.state.tracer.export_chrome())?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -176,6 +176,12 @@ impl ReplicaNode {
         self.pool.stats()
     }
 
+    /// Resident buffer-pool bytes — the working-set/memory estimate the
+    /// utilization timeline samples.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pool.resident() as u64 * tashkent_storage::PAGE_SIZE
+    }
+
     /// Total CPU busy time, in µs.
     pub fn cpu_busy_us(&self) -> u64 {
         self.cpu.total_busy_us()

@@ -1,0 +1,53 @@
+//! Run tracing walkthrough: records the `failover` scenario's full
+//! transaction lifecycle and writes both trace artifacts —
+//! `trace_failover.jsonl` (schema-stable JSONL, one event per line) and
+//! `trace_failover.jsonl.chrome.json` (Chrome `trace_event` format; open
+//! chrome://tracing or <https://ui.perfetto.dev> and load the file to see
+//! per-replica execution tracks, certifier-group decision tracks, and
+//! utilization counters around the injected crash and failover).
+//!
+//! ```sh
+//! cargo run --release --example trace_run
+//! ```
+//!
+//! The same artifacts come out of any entry point via the `TASHKENT_TRACE`
+//! environment variable, e.g.
+//! `TASHKENT_TRACE=run.jsonl cargo run --release --example failover`.
+
+use tashkent::cluster::{Failover, Scenario, ScenarioKnobs};
+
+fn main() {
+    let base = "trace_failover.jsonl";
+    let knobs = ScenarioKnobs {
+        replicas: 3,
+        clients_per_replica: 4,
+        measured_secs: 60,
+        ..ScenarioKnobs::smoke()
+    }
+    .with_trace(base);
+
+    println!(
+        "tracing the failover scenario ({} replicas)...",
+        knobs.replicas
+    );
+    let result = Failover::default()
+        .run(&knobs)
+        .expect("failover scenario runs to its End event");
+
+    let summary = result
+        .trace_summary
+        .expect("tracing was enabled, so the result carries a summary");
+    println!(
+        "\n{} committed, {} aborted; {} trace events recorded ({} emitted, {} dropped)",
+        result.committed, result.aborts, summary.recorded, summary.emitted, summary.dropped
+    );
+    println!("\nevents by kind:");
+    for (kind, n) in &summary.by_kind {
+        if *n > 0 {
+            println!("  {kind:<16} {n}");
+        }
+    }
+
+    println!("\nwrote {base} (JSONL; one event per line, `k` field is the kind)");
+    println!("wrote {base}.chrome.json (load in chrome://tracing or ui.perfetto.dev)");
+}

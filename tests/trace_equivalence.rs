@@ -1,0 +1,152 @@
+//! Cross-driver *trace* equivalence: with tracing enabled, the JSONL
+//! artifact must be byte-identical between the sequential reference driver
+//! and every parallel configuration.
+//!
+//! This is a strictly stronger check than the result fingerprints in
+//! `driver_equivalence`: it pins not just the outcome of every transaction
+//! but the full interleaving of lifecycle events — arrivals, dispatches,
+//! execution steps, certification decisions, completions, faults,
+//! utilization samples — at their exact simulated timestamps. Any
+//! divergence in the parallel driver's shard-local buffering or merge
+//! replay order shows up as a byte diff here before it could ever corrupt
+//! a result.
+
+use std::path::PathBuf;
+
+use tashkent::cluster::{run_scenario, DriverKind, ScenarioKnobs, TraceConfig};
+
+/// A unique temp path per (test, label) so concurrent test binaries and
+/// threads never collide.
+fn tmp(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "tashkent-trace-{}-{label}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// The parallel configurations of the acceptance matrix: the 2/4/8 worker
+/// widths plus the stress mode that forces even tiny windows through the
+/// pool's SPSC lanes.
+fn parallel_kinds() -> Vec<DriverKind> {
+    let mut kinds: Vec<DriverKind> = [2, 4, 8]
+        .into_iter()
+        .map(|threads| DriverKind::Parallel { threads })
+        .collect();
+    kinds.push(DriverKind::ParallelTuned {
+        threads: 2,
+        min_dispatch: 0,
+    });
+    kinds
+}
+
+/// Runs `scenario` traced under `kind` and returns the raw JSONL bytes.
+fn traced_jsonl(scenario: &str, knobs: &ScenarioKnobs, kind: DriverKind, label: &str) -> Vec<u8> {
+    let path = tmp(label);
+    let knobs = knobs
+        .clone()
+        .with_driver(kind)
+        .with_trace(path.to_str().expect("temp path is valid UTF-8"));
+    let result = run_scenario(scenario, &knobs).expect("traced run completes");
+    let summary = result
+        .trace_summary
+        .expect("tracing was enabled, so the result carries a summary");
+    assert_eq!(summary.dropped, 0, "smoke-scale runs fit the ring buffer");
+    assert!(summary.recorded > 0, "a traced run records events");
+    let bytes = std::fs::read(&path).expect("trace file was written");
+    let chrome = path.with_extension("jsonl.chrome.json");
+    assert!(chrome.exists(), "Chrome export written alongside JSONL");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&chrome);
+    bytes
+}
+
+fn assert_traces_byte_equal(scenario: &str, knobs: ScenarioKnobs) {
+    let seed = knobs.seed;
+    let sequential = traced_jsonl(
+        scenario,
+        &knobs,
+        DriverKind::Sequential,
+        &format!("{scenario}-{seed}-seq"),
+    );
+    assert!(
+        sequential.ends_with(b"\n"),
+        "JSONL artifact is newline-terminated"
+    );
+    for kind in parallel_kinds() {
+        let label = format!("{scenario}-{seed}-{kind:?}").replace([' ', '{', '}', ':', ','], "");
+        let parallel = traced_jsonl(scenario, &knobs, kind, &label);
+        assert!(
+            sequential == parallel,
+            "trace diverged on {scenario} seed {seed} under {kind:?}: \
+             sequential {} bytes, parallel {} bytes, first differing line {}",
+            sequential.len(),
+            parallel.len(),
+            first_diff_line(&sequential, &parallel),
+        );
+    }
+}
+
+/// 1-based line number of the first differing JSONL line (diagnostics).
+fn first_diff_line(a: &[u8], b: &[u8]) -> usize {
+    let la = a.split(|&c| c == b'\n');
+    let lb = b.split(|&c| c == b'\n');
+    la.zip(lb).take_while(|(x, y)| x == y).count() + 1
+}
+
+#[test]
+fn failover_traces_are_byte_equal_across_drivers_and_seeds() {
+    // Replica crash + recovery + certifier leader kill: the trace carries
+    // fault instants, gave-up clients, and retry arrivals.
+    for seed in [42, 7] {
+        assert_traces_byte_equal("failover", ScenarioKnobs::smoke().with_seed(seed));
+    }
+}
+
+#[test]
+fn rebalance_traces_are_byte_equal_across_drivers_and_seeds() {
+    // Partial replication with capped backfill and rebalancer ticks: the
+    // trace carries backfill chunks, rebalance decisions, and migrations,
+    // all of which must merge back deterministically.
+    for seed in [42, 7] {
+        assert_traces_byte_equal("rebalance", ScenarioKnobs::smoke().with_seed(seed));
+    }
+}
+
+#[test]
+fn untraced_runs_carry_no_summary() {
+    let r = run_scenario("failover", &ScenarioKnobs::smoke()).expect("untraced run completes");
+    assert!(r.trace_summary.is_none(), "tracing is off by default");
+}
+
+#[test]
+fn ring_buffer_cap_is_honored_and_drops_are_accounted() {
+    use tashkent::cluster::{run, Failover, Scenario};
+    let path = tmp("capped");
+    let mut exp = Failover::default().experiment(&ScenarioKnobs::smoke());
+    exp.config.trace = TraceConfig {
+        jsonl_path: Some(path.to_str().expect("temp path is valid UTF-8").to_string()),
+        chrome_path: None,
+        max_events: 100,
+    };
+    let r = run(exp).expect("capped traced run completes");
+    let summary = r.trace_summary.expect("tracing enabled");
+    assert!(summary.emitted > 100, "the run emits more than the cap");
+    assert_eq!(summary.recorded, 100, "ring buffer keeps exactly the cap");
+    assert_eq!(
+        summary.dropped,
+        summary.emitted - 100,
+        "every overflow is accounted"
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let trailer = text.lines().last().expect("summary trailer present");
+    assert!(
+        trailer.contains("\"k\":\"summary\"") && trailer.contains("\"dropped\":"),
+        "trailer surfaces the drop count: {trailer}"
+    );
+    assert_eq!(
+        text.lines().count(),
+        101,
+        "100 recorded events + the summary trailer"
+    );
+    let _ = std::fs::remove_file(&path);
+}
