@@ -382,6 +382,15 @@ impl CertifierLink {
         (self.sent_bytes, self.saved_bytes)
     }
 
+    /// Charges `us` of control-plane occupancy (a heartbeat round's
+    /// ping/ack pairs) against the link's shared NIC: certification
+    /// requests arriving before the probes drain wait behind them. Not
+    /// propagation traffic, so the fingerprinted byte counters are
+    /// untouched.
+    pub fn occupy_nic(&mut self, now: SimTime, us: u64) {
+        self.available_at = self.available_at.max(now) + us;
+    }
+
     /// Accounts the delivery of `pending` writesets to `replica`, adding to
     /// the shipped/saved counters (see [`delivery_bytes`]).
     fn account_delivery(

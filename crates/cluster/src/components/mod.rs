@@ -20,6 +20,6 @@ mod balancer_ctl;
 mod certifier_link;
 mod node;
 
-pub use balancer_ctl::BalancerCtl;
+pub use balancer_ctl::{BalancerCtl, HealthTransition, ReplicaHealth};
 pub use certifier_link::CertifierLink;
 pub use node::ClusterNode;

@@ -205,6 +205,37 @@ pub struct ClusterConfig {
     /// via `TASHKENT_TRACE` / `ScenarioKnobs::with_trace`) to record the
     /// full deterministic event trace. See [`crate::trace`].
     pub trace: TraceConfig,
+    /// Heartbeat period of the balancer's failure detector, in µs. `0` (the
+    /// default) disables detection entirely: fault events remain omniscient
+    /// (`Ev::ReplicaCrash` tells the balancer and triggers re-replication
+    /// synchronously, exactly the pre-detector behaviour). A non-zero period
+    /// makes the balancer ping every replica each period — probes occupy the
+    /// certifier-side NIC and pay LAN hops — and drive the per-replica
+    /// `Live → Suspected → Dead` accrual state machine; dispatch eligibility
+    /// then changes *only* through that state machine.
+    pub heartbeat_period_us: u64,
+    /// Consecutive missed heartbeats before a replica is *Suspected*
+    /// (removed from dispatch, in-flight transactions retried on survivors,
+    /// but no re-replication yet).
+    pub suspect_misses: u32,
+    /// Consecutive missed heartbeats before a suspected replica is declared
+    /// *Dead* (re-replication of under-copied groups begins). Must exceed
+    /// `suspect_misses`.
+    pub dead_misses: u32,
+    /// Checkpoint lag `k`: a crashed replica recovers at `applied − k` and
+    /// replays the redo window from the certifier log before rejoining.
+    /// `0` (the default) recovers from a perfectly fresh log position (the
+    /// historical behaviour).
+    pub checkpoint_lag: u64,
+    /// Per-request client timeout, in µs. `0` (the default) waits forever.
+    /// A non-zero timeout abandons the request on the (possibly dead)
+    /// replica and retries it after a capped exponential backoff through
+    /// the usual `Ev::TxnRetry` path.
+    pub client_timeout_us: u64,
+    /// Base of the client retry backoff (doubles per retry).
+    pub client_backoff_base_us: u64,
+    /// Cap on the client retry backoff.
+    pub client_backoff_cap_us: u64,
     /// RNG seed (runs are bit-reproducible per seed).
     pub seed: u64,
 }
@@ -237,6 +268,13 @@ impl ClusterConfig {
             resp_hist_bucket_s: 0.050,
             resp_hist_buckets: 400,
             trace: TraceConfig::default(),
+            heartbeat_period_us: 0,
+            suspect_misses: 2,
+            dead_misses: 5,
+            checkpoint_lag: 0,
+            client_timeout_us: 0,
+            client_backoff_base_us: 100_000,
+            client_backoff_cap_us: 2_000_000,
             seed: 42,
         }
     }
@@ -320,6 +358,24 @@ impl ClusterConfig {
         self.clients = clients;
         self
     }
+
+    /// Convenience: enable the heartbeat failure detector.
+    pub fn with_heartbeat(mut self, period_us: u64) -> Self {
+        self.heartbeat_period_us = period_us;
+        self
+    }
+
+    /// Convenience: set the checkpoint lag `k`.
+    pub fn with_checkpoint_lag(mut self, k: u64) -> Self {
+        self.checkpoint_lag = k;
+        self
+    }
+
+    /// Convenience: enable the per-request client timeout.
+    pub fn with_client_timeout(mut self, timeout_us: u64) -> Self {
+        self.client_timeout_us = timeout_us;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +396,25 @@ mod tests {
         assert!(!c.trace.enabled(), "tracing must be opt-in");
         assert_eq!(c.resp_hist_bucket_s, 0.050);
         assert_eq!(c.resp_hist_buckets, 400);
+    }
+
+    #[test]
+    fn detection_and_recovery_knobs_default_off() {
+        // The defaults must reproduce the pre-detector fault model bit for
+        // bit: no heartbeats, fresh-log recovery, clients wait forever.
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.heartbeat_period_us, 0, "detector must be opt-in");
+        assert_eq!(c.checkpoint_lag, 0, "fresh-log recovery by default");
+        assert_eq!(c.client_timeout_us, 0, "clients wait forever by default");
+        assert!(c.dead_misses > c.suspect_misses);
+        assert!(c.client_backoff_cap_us >= c.client_backoff_base_us);
+        let d = c
+            .with_heartbeat(500_000)
+            .with_checkpoint_lag(32)
+            .with_client_timeout(3_000_000);
+        assert_eq!(d.heartbeat_period_us, 500_000);
+        assert_eq!(d.checkpoint_lag, 32);
+        assert_eq!(d.client_timeout_us, 3_000_000);
     }
 
     #[test]

@@ -2005,6 +2005,7 @@ impl ParallelDriver {
                 } if groups.count_ones() == 1
                     && t <= t0 + lan_hop_us
                     && groups & cert_inline_mask == 0
+                    && !state.origin_partitioned(origin)
                     && state
                         .cert_link()
                         .group_of(groups.trailing_zeros() as usize)

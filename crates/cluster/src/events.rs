@@ -28,6 +28,12 @@
 use tashkent_engine::{TxnId, TxnTypeId, Version, Writeset};
 use tashkent_sim::SimTime;
 
+/// Sentinel "node id" for the control plane (balancer + certifier side) in
+/// [`Ev::LinkPartition`] pairs: partitioning `(CONTROL_NODE, r)` cuts
+/// replica `r` off from heartbeats, certification traffic, and propagation
+/// pulls without killing it — the deterministic false-suspicion injection.
+pub const CONTROL_NODE: usize = usize::MAX;
+
 /// The *replica-node* state an event's handler touches — the classification
 /// the parallel driver's window formation runs on.
 ///
@@ -277,6 +283,45 @@ pub enum Ev {
     /// donor is dropped on completion). Scheduled only when
     /// `ClusterConfig::migration_period` is set under partial replication.
     RebalanceTick,
+    /// Heartbeat round of the balancer's failure detector: ping every
+    /// replica (probes pay LAN hops and briefly occupy the certifier-side
+    /// NIC), feed the per-replica accrual counters, and apply any
+    /// `Live → Suspected → Dead` transitions — a *Suspected* replica leaves
+    /// dispatch/MALB eligibility and its in-flight transactions are retried
+    /// on survivors; re-replication waits for *Dead*. Scheduled only when
+    /// `ClusterConfig::heartbeat_period_us > 0`; self-reschedules each
+    /// period.
+    HeartbeatTick,
+    /// Partition the link between `a` and `b` (either may be
+    /// [`CONTROL_NODE`]): messages between the pair — heartbeats,
+    /// certification traffic, propagation pulls — are dropped until
+    /// `heal_at`, without killing either side. The handler schedules the
+    /// matching [`Ev::LinkHeal`] itself.
+    LinkPartition {
+        /// One endpoint (replica index or [`CONTROL_NODE`]).
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// When the link heals.
+        heal_at: SimTime,
+    },
+    /// Heal a partitioned link (scheduled by the `LinkPartition` handler).
+    LinkHeal {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A client's per-request timer fired before the response arrived: the
+    /// request is abandoned on its (possibly dead or partitioned) replica
+    /// and retried after a capped exponential backoff through the usual
+    /// [`Ev::TxnRetry`] path. Scheduled only when
+    /// `ClusterConfig::client_timeout_us > 0`; a no-op if the transaction
+    /// already completed.
+    ClientTimeout {
+        /// The timed-out transaction.
+        txn: TxnId,
+    },
     /// End of warm-up: reset the measurement window.
     EndWarmup,
     /// End of run.
@@ -322,7 +367,13 @@ impl Ev {
                 groups: *groups,
                 origin: *replica,
             },
-            Ev::ClientArrive { .. } | Ev::TxnRetry { .. } => Footprint::Dispatch,
+            // A client timeout only abandons coordinator-side transaction
+            // metadata and releases balancer accounting; the earliest
+            // shard-visible consequence is the retried submission's first
+            // step, at least two hops out — the same contract as `TxnRetry`.
+            Ev::ClientArrive { .. } | Ev::TxnRetry { .. } | Ev::ClientTimeout { .. } => {
+                Footprint::Dispatch
+            }
             Ev::LbTick
             | Ev::MixSwitch { .. }
             | Ev::FreezeLb
@@ -334,6 +385,13 @@ impl Ev {
             | Ev::BackfillChunk { .. }
             | Ev::BackfillDone { .. }
             | Ev::RebalanceTick
+            // Heartbeat rounds read every replica's liveness and may flip
+            // dispatch eligibility cluster-wide; partitions change which
+            // messages *any* handler may deliver. Both are rare control
+            // events: a window barrier keeps them trivially bit-exact.
+            | Ev::HeartbeatTick
+            | Ev::LinkPartition { .. }
+            | Ev::LinkHeal { .. }
             | Ev::EndWarmup
             | Ev::End => Footprint::Global,
         }
@@ -448,6 +506,12 @@ mod tests {
             .footprint(),
             Footprint::Dispatch
         );
+        // A timeout abandons coordinator-side metadata only; its retry is
+        // at least two hops from any shard-visible effect.
+        assert_eq!(
+            Ev::ClientTimeout { txn: TxnId(7) }.footprint(),
+            Footprint::Dispatch
+        );
         let globals = [
             Ev::LbTick,
             Ev::MixSwitch { mix: 1 },
@@ -469,6 +533,18 @@ mod tests {
             Ev::BackfillChunk { task: 0 },
             Ev::BackfillDone { task: 0 },
             Ev::RebalanceTick,
+            // Detector rounds and partition changes flip cluster-wide
+            // eligibility/reachability: window barriers.
+            Ev::HeartbeatTick,
+            Ev::LinkPartition {
+                a: CONTROL_NODE,
+                b: 1,
+                heal_at: SimTime::from_secs(2),
+            },
+            Ev::LinkHeal {
+                a: CONTROL_NODE,
+                b: 1,
+            },
             Ev::EndWarmup,
             Ev::End,
         ];

@@ -19,6 +19,7 @@ use crate::driver::{DriverKind, RunError};
 use crate::metrics::RunResult;
 use crate::world::{Ev, World};
 
+pub use crate::detection::{Detection, DetectionSchedule};
 pub use crate::failover::{Failover, FailoverSchedule};
 pub use crate::partial::PartialReplication;
 pub use crate::rebalance::Rebalance;
@@ -170,6 +171,20 @@ pub struct ScenarioKnobs {
     /// writes `<path>` (JSONL) plus `<path>.chrome.json` (Chrome
     /// `trace_event` format). `None` (the default) keeps tracing off.
     pub trace: Option<String>,
+    /// Heartbeat failure detection period, µs. `None` keeps the omniscient
+    /// oracle fault model (crash events notify the balancer directly);
+    /// `Some(p)` runs the suspicion state machine off heartbeat rounds
+    /// every `p` µs.
+    pub heartbeat_period_us: Option<u64>,
+    /// Checkpoint lag `k`: crashed replicas recover at `applied − k` and
+    /// replay the redo window from the certifier log. `None` keeps the
+    /// historical exact-prefix recovery (`k = 0`).
+    pub checkpoint_lag: Option<u64>,
+    /// Per-request client timeout, µs. `None` keeps clients waiting
+    /// indefinitely (the historical behaviour); `Some(t)` abandons and
+    /// retries a request `t` µs after submission, with capped exponential
+    /// backoff.
+    pub client_timeout_us: Option<u64>,
 }
 
 impl Default for ScenarioKnobs {
@@ -188,6 +203,9 @@ impl Default for ScenarioKnobs {
             cert_groups: None,
             backfill_bytes_per_sec: None,
             trace: None,
+            heartbeat_period_us: None,
+            checkpoint_lag: None,
+            client_timeout_us: None,
         }
     }
 }
@@ -248,6 +266,24 @@ impl ScenarioKnobs {
         self
     }
 
+    /// Sets (or clears) the heartbeat failure-detection period.
+    pub fn with_heartbeat(mut self, period_us: Option<u64>) -> Self {
+        self.heartbeat_period_us = period_us;
+        self
+    }
+
+    /// Sets (or clears) the checkpoint-lag recovery depth.
+    pub fn with_checkpoint_lag(mut self, k: Option<u64>) -> Self {
+        self.checkpoint_lag = k;
+        self
+    }
+
+    /// Sets (or clears) the per-request client timeout.
+    pub fn with_client_timeout(mut self, timeout_us: Option<u64>) -> Self {
+        self.client_timeout_us = timeout_us;
+        self
+    }
+
     /// The cluster configuration these knobs describe, under `default`
     /// policy when no override is set.
     pub fn config(&self, default_policy: PolicySpec) -> ClusterConfig {
@@ -267,6 +303,15 @@ impl ScenarioKnobs {
             None => CertifierSharding::Unified,
         };
         config.backfill_bytes_per_sec = self.backfill_bytes_per_sec.unwrap_or(0);
+        if let Some(p) = self.heartbeat_period_us {
+            config.heartbeat_period_us = p;
+        }
+        if let Some(k) = self.checkpoint_lag {
+            config.checkpoint_lag = k;
+        }
+        if let Some(t) = self.client_timeout_us {
+            config.client_timeout_us = t;
+        }
         // The knob wins over the environment; either enables both exporters.
         let trace_base = self
             .trace
@@ -434,6 +479,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(RubisAuctionMix::default()),
         Box::new(DynamicReconfig::default()),
         Box::new(Failover::default()),
+        Box::new(Detection::default()),
         Box::new(PartialReplication::default()),
         Box::new(Rebalance::default()),
     ]

@@ -34,6 +34,7 @@
 
 pub mod components;
 pub mod config;
+pub mod detection;
 pub mod driver;
 pub mod events;
 pub mod experiment;
@@ -47,13 +48,14 @@ pub mod sync;
 pub mod trace;
 pub mod world;
 
-pub use components::{BalancerCtl, CertifierLink, ClusterNode};
+pub use components::{BalancerCtl, CertifierLink, ClusterNode, HealthTransition, ReplicaHealth};
 pub use config::{CertifierSharding, ClusterConfig, PlacementSpec, PolicySpec};
+pub use detection::{Detection, DetectionSchedule};
 pub use driver::{
     Driver, DriverKind, DriverStats, ParallelDriver, RunError, SequentialDriver,
     HANDOFF_HIST_BUCKETS, WINDOW_HIST_BUCKETS,
 };
-pub use events::{Ev, Footprint, NodeDemand};
+pub use events::{Ev, Footprint, NodeDemand, CONTROL_NODE};
 pub use experiment::{
     calibrate_standalone, registry, run, run_scenario, scenario, Calibration, DynamicReconfig,
     Experiment, Failover, FailoverSchedule, RubisAuctionMix, Scenario, ScenarioKnobs,

@@ -69,6 +69,39 @@ pub enum FaultKind {
         /// The holder dropped from the group.
         from: usize,
     },
+    /// The failure detector suspected a replica (index): missed heartbeats
+    /// crossed `ClusterConfig::suspect_misses`. Dispatch eligibility drops
+    /// and in-flight transactions are retried on survivors, but
+    /// re-replication waits for [`FaultKind::ReplicaDead`]. The event's
+    /// `injected_at` carries the underlying fault's injection time, so
+    /// `at − injected_at` is the detection latency.
+    ReplicaSuspected(usize),
+    /// The failure detector confirmed a suspected replica dead (index):
+    /// missed heartbeats crossed `ClusterConfig::dead_misses`.
+    /// Re-replication of under-copied groups begins here.
+    ReplicaDead(usize),
+    /// A previously suspected (or dead-declared) replica answered a
+    /// heartbeat again (index): a false suspicion, or a recovery finishing
+    /// its redo replay. The replica rejoins dispatch via a cheap
+    /// filter-widen; if it had been declared dead, over-replicated groups
+    /// shrink back.
+    ReplicaTrusted(usize),
+    /// A link partition took effect between `a` and `b` (either may be
+    /// [`crate::events::CONTROL_NODE`]): messages between the pair are
+    /// dropped until the heal.
+    Partition {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// The partitioned link between `a` and `b` healed.
+    PartitionHealed {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
 }
 
 /// One failure-injection event, as it actually took effect during the run.
@@ -76,12 +109,29 @@ pub enum FaultKind {
 /// The fault log is part of the run's observable result: cross-driver
 /// equivalence includes crash/recover timing, so a driver that reordered
 /// failure handling would be caught.
+///
+/// `at` is when the cluster *acted on* the fault; `injected_at` is when the
+/// underlying physical fault happened. With the omniscient oracle the two
+/// coincide; with the heartbeat detector a [`FaultKind::ReplicaSuspected`]
+/// records `at > injected_at` and the gap is the detection latency —
+/// first-class in the equivalence fingerprint via `PartialEq`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
-    /// When the fault took effect.
+    /// When the fault took effect (the cluster reacted).
     pub at: SimTime,
+    /// When the underlying fault was physically injected (equals `at` for
+    /// oracle-observed faults).
+    pub injected_at: SimTime,
     /// What happened.
     pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Detection latency: how long the fault went unnoticed before the
+    /// cluster reacted (zero for oracle-observed faults).
+    pub fn detection_latency_us(&self) -> u64 {
+        self.at.saturating_since(self.injected_at)
+    }
 }
 
 /// Live accounting during a run.
@@ -159,9 +209,25 @@ impl Metrics {
         self.write_bytes0 = write_bytes;
     }
 
-    /// Records an injected fault as it takes effect.
+    /// Records an injected fault as it takes effect (oracle-observed:
+    /// injection and effect coincide).
     pub fn record_fault(&mut self, at: SimTime, kind: FaultKind) {
-        self.faults.push(FaultEvent { at, kind });
+        self.faults.push(FaultEvent {
+            at,
+            injected_at: at,
+            kind,
+        });
+    }
+
+    /// Records a *detected* fault: the cluster reacted at `at` to a fault
+    /// physically injected at `injected_at` (suspicions, dead declarations,
+    /// trust restorations). The gap is the detection latency.
+    pub fn record_fault_detected(&mut self, at: SimTime, injected_at: SimTime, kind: FaultKind) {
+        self.faults.push(FaultEvent {
+            at,
+            injected_at,
+            kind,
+        });
     }
 
     /// Injected faults so far, in effect order.
@@ -263,6 +329,8 @@ impl Metrics {
             filtered_ws_bytes: 0,
             migration_bytes: 0,
             migration_us: 0,
+            redo_bytes: 0,
+            redo_us: 0,
             driver_stats: None,
             trace_summary: None,
             cert_group_commits: Vec::new(),
@@ -343,6 +411,16 @@ pub struct RunResult {
     /// tasks (filled by `World::finish_result`). Under a bandwidth cap this
     /// scales inversely with the cap — the observable cost of migration.
     pub migration_us: u64,
+    /// Bytes replayed from the certifier log by recovering replicas over
+    /// the whole run (filled by `World::finish_result`). With
+    /// `ClusterConfig::checkpoint_lag = 0` this covers only the writesets
+    /// missed while down; a non-zero lag adds the `applied − k` redo window
+    /// on top, competing with foreground propagation.
+    pub redo_bytes: u64,
+    /// Total simulated time recovering replicas spent replaying redo
+    /// windows, in µs, summed over recoveries (filled by
+    /// `World::finish_result`).
+    pub redo_us: u64,
     /// Window accounting from the parallel driver (`None` under the
     /// sequential driver; filled by `World::finish_result`). Describes how
     /// the run executed — window sizes, deferral, pooling — and is
@@ -565,6 +643,27 @@ mod tests {
         m.record_abort(0);
         let r = m.finish(SimTime::from_secs(2), 0, 0, Vec::new());
         assert!((r.abort_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detected_faults_carry_injection_time() {
+        let mut m = Metrics::new();
+        m.record_fault(SimTime::from_secs(1), FaultKind::ReplicaCrash(2));
+        m.record_fault_detected(
+            SimTime::from_secs(3),
+            SimTime::from_secs(1),
+            FaultKind::ReplicaSuspected(2),
+        );
+        // Oracle faults have zero detection latency; detected faults carry
+        // the inject → react gap.
+        assert_eq!(m.faults()[0].detection_latency_us(), 0);
+        assert_eq!(m.faults()[1].detection_latency_us(), 2_000_000);
+        // The window reset preserves injection times along with the log.
+        m.start_window(SimTime::from_secs(10), 0, 0);
+        let r = m.finish(SimTime::from_secs(20), 0, 0, Vec::new());
+        assert_eq!(r.faults.len(), 2);
+        assert_eq!(r.faults[1].injected_at, SimTime::from_secs(1));
+        assert_eq!(r.faults[1].at, SimTime::from_secs(3));
     }
 
     #[test]

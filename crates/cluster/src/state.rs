@@ -26,11 +26,11 @@ use tashkent_sim::{EventQueue, SimRng, SimTime};
 use tashkent_storage::RelationId;
 use tashkent_workloads::{ClientPool, Mix, Workload};
 
-use crate::components::{BalancerCtl, CertifierLink, ClusterNode};
+use crate::components::{BalancerCtl, CertifierLink, ClusterNode, HealthTransition, ReplicaHealth};
 use crate::config::{CertifierSharding, ClusterConfig, PlacementSpec};
 use crate::driver::DriverStats;
-use crate::events::Ev;
-use crate::metrics::{GroupSnapshot, Metrics};
+use crate::events::{Ev, CONTROL_NODE};
+use crate::metrics::{FaultKind, GroupSnapshot, Metrics};
 use crate::placement::{CertMap, PlacementMap, ReplicationPlanner};
 use crate::trace::{TraceData, Tracer};
 
@@ -45,6 +45,11 @@ struct TxnMeta {
     /// Replica the transaction was dispatched to — a crash there orphans
     /// the transaction and the client retries elsewhere.
     replica: usize,
+    /// The client stopped waiting (request timeout or suspicion sweep) and
+    /// was already retried elsewhere; the transaction may still be running
+    /// on its replica, so the meta lingers only to free the Gatekeeper slot
+    /// when the stale completion arrives — no client-side effects then.
+    abandoned: bool,
 }
 
 /// Bytes shipped per [`Ev::BackfillChunk`] under a bandwidth cap. Small
@@ -124,6 +129,26 @@ pub struct ClusterState {
     /// migration) and total in-flight time, for [`crate::metrics::RunResult`].
     migration_bytes: u64,
     migration_us: u64,
+    /// Injected network partitions, as normalized `(min, max)` node pairs
+    /// ([`CONTROL_NODE`] stands for the balancer/certifier side). Messages
+    /// between partitioned pairs — heartbeats, certification traffic,
+    /// propagation pulls — are dropped until the matching [`Ev::LinkHeal`].
+    partitions: Vec<(usize, usize)>,
+    /// When the physical fault behind a replica's unreachability was
+    /// injected (crash or control-link partition) — the epoch detection
+    /// latency is measured from. Cleared when the detector re-trusts the
+    /// replica.
+    fault_started: Vec<Option<SimTime>>,
+    /// Until this instant a recovering replica is busy replaying the redo
+    /// window and does not answer heartbeats — with the detector on it
+    /// rejoins dispatch only at the *Trusted* transition after replay.
+    recovering_until: Vec<SimTime>,
+    /// Recovery replay totals: certifier-log bytes re-shipped at
+    /// [`Ev::ReplicaRecover`] (the checkpoint-lag redo window plus whatever
+    /// the replica missed while down) and the replay time, for
+    /// [`crate::metrics::RunResult`].
+    redo_bytes: u64,
+    redo_us: u64,
     /// Metrics accumulator.
     pub metrics: Metrics,
     /// Run tracer (disabled unless the config sets an exporter path). All
@@ -242,6 +267,11 @@ impl ClusterState {
             group_load,
             migration_bytes: 0,
             migration_us: 0,
+            partitions: Vec::new(),
+            fault_started: vec![None; config.replicas],
+            recovering_until: vec![SimTime::ZERO; config.replicas],
+            redo_bytes: 0,
+            redo_us: 0,
             metrics,
             tracer,
             driver_stats: None,
@@ -278,6 +308,58 @@ impl ClusterState {
                 queue.schedule(SimTime::ZERO + period.as_micros(), Ev::RebalanceTick);
             }
         }
+        // Heartbeat failure detection: each round's pings pay their LAN
+        // round trip before the balancer reads the answers, so the first
+        // tick lands one period plus one RTT in.
+        if self.config.heartbeat_period_us > 0 {
+            queue.schedule(
+                SimTime::from_micros(self.config.heartbeat_period_us + 2 * self.config.lan_hop_us),
+                Ev::HeartbeatTick,
+            );
+        }
+    }
+
+    /// Whether the heartbeat failure detector runs. When it does, *no*
+    /// handler acts on oracle crash knowledge: dispatch eligibility,
+    /// in-flight retries, and re-replication all change only through the
+    /// detector's `Live → Suspected → Dead` transitions.
+    fn detection_on(&self) -> bool {
+        self.config.heartbeat_period_us > 0
+    }
+
+    /// Whether a partition currently severs the `a`–`b` link.
+    fn partitioned(&self, a: usize, b: usize) -> bool {
+        self.partitions.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Whether `origin`'s link to the control side (balancer + certifier) is
+    /// partitioned — its certification sends never arrive. The parallel
+    /// driver consults this before taking the pooled certification
+    /// fast path, so a dropped send demotes to the deferred handler.
+    pub fn origin_partitioned(&self, origin: usize) -> bool {
+        self.partitioned(origin, CONTROL_NODE)
+    }
+
+    /// The detector's belief about `replica` (always `Live` with the
+    /// detector off).
+    pub fn replica_health(&self, replica: usize) -> ReplicaHealth {
+        self.balancer.health(replica)
+    }
+
+    /// Whether `replica` is a sane re-replication participant: physically
+    /// up *and* believed live by the detector. With the detector off the
+    /// belief is always `Live`, so this reduces to `is_up()` — bit-exact
+    /// with the oracle semantics.
+    fn believed_live(&self, replica: usize) -> bool {
+        self.node(replica).is_up() && self.balancer.health(replica) == ReplicaHealth::Live
+    }
+
+    /// Capped exponential client backoff for retry number `retries`.
+    fn backoff_us(&self, retries: u32) -> u64 {
+        self.config
+            .client_backoff_base_us
+            .saturating_mul(1u64 << retries.min(20))
+            .min(self.config.client_backoff_cap_us)
     }
 
     /// Whether the `End` event has fired.
@@ -463,6 +545,8 @@ impl ClusterState {
         result.cert_group_commits = self.certifier.cert_group_commits();
         result.migration_bytes = self.migration_bytes;
         result.migration_us = self.migration_us;
+        result.redo_bytes = self.redo_bytes;
+        result.redo_us = self.redo_us;
         result.trace_summary = self.tracer.summary();
         result
     }
@@ -527,9 +611,24 @@ impl ClusterState {
                 txn,
                 ws,
                 groups,
-            } => self
-                .certifier
-                .on_send(now, replica, txn, ws, groups, &mut self.tracer, queue),
+            } => {
+                if self.partitioned(replica, CONTROL_NODE) {
+                    // The writeset never reaches the certifier. The
+                    // replica-side proxy sees the connection drop and frees
+                    // the Gatekeeper slot (the executor already left at
+                    // ReadyToCommit); the client is rescued later by its
+                    // timeout or the suspicion sweep, unless it already gave
+                    // up waiting — then this was the transaction's last
+                    // event and the meta can go too.
+                    self.node_mut(replica).on_finish(now, false, queue);
+                    if self.txns.get(&txn).is_some_and(|m| m.abandoned) {
+                        self.txns.remove(&txn);
+                    }
+                } else {
+                    self.certifier
+                        .on_send(now, replica, txn, ws, groups, &mut self.tracer, queue)
+                }
+            }
             Ev::CertifyReturn {
                 replica,
                 txn,
@@ -628,6 +727,12 @@ impl ClusterState {
                     }
                 }
             }
+            Ev::HeartbeatTick => self.on_heartbeat_tick(now, queue),
+            Ev::LinkPartition { a, b, heal_at } => {
+                self.on_link_partition(now, a, b, heal_at, queue)
+            }
+            Ev::LinkHeal { a, b } => self.on_link_heal(now, a, b),
+            Ev::ClientTimeout { txn } => self.on_client_timeout(now, txn, queue),
             Ev::EndWarmup => self.on_end_warmup(now),
             Ev::End => self.ended = true,
         }
@@ -666,6 +771,32 @@ impl ClusterState {
                 replica,
             },
         );
+        // With the detector on, the balancer may still dispatch to a
+        // physically dead replica it has not suspected yet — the oracle
+        // never tells it. The TCP connect is refused after one round trip
+        // and the client retries with capped exponential backoff, which is
+        // what bridges the detection window without a storm.
+        if self.detection_on() && !self.node(replica).is_up() {
+            self.balancer.complete(ReplicaId(replica));
+            let refused_at = now + 2 * self.config.lan_hop_us;
+            if retries < self.clients.max_retries {
+                queue.schedule(
+                    refused_at + self.backoff_us(retries),
+                    Ev::TxnRetry {
+                        client,
+                        txn_type,
+                        arrived,
+                        retries: retries + 1,
+                    },
+                );
+            } else {
+                self.metrics.record_gave_up();
+                self.tracer
+                    .emit(now, TraceData::GaveUp { txn: txn.0, client });
+                self.schedule_next_arrival(refused_at, client, queue);
+            }
+            return;
+        }
         if let Some(p) = &self.placement {
             // Partial replication's routing invariant: a transaction only
             // ever runs where every relation it touches is resident *and*
@@ -697,9 +828,16 @@ impl ClusterState {
                 retries,
                 is_update,
                 replica,
+                abandoned: false,
             },
         );
         node.submit(now, txn, executor, queue);
+        if self.config.client_timeout_us > 0 {
+            queue.schedule(
+                now + self.config.client_timeout_us,
+                Ev::ClientTimeout { txn },
+            );
+        }
     }
 
     /// Crashes a replica: cold cache, admission queue drained, every
@@ -726,6 +864,27 @@ impl ClusterState {
              (at least one must stay up for dispatch)"
         );
         self.node_mut(replica).crash();
+        if self.detection_on() {
+            // Physical death only. The balancer learns nothing here — the
+            // replica simply stops answering heartbeats, and eligibility,
+            // retries, and re-replication follow from the detector's
+            // Suspected/Dead transitions. In-flight metas stay put for the
+            // suspicion sweep.
+            if self.fault_started[replica].is_none() {
+                self.fault_started[replica] = Some(now);
+            }
+            self.metrics
+                .record_fault(now, FaultKind::ReplicaCrash(replica));
+            if self.tracer.on() {
+                self.tracer.emit(
+                    now,
+                    TraceData::Fault {
+                        desc: format!("crash replica={replica}"),
+                    },
+                );
+            }
+            return;
+        }
         self.balancer.replica_failed(ReplicaId(replica));
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaCrash(replica));
@@ -741,32 +900,7 @@ impl ClusterState {
         // the partial copy died with the cache. Cancel the task and roll
         // back the holder membership it had optimistically widened, so the
         // durability scan below sees the true live-copy counts.
-        if self.placement.is_some() {
-            let mut rolled_back = false;
-            for task in 0..self.backfills.len() {
-                let t = &self.backfills[task];
-                if t.target != replica || t.done || t.cancelled {
-                    continue;
-                }
-                let (group, rels) = (t.group, t.rels.clone());
-                self.backfills[task].cancelled = true;
-                let p = self.placement.as_mut().expect("placement checked above");
-                p.complete_backfill(replica, &rels);
-                p.remove_holder(group, replica);
-                rolled_back = true;
-            }
-            if rolled_back {
-                let (filter, masks) = {
-                    let p = self.placement.as_ref().expect("placement checked above");
-                    (
-                        p.filter_for(replica),
-                        p.type_masks(self.workload.types.len()),
-                    )
-                };
-                self.node_mut(replica).set_filter(filter);
-                self.balancer.set_type_eligibility(Some(masks));
-            }
-        }
+        self.cancel_backfills_targeting(replica);
         // Durability invariant under partial replication: any group this
         // crash leaves below `min_copies` live holders is re-replicated onto
         // a survivor *now*, via certifier-log backfill, before the orphan
@@ -841,6 +975,41 @@ impl ClusterState {
         }
     }
 
+    /// Cancels every in-flight backfill onto `replica` and rolls back the
+    /// holder membership each had optimistically widened, so durability
+    /// scans see the true copy counts. Shared by the oracle crash path, the
+    /// detector's *Dead* transition, and the chunk handler's dead-target
+    /// guard.
+    fn cancel_backfills_targeting(&mut self, replica: usize) {
+        if self.placement.is_none() {
+            return;
+        }
+        let mut rolled_back = false;
+        for task in 0..self.backfills.len() {
+            let t = &self.backfills[task];
+            if t.target != replica || t.done || t.cancelled {
+                continue;
+            }
+            let (group, rels) = (t.group, t.rels.clone());
+            self.backfills[task].cancelled = true;
+            let p = self.placement.as_mut().expect("placement checked above");
+            p.complete_backfill(replica, &rels);
+            p.remove_holder(group, replica);
+            rolled_back = true;
+        }
+        if rolled_back {
+            let (filter, masks) = {
+                let p = self.placement.as_ref().expect("placement checked above");
+                (
+                    p.filter_for(replica),
+                    p.type_masks(self.workload.types.len()),
+                )
+            };
+            self.node_mut(replica).set_filter(filter);
+            self.balancer.set_type_eligibility(Some(masks));
+        }
+    }
+
     /// Copies relation group `group` onto one more live replica: widens the
     /// target's holder membership and update filter *immediately* (so the
     /// copy converges through foreground propagation while it backfills),
@@ -865,14 +1034,12 @@ impl ClusterState {
             if group >= p.group_count() {
                 return None;
             }
+            // Targets must be believed live — with the detector on, a
+            // suspected-but-up replica is unreachable from the control side
+            // and would receive a copy nobody can use; with it off this is
+            // exactly the historical `is_up()` filter.
             let target = (0..self.config.replicas)
-                .filter(|r| {
-                    self.nodes[*r]
-                        .as_ref()
-                        .expect("node leased to a driver shard")
-                        .is_up()
-                        && !p.holds_group(*r, group)
-                })
+                .filter(|r| self.believed_live(*r) && !p.holds_group(*r, group))
                 .min_by_key(|r| (p.held_pages(*r), *r))?;
             // Only the relations the target does not already hold through
             // other groups need backfilling — overlap makes close standbys
@@ -968,12 +1135,25 @@ impl ClusterState {
     /// Ships one bandwidth-capped slice of backfill task `task` and
     /// schedules the next chunk (or completion) paced by the cap.
     fn on_backfill_chunk(&mut self, now: SimTime, task: usize, queue: &mut EventQueue<Ev>) {
-        let t = &self.backfills[task];
-        if t.done || t.cancelled {
+        let (finished, target) = {
+            let t = &self.backfills[task];
+            (t.done || t.cancelled, t.target)
+        };
+        if finished {
             return;
         }
-        let (target, from, upto) = (t.target, t.next, t.upto);
-        let rels = t.rels.clone();
+        // Detection mode: the oracle no longer cancels tasks at crash time,
+        // so a chunk may land on a target that died since the last one.
+        // The copy died with the cache — cancel here rather than apply
+        // pages to a corpse. (Unreachable with the detector off.)
+        if !self.node(target).is_up() {
+            self.cancel_backfills_targeting(target);
+            return;
+        }
+        let (from, upto, rels) = {
+            let t = &self.backfills[task];
+            (t.next, t.upto, t.rels.clone())
+        };
         let node = self.nodes[target]
             .as_mut()
             .expect("node leased to a driver shard");
@@ -1147,20 +1327,49 @@ impl ClusterState {
     /// missed from the certifier's persistent log — paying cold-cache page
     /// reads — then the replica rejoins dispatch.
     fn on_replica_recover(&mut self, now: SimTime, replica: usize) {
-        let node = self.nodes[replica]
-            .as_mut()
-            .expect("node leased to a driver shard");
-        if node.is_up() {
+        if self.node(replica).is_up() {
             return;
         }
-        node.mark_recovered();
+        self.node_mut(replica).mark_recovered();
+        // Checkpoint-lag crash model: the durable on-disk state is a
+        // checkpoint `k` versions behind what the replica had applied when
+        // it died, so the replay window covers that redo prefix *plus*
+        // whatever committed while it was down.
+        let k = self.config.checkpoint_lag;
+        let from = Version(self.node(replica).applied().0.saturating_sub(k));
+        if k > 0 {
+            self.node_mut(replica).replica_mut().recover(from);
+            let head = self.certifier.version();
+            self.tracer.emit(
+                now,
+                TraceData::RedoStart {
+                    replica,
+                    from: from.0,
+                    head: head.0,
+                },
+            );
+        }
         // The replay's CPU and disk work is charged through the node's
         // queueing models at `now`, so transactions dispatched to the
         // rejoining replica queue behind it — the completion time itself
         // needs no separate event. Under partial replication the replay
         // carries pages only for held groups (the rest are version ticks).
-        let _replay_done = self.certifier.catch_up(now, node, self.placement.as_ref());
-        self.balancer.replica_recovered(ReplicaId(replica));
+        let (sent0, _) = self.certifier.propagation_bytes();
+        let replay_done = {
+            let node = self.nodes[replica]
+                .as_mut()
+                .expect("node leased to a driver shard");
+            self.certifier.catch_up(now, node, self.placement.as_ref())
+        };
+        let (sent1, _) = self.certifier.propagation_bytes();
+        let bytes = sent1.saturating_sub(sent0);
+        let us = replay_done.saturating_since(now);
+        self.redo_bytes += bytes;
+        self.redo_us += us;
+        if k > 0 {
+            self.tracer
+                .emit(now, TraceData::RedoDone { replica, bytes, us });
+        }
         self.metrics
             .record_fault(now, crate::metrics::FaultKind::ReplicaRecover(replica));
         if self.tracer.on() {
@@ -1171,6 +1380,15 @@ impl ClusterState {
                 },
             );
         }
+        if self.detection_on() {
+            // The replica does not answer heartbeats until the replay
+            // drains; dispatch eligibility and the over-replication shrink
+            // follow at the detector's *Trusted* transition, never from
+            // oracle knowledge.
+            self.recovering_until[replica] = replay_done;
+            return;
+        }
+        self.balancer.replica_recovered(ReplicaId(replica));
         // The crash-time re-replication widened holder sets to keep
         // `min_copies` *live* copies; this recovery may leave groups
         // over-replicated. Shrink back so placement converges instead of
@@ -1281,6 +1499,298 @@ impl ClusterState {
         }
     }
 
+    /// One heartbeat round: the balancer pings every replica, the probe
+    /// pairs occupy the control-side NIC, and the answers feed the
+    /// per-replica accrual counters. The resulting transitions — and only
+    /// they — change dispatch eligibility, retry in-flight work, trigger
+    /// re-replication, or restore trust.
+    fn on_heartbeat_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let period = self.config.heartbeat_period_us;
+        if period == 0 {
+            return;
+        }
+        let n = self.config.replicas;
+        // The round's ping/ack pairs serialize on the control-side NIC:
+        // certification requests arriving behind them wait — detection is
+        // cheap, not free.
+        self.certifier.occupy_nic(now, n as u64);
+        let reachable: Vec<bool> = (0..n)
+            .map(|r| {
+                self.node(r).is_up()
+                    && !self.partitioned(CONTROL_NODE, r)
+                    && now >= self.recovering_until[r]
+            })
+            .collect();
+        for tr in self.balancer.observe_heartbeats(&reachable) {
+            self.apply_health_transition(now, tr, queue);
+        }
+        queue.schedule(now + period, Ev::HeartbeatTick);
+    }
+
+    /// Applies one detector transition's cluster-side consequences.
+    fn apply_health_transition(
+        &mut self,
+        now: SimTime,
+        tr: HealthTransition,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        match tr {
+            HealthTransition::Miss { replica, misses } => {
+                self.tracer
+                    .emit(now, TraceData::HeartbeatMiss { replica, misses });
+            }
+            HealthTransition::Suspected { replica, misses } => {
+                let injected = self.fault_started[replica].unwrap_or(now);
+                self.metrics.record_fault_detected(
+                    now,
+                    injected,
+                    FaultKind::ReplicaSuspected(replica),
+                );
+                self.tracer
+                    .emit(now, TraceData::Suspect { replica, misses });
+                // Out of dispatch and MALB eligibility; in-flight work
+                // retries on survivors. Re-replication waits for *Dead* —
+                // a false suspicion must cost a filter-widen, not a copy.
+                self.balancer.replica_failed(ReplicaId(replica));
+                self.sweep_suspected(now, replica, queue);
+            }
+            HealthTransition::Dead { replica } => {
+                let injected = self.fault_started[replica].unwrap_or(now);
+                self.metrics
+                    .record_fault_detected(now, injected, FaultKind::ReplicaDead(replica));
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        now,
+                        TraceData::Fault {
+                            desc: format!("dead replica={replica}"),
+                        },
+                    );
+                }
+                self.cancel_backfills_targeting(replica);
+                self.rereplicate_under_copied(now, replica, queue);
+            }
+            HealthTransition::Trusted { replica, was_dead } => {
+                let injected = self.fault_started[replica].unwrap_or(now);
+                self.fault_started[replica] = None;
+                self.metrics.record_fault_detected(
+                    now,
+                    injected,
+                    FaultKind::ReplicaTrusted(replica),
+                );
+                self.tracer.emit(now, TraceData::Unsuspect { replica });
+                // The cheap rejoin: dispatch eligibility back on. Only a
+                // wrongly-declared death needs placement work — shrinking
+                // whatever re-replication over-copied.
+                self.balancer.replica_recovered(ReplicaId(replica));
+                if was_dead {
+                    self.shrink_over_replicated(now);
+                }
+            }
+        }
+    }
+
+    /// Retries a suspected replica's in-flight transactions on survivors —
+    /// the oracle crash path's orphan sweep, driven by the detector instead.
+    /// A merely-unreachable (still up) replica may still be running them:
+    /// those metas are kept as *abandoned* so the stale completions free
+    /// their Gatekeeper slots; a physically dead replica's metas are
+    /// dropped outright, as the oracle's were.
+    fn sweep_suspected(&mut self, now: SimTime, replica: usize, queue: &mut EventQueue<Ev>) {
+        let up = self.node(replica).is_up();
+        let mut orphans: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, meta)| meta.replica == replica && !meta.abandoned)
+            .map(|(txn, _)| *txn)
+            .collect();
+        orphans.sort_unstable();
+        for txn in orphans {
+            let (client, txn_type, arrived, retries) = {
+                let meta = self.txns.get_mut(&txn).expect("swept meta present");
+                meta.abandoned = true;
+                (meta.client, meta.txn_type, meta.arrived, meta.retries)
+            };
+            if !up {
+                self.txns.remove(&txn);
+            }
+            self.balancer.complete(ReplicaId(replica));
+            if retries < self.clients.max_retries {
+                self.submit_txn(now, client, txn_type, arrived, retries + 1, queue);
+            } else {
+                self.metrics.record_gave_up();
+                self.tracer
+                    .emit(now, TraceData::GaveUp { txn: txn.0, client });
+                self.schedule_next_arrival(now, client, queue);
+            }
+        }
+        if !up {
+            // Previously-abandoned metas (client timeouts) on a dead node
+            // can never complete — drop them too. Pure map cleanup, no
+            // side effects, so iteration order is immaterial.
+            let stale: Vec<TxnId> = self
+                .txns
+                .iter()
+                .filter(|(_, meta)| meta.replica == replica)
+                .map(|(txn, _)| *txn)
+                .collect();
+            for txn in stale {
+                self.txns.remove(&txn);
+            }
+        }
+    }
+
+    /// Re-replicates every group the confirmed-dead `replica` holds that
+    /// has fallen below `min_copies` believed-live holders — the oracle
+    /// crash path's durability scan, deferred from suspicion to *Dead* so
+    /// a false suspicion never ships a byte.
+    fn rereplicate_under_copied(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        if self.placement.is_none() {
+            return;
+        }
+        let (min_copies, affected) = {
+            let p = self.placement.as_ref().expect("placement checked above");
+            let affected: Vec<usize> = (0..p.group_count())
+                .filter(|g| p.holds_group(replica, *g))
+                .collect();
+            (p.min_copies(), affected)
+        };
+        let live = (0..self.config.replicas)
+            .filter(|r| self.believed_live(*r))
+            .count();
+        for g in affected {
+            loop {
+                let live_holders = {
+                    let p = self.placement.as_ref().expect("placement checked above");
+                    p.holders(g)
+                        .iter()
+                        .filter(|r| self.believed_live(**r))
+                        .count()
+                };
+                if live_holders >= min_copies.min(live) {
+                    break;
+                }
+                if self.rereplicate_group(now, g, queue).is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Installs a partition between `a` and `b`: messages between them drop
+    /// until `heal_at`. Partitioning a replica against [`CONTROL_NODE`]
+    /// severs it from heartbeats, certification, and propagation without
+    /// killing it — the false-suspicion injection.
+    fn on_link_partition(
+        &mut self,
+        now: SimTime,
+        a: usize,
+        b: usize,
+        heal_at: SimTime,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let pair = (a.min(b), a.max(b));
+        if !self.partitions.contains(&pair) {
+            self.partitions.push(pair);
+            // The fault clock detection latency is measured from starts
+            // the moment a replica loses its control link (`CONTROL_NODE`
+            // is `usize::MAX`, so it always normalizes to `pair.1`).
+            if pair.1 == CONTROL_NODE
+                && pair.0 < self.config.replicas
+                && self.fault_started[pair.0].is_none()
+            {
+                self.fault_started[pair.0] = Some(now);
+            }
+            self.metrics.record_fault(
+                now,
+                FaultKind::Partition {
+                    a: pair.0,
+                    b: pair.1,
+                },
+            );
+            if self.tracer.on() {
+                self.tracer.emit(
+                    now,
+                    TraceData::Fault {
+                        desc: format!(
+                            "partition {}<->{}",
+                            endpoint_name(pair.0),
+                            endpoint_name(pair.1)
+                        ),
+                    },
+                );
+            }
+        }
+        queue.schedule(heal_at, Ev::LinkHeal { a, b });
+    }
+
+    /// Removes a partition; traffic between the pair flows again. Trust is
+    /// *not* restored here — the detector re-trusts the replica only once
+    /// heartbeats actually answer again.
+    fn on_link_heal(&mut self, now: SimTime, a: usize, b: usize) {
+        let pair = (a.min(b), a.max(b));
+        if let Some(i) = self.partitions.iter().position(|p| *p == pair) {
+            self.partitions.remove(i);
+            self.metrics.record_fault(
+                now,
+                FaultKind::PartitionHealed {
+                    a: pair.0,
+                    b: pair.1,
+                },
+            );
+            if self.tracer.on() {
+                self.tracer.emit(
+                    now,
+                    TraceData::Fault {
+                        desc: format!("heal {}<->{}", endpoint_name(pair.0), endpoint_name(pair.1)),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The client stopped waiting for `txn`: release its balancer
+    /// connection, mark the meta abandoned (the transaction may still be
+    /// running — its eventual completion then only frees the slot), and
+    /// retry with capped exponential backoff.
+    fn on_client_timeout(&mut self, now: SimTime, txn: TxnId, queue: &mut EventQueue<Ev>) {
+        let Some(meta) = self.txns.get_mut(&txn) else {
+            return; // Completed (or swept away) before the timeout fired.
+        };
+        if meta.abandoned {
+            return; // Already rescued by the suspicion sweep.
+        }
+        meta.abandoned = true;
+        let (client, txn_type, arrived, retries, replica) = (
+            meta.client,
+            meta.txn_type,
+            meta.arrived,
+            meta.retries,
+            meta.replica,
+        );
+        self.balancer.complete(ReplicaId(replica));
+        if retries < self.clients.max_retries {
+            queue.schedule(
+                now + self.backoff_us(retries),
+                Ev::TxnRetry {
+                    client,
+                    txn_type,
+                    arrived,
+                    retries: retries + 1,
+                },
+            );
+        } else {
+            self.metrics.record_gave_up();
+            self.tracer
+                .emit(now, TraceData::GaveUp { txn: txn.0, client });
+            self.schedule_next_arrival(now, client, queue);
+        }
+    }
+
     fn on_client_arrive(&mut self, now: SimTime, client: usize, queue: &mut EventQueue<Ev>) {
         let txn_type = self
             .clients
@@ -1303,6 +1813,25 @@ impl ClusterState {
             // retried elsewhere. A commit still exists in the certifier's
             // log and reaches the replica through recovery replay or
             // propagation, so the response is simply dropped.
+            return;
+        }
+        if !self.node(replica).is_up() {
+            // Detection mode: the origin died after sending — the response
+            // has nowhere to land. The meta stays for the suspicion sweep
+            // to retry the client. (With the oracle, a crash removes every
+            // meta synchronously, so this is unreachable.)
+            return;
+        }
+        if self.partitioned(replica, CONTROL_NODE) {
+            // The response is dropped on the severed link. The replica-side
+            // proxy sees the certifier connection break and aborts the
+            // waiting transaction locally, freeing the Gatekeeper slot; the
+            // commit (if any) reaches the replica later through propagation
+            // after heal, and the client is rescued by timeout or sweep.
+            self.node_mut(replica).on_finish(now, false, queue);
+            if self.txns.get(&txn).is_some_and(|m| m.abandoned) {
+                self.txns.remove(&txn);
+            }
             return;
         }
         let done_at = match version {
@@ -1344,12 +1873,26 @@ impl ClusterState {
         committed: bool,
         queue: &mut EventQueue<Ev>,
     ) {
-        let Some(meta) = self.txns.remove(&txn) else {
+        if !self.txns.contains_key(&txn) {
             // Orphaned by a crash: the Gatekeeper slot and the balancer
             // connection were both released in the orphan sweep.
             return;
-        };
+        }
+        if !self.node(replica).is_up() {
+            // Detection mode: the node died between scheduling and delivery
+            // of this completion — the response died with it. The meta
+            // stays; the suspicion sweep retries the client.
+            return;
+        }
+        let meta = self.txns.remove(&txn).expect("presence checked above");
         self.node_mut(replica).on_finish(now, committed, queue);
+        if meta.abandoned {
+            // The client stopped waiting (timeout or suspicion sweep) and
+            // its retry is already in flight elsewhere; the balancer
+            // connection was released at abandonment, so only the
+            // Gatekeeper slot mattered here.
+            return;
+        }
         self.balancer.complete(ReplicaId(replica));
         let response_at = now + 2 * self.config.lan_hop_us;
         self.tracer.emit(
@@ -1407,6 +1950,9 @@ impl ClusterState {
         round: u64,
         queue: &mut EventQueue<Ev>,
     ) {
+        // A severed control link drops both the propagation pull and the
+        // load-daemon report — the node still does its local maintenance.
+        let cut = self.partitioned(replica, CONTROL_NODE);
         let node = self.nodes[replica]
             .as_mut()
             .expect("node leased to a driver shard");
@@ -1414,9 +1960,11 @@ impl ClusterState {
         // keeps ticking so it resumes seamlessly after recovery.
         if node.is_up() {
             node.on_maintenance(now);
-            self.certifier
-                .maintenance_pull(now, node, self.placement.as_ref());
-            if round % 4 == 3 {
+            if !cut {
+                self.certifier
+                    .maintenance_pull(now, node, self.placement.as_ref());
+            }
+            if round % 4 == 3 && !cut {
                 let report = node.sample_load(now);
                 self.balancer.report(
                     ReplicaId(replica),
@@ -1472,5 +2020,14 @@ impl ClusterState {
     /// balancer tick normally does this itself).
     pub fn set_filter(&mut self, replica: usize, filter: UpdateFilter) {
         self.node_mut(replica).set_filter(filter);
+    }
+}
+
+/// Human-readable partition endpoint for trace descriptions.
+fn endpoint_name(n: usize) -> String {
+    if n == CONTROL_NODE {
+        "ctl".to_string()
+    } else {
+        n.to_string()
     }
 }

@@ -32,7 +32,7 @@ use std::fmt::Write as _;
 use tashkent_sim::SimTime;
 
 /// Number of distinct [`TraceData`] kinds (indexes [`KIND_NAMES`]).
-pub const NKINDS: usize = 12;
+pub const NKINDS: usize = 17;
 
 /// JSONL `"k"` tag per [`TraceData`] kind, indexed by [`TraceData::kind`].
 pub const KIND_NAMES: [&str; NKINDS] = [
@@ -48,6 +48,11 @@ pub const KIND_NAMES: [&str; NKINDS] = [
     "rebalance",
     "backfill_chunk",
     "backfill_done",
+    "suspect",
+    "unsuspect",
+    "heartbeat_miss",
+    "redo_start",
+    "redo_done",
 ];
 
 /// What to trace and where to write it. Carried on
@@ -202,6 +207,47 @@ pub enum TraceData {
         /// Total bytes the task shipped.
         bytes: u64,
     },
+    /// The failure detector suspected a replica: it leaves dispatch and its
+    /// in-flight transactions are retried on survivors.
+    Suspect {
+        /// The suspected replica.
+        replica: usize,
+        /// Consecutive missed heartbeats at the transition.
+        misses: u32,
+    },
+    /// A suspected (or dead-declared) replica answered a heartbeat again
+    /// and was restored to dispatch via a filter-widen.
+    Unsuspect {
+        /// The re-trusted replica.
+        replica: usize,
+    },
+    /// A heartbeat went unanswered without (yet) changing the replica's
+    /// detector state.
+    HeartbeatMiss {
+        /// The unresponsive replica.
+        replica: usize,
+        /// Consecutive misses so far.
+        misses: u32,
+    },
+    /// A recovering replica started replaying its redo window from the
+    /// certifier log (checkpoint-lag recovery).
+    RedoStart {
+        /// The recovering replica.
+        replica: usize,
+        /// Version the replica rewound to (`applied − k`).
+        from: u64,
+        /// Certifier log head it must replay up to.
+        head: u64,
+    },
+    /// A recovering replica finished its redo replay.
+    RedoDone {
+        /// The recovered replica.
+        replica: usize,
+        /// Bytes the replay shipped.
+        bytes: u64,
+        /// Simulated replay duration, µs.
+        us: u64,
+    },
 }
 
 impl TraceData {
@@ -220,6 +266,11 @@ impl TraceData {
             TraceData::Rebalance { .. } => 9,
             TraceData::BackfillChunk { .. } => 10,
             TraceData::BackfillDone { .. } => 11,
+            TraceData::Suspect { .. } => 12,
+            TraceData::Unsuspect { .. } => 13,
+            TraceData::HeartbeatMiss { .. } => 14,
+            TraceData::RedoStart { .. } => 15,
+            TraceData::RedoDone { .. } => 16,
         }
     }
 
@@ -538,11 +589,56 @@ impl Tracer {
                         ),
                     );
                 }
-                // Per-quantum steps, per-chunk shipping, abandoned clients:
-                // visible in the JSONL stream, too dense for the slice view.
+                TraceData::Suspect { replica, misses } => {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"suspect r{replica} \
+                             ({misses} misses)\",\"cat\":\"detector\",\
+                             \"pid\":1,\"tid\":{replica},\"ts\":{ts}}}"
+                        ),
+                    );
+                }
+                TraceData::Unsuspect { replica } => {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"trust r{replica}\",\
+                             \"cat\":\"detector\",\"pid\":1,\"tid\":{replica},\"ts\":{ts}}}"
+                        ),
+                    );
+                }
+                TraceData::RedoStart {
+                    replica,
+                    from,
+                    head,
+                } => {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"redo r{replica} \
+                             v{from}->v{head}\",\"cat\":\"redo\",\
+                             \"pid\":1,\"tid\":{replica},\"ts\":{ts}}}"
+                        ),
+                    );
+                }
+                TraceData::RedoDone { replica, bytes, us } => {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"redo r{replica} done \
+                             ({bytes} B, {us} us)\",\"cat\":\"redo\",\
+                             \"pid\":1,\"tid\":{replica},\"ts\":{ts}}}"
+                        ),
+                    );
+                }
+                // Per-quantum steps, per-chunk shipping, abandoned clients,
+                // per-round heartbeat misses: visible in the JSONL stream,
+                // too dense for the slice view.
                 TraceData::Step { .. }
                 | TraceData::BackfillChunk { .. }
-                | TraceData::GaveUp { .. } => {}
+                | TraceData::GaveUp { .. }
+                | TraceData::HeartbeatMiss { .. } => {}
             }
         }
         out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -656,6 +752,29 @@ fn write_jsonl(ev: &TraceEvent, out: &mut String) {
             out,
             "{{\"k\":\"{k}\",\"t\":{t},\"task\":{task},\"group\":{group},\
              \"to\":{to},\"bytes\":{bytes}}}"
+        ),
+        TraceData::Suspect { replica, misses } => writeln!(
+            out,
+            "{{\"k\":\"{k}\",\"t\":{t},\"replica\":{replica},\"misses\":{misses}}}"
+        ),
+        TraceData::Unsuspect { replica } => {
+            writeln!(out, "{{\"k\":\"{k}\",\"t\":{t},\"replica\":{replica}}}")
+        }
+        TraceData::HeartbeatMiss { replica, misses } => writeln!(
+            out,
+            "{{\"k\":\"{k}\",\"t\":{t},\"replica\":{replica},\"misses\":{misses}}}"
+        ),
+        TraceData::RedoStart {
+            replica,
+            from,
+            head,
+        } => writeln!(
+            out,
+            "{{\"k\":\"{k}\",\"t\":{t},\"replica\":{replica},\"from\":{from},\"head\":{head}}}"
+        ),
+        TraceData::RedoDone { replica, bytes, us } => writeln!(
+            out,
+            "{{\"k\":\"{k}\",\"t\":{t},\"replica\":{replica},\"bytes\":{bytes},\"us\":{us}}}"
         ),
     };
 }
@@ -826,6 +945,72 @@ mod tests {
         assert!(chrome.contains("\"pid\":2,\"tid\":2"), "cert group track");
         assert!(chrome.contains("\"dur\":1100"), "dispatch->complete slice");
         assert!(chrome.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn detector_kinds_export_and_count() {
+        let mut t = Tracer::new(&enabled_config(64));
+        t.emit(
+            SimTime::from_micros(10),
+            TraceData::HeartbeatMiss {
+                replica: 2,
+                misses: 1,
+            },
+        );
+        t.emit(
+            SimTime::from_micros(20),
+            TraceData::Suspect {
+                replica: 2,
+                misses: 2,
+            },
+        );
+        t.emit(
+            SimTime::from_micros(30),
+            TraceData::Unsuspect { replica: 2 },
+        );
+        t.emit(
+            SimTime::from_micros(40),
+            TraceData::RedoStart {
+                replica: 2,
+                from: 10,
+                head: 42,
+            },
+        );
+        t.emit(
+            SimTime::from_micros(50),
+            TraceData::RedoDone {
+                replica: 2,
+                bytes: 4096,
+                us: 700,
+            },
+        );
+        let jsonl = t.export_jsonl();
+        assert!(jsonl.contains("{\"k\":\"heartbeat_miss\",\"t\":10,\"replica\":2,\"misses\":1}"));
+        assert!(jsonl.contains("{\"k\":\"suspect\",\"t\":20,\"replica\":2,\"misses\":2}"));
+        assert!(jsonl.contains("{\"k\":\"unsuspect\",\"t\":30,\"replica\":2}"));
+        assert!(
+            jsonl.contains("{\"k\":\"redo_start\",\"t\":40,\"replica\":2,\"from\":10,\"head\":42}")
+        );
+        assert!(jsonl
+            .contains("{\"k\":\"redo_done\",\"t\":50,\"replica\":2,\"bytes\":4096,\"us\":700}"));
+        let s = t.summary().unwrap();
+        assert_eq!(
+            s.by_kind,
+            vec![
+                ("suspect", 1),
+                ("unsuspect", 1),
+                ("heartbeat_miss", 1),
+                ("redo_start", 1),
+                ("redo_done", 1)
+            ]
+        );
+        // Suspicion/redo instants show on the Chrome timeline; per-round
+        // misses stay JSONL-only.
+        let chrome = t.export_chrome();
+        assert!(chrome.contains("suspect r2 (2 misses)"), "{chrome}");
+        assert!(chrome.contains("trust r2"));
+        assert!(chrome.contains("redo r2 v10->v42"));
+        assert!(!chrome.contains("heartbeat_miss"));
     }
 
     #[test]

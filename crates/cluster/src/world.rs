@@ -130,6 +130,13 @@ impl World {
         self.state.cert_link()
     }
 
+    /// A replica's health as the detector currently believes it (always
+    /// `Live` when the detector is off — see
+    /// [`crate::config::ClusterConfig::heartbeat_period_us`]).
+    pub fn replica_health(&self, idx: usize) -> crate::components::ReplicaHealth {
+        self.state.replica_health(idx)
+    }
+
     /// Finalizes the run into a [`RunResult`], including mean CPU/disk
     /// utilizations over the measurement window.
     pub fn finish_result(&self) -> RunResult {

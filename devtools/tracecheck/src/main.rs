@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 /// Event kinds the cluster's tracer emits (`crates/cluster/src/trace.rs`
 /// `KIND_NAMES`), plus the `summary` trailer.
-const KNOWN_KINDS: [&str; 13] = [
+const KNOWN_KINDS: [&str; 18] = [
     "arrive",
     "dispatch",
     "step",
@@ -30,6 +30,11 @@ const KNOWN_KINDS: [&str; 13] = [
     "rebalance",
     "backfill_chunk",
     "backfill_done",
+    "suspect",
+    "unsuspect",
+    "heartbeat_miss",
+    "redo_start",
+    "redo_done",
     "summary",
 ];
 
@@ -341,6 +346,14 @@ mod tests {
         assert_eq!(
             check_line(r#"{"k":"util","t":0,"cpu":0.500000,"disk":0.000000}"#).unwrap(),
             "util"
+        );
+        assert_eq!(
+            check_line(r#"{"k":"suspect","t":500000,"replica":2,"misses":2}"#).unwrap(),
+            "suspect"
+        );
+        assert_eq!(
+            check_line(r#"{"k":"redo_done","t":9,"replica":0,"bytes":4096,"us":120}"#).unwrap(),
+            "redo_done"
         );
     }
 

@@ -85,6 +85,11 @@ fn main() {
             FaultKind::ShrinkHolder { group, from } => {
                 format!("group {group} shed surplus holder {from} after recovery")
             }
+            FaultKind::ReplicaSuspected(r) => format!("replica {r} suspected by the detector"),
+            FaultKind::ReplicaDead(r) => format!("replica {r} declared dead by the detector"),
+            FaultKind::ReplicaTrusted(r) => format!("replica {r} trusted again"),
+            FaultKind::Partition { a, b } => format!("link {a}<->{b} partitioned"),
+            FaultKind::PartitionHealed { a, b } => format!("link {a}<->{b} healed"),
         };
         println!("  {:>5.1}s  {label}", f.at.as_secs_f64());
     }

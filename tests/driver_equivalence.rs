@@ -35,6 +35,10 @@ struct Fingerprint {
     /// — the decide order itself is part of the contract (empty under the
     /// unified certifier).
     cert_group_commits: Vec<Vec<u64>>,
+    /// Checkpoint-lag recovery's redo-window accounting, exact to the byte
+    /// and microsecond.
+    redo_bytes: u64,
+    redo_us: u64,
 }
 
 impl Fingerprint {
@@ -55,6 +59,8 @@ impl Fingerprint {
             filtered_ws_bytes: r.filtered_ws_bytes,
             migration_bytes: r.migration_bytes,
             cert_group_commits: r.cert_group_commits.clone(),
+            redo_bytes: r.redo_bytes,
+            redo_us: r.redo_us,
         }
     }
 }
@@ -459,6 +465,92 @@ fn sharded_certification_runs_identically_under_both_drivers() {
                 "completion timestamps diverged on sharded {scenario} with seed {seed} under {kind:?}"
             );
         }
+    }
+}
+
+#[test]
+fn detection_runs_identically_under_both_drivers_across_seeds_and_threads() {
+    // The detector's window territory: heartbeat ticks and partition
+    // events are global barriers, partitions drop certification sends
+    // mid-window (the pooled path must skip those inline), client timeouts
+    // re-dispatch abandoned work, and checkpoint-lag recovery's redo
+    // accounting (bytes and microseconds) is in the fingerprint along with
+    // every detector verdict's injection and detection time.
+    for seed in [5, 42] {
+        let knobs = ScenarioKnobs {
+            replicas: 3,
+            clients_per_replica: 4,
+            ..ScenarioKnobs::smoke()
+        }
+        .with_seed(seed);
+        let sequential = run_scenario(
+            "detection",
+            &knobs.clone().with_driver(DriverKind::Sequential),
+        )
+        .expect("sequential detection run completes");
+        assert!(
+            sequential
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, tashkent::cluster::FaultKind::ReplicaSuspected(_)))
+                && sequential
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f.kind, tashkent::cluster::FaultKind::ReplicaDead(_))),
+            "the detection scenario must put detector verdicts into the fingerprint"
+        );
+        assert!(
+            sequential.redo_bytes > 0,
+            "recovery must replay a redo window into the fingerprint"
+        );
+        for kind in parallel_kinds() {
+            let parallel = run_scenario("detection", &knobs.clone().with_driver(kind))
+                .expect("parallel detection run completes");
+            assert_eq!(
+                Fingerprint::of(&sequential),
+                Fingerprint::of(&parallel),
+                "drivers diverged on detection with seed {seed} under {kind:?}"
+            );
+            assert_eq!(
+                sequential.completions, parallel.completions,
+                "completion timestamps diverged on detection with seed {seed} under {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_with_partial_replication_runs_identically() {
+    // A dead verdict under partial replication triggers re-replication of
+    // the victim's under-copied groups — backfill traffic interleaved with
+    // heartbeat barriers and redo replay, all in the fingerprint.
+    let knobs = ScenarioKnobs {
+        replicas: 4,
+        clients_per_replica: 4,
+        ..ScenarioKnobs::smoke()
+    }
+    .with_min_copies(Some(2));
+    let sequential = run_scenario(
+        "detection",
+        &knobs.clone().with_driver(DriverKind::Sequential),
+    )
+    .expect("sequential run completes");
+    assert!(
+        sequential
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, tashkent::cluster::FaultKind::Rereplicate { .. })),
+        "the dead verdict must force re-replication events into the fingerprint"
+    );
+    for kind in parallel_kinds() {
+        let parallel = run_scenario("detection", &knobs.clone().with_driver(kind))
+            .expect("parallel run completes");
+        assert_eq!(
+            Fingerprint::of(&sequential),
+            Fingerprint::of(&parallel),
+            "drivers diverged on detection + partial replication under {kind:?}"
+        );
+        assert_eq!(sequential.completions, parallel.completions);
     }
 }
 

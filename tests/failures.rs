@@ -5,8 +5,8 @@
 
 use tashkent::certifier::{Certifier, CertifierGroup, CertifyOutcome, GroupEvent};
 use tashkent::cluster::{
-    run, Ev, Failover, FaultKind, PartialReplication, ReplicationPlanner, RunResult, Scenario,
-    ScenarioKnobs, World,
+    run, ClusterConfig, Detection, Ev, Failover, FaultKind, PartialReplication, PolicySpec,
+    ReplicaHealth, ReplicationPlanner, RunResult, Scenario, ScenarioKnobs, World, CONTROL_NODE,
 };
 use tashkent::core::LoadBalancer;
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
@@ -420,6 +420,182 @@ fn crash_and_recover_are_idempotent_through_the_harness() {
     assert_eq!(
         kinds,
         vec![FaultKind::ReplicaCrash(1), FaultKind::ReplicaRecover(1)]
+    );
+}
+
+/// Knobs sized like [`failover_knobs`] for the `detection` scenario: with
+/// warmup 15 s / measured 80 s its schedule is partition at 25 s, heal at
+/// 27 s, crash at 55 s, recover at 65 s, end at 95 s.
+fn detection_knobs() -> ScenarioKnobs {
+    ScenarioKnobs {
+        replicas: 3,
+        clients_per_replica: 4,
+        warmup_secs: 15,
+        measured_secs: 80,
+        ..ScenarioKnobs::smoke()
+    }
+}
+
+#[test]
+fn false_suspicion_rejoins_with_zero_rereplication() {
+    // A partitioned-then-healed replica under partial replication: the
+    // detector suspects it (so its in-flight work is retried on survivors)
+    // but the heal beats the dead threshold, so rejoining is a cheap
+    // filter-widen — no relation group may move.
+    let knobs = detection_knobs().with_min_copies(Some(2));
+    let mut config = knobs.config(PolicySpec::malb_sc());
+    config.heartbeat_period_us = 500_000;
+    config.client_timeout_us = 3_000_000;
+    let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+    let mut world = World::new(config, workload, vec![mix]);
+    world.prime();
+    let end = knobs.warmup_secs + knobs.measured_secs;
+    world.schedule(SimTime::from_secs(knobs.warmup_secs), Ev::EndWarmup);
+    world.schedule(
+        SimTime::from_secs(25),
+        Ev::LinkPartition {
+            a: CONTROL_NODE,
+            b: 2,
+            heal_at: SimTime::from_secs(27),
+        },
+    );
+    world.schedule(SimTime::from_secs(end), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+
+    let r = world.finish_result();
+    let kinds: Vec<FaultKind> = r.faults.iter().map(|f| f.kind).collect();
+    // Suspected during the outage, trusted after the heal, never dead.
+    assert!(kinds.contains(&FaultKind::ReplicaSuspected(2)));
+    assert!(kinds.contains(&FaultKind::ReplicaTrusted(2)));
+    assert!(!kinds.contains(&FaultKind::ReplicaDead(2)));
+    assert!(world.node(2).is_up());
+    assert_eq!(world.replica_health(2), ReplicaHealth::Live);
+    // The rejoin cost nothing: no re-replication, no migration, no bytes.
+    assert!(
+        !kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::Rereplicate { .. } | FaultKind::Migrate { .. })),
+        "a false suspicion must never move data: {kinds:?}"
+    );
+    assert_eq!(
+        r.migration_bytes, 0,
+        "re-replication is deferred until a replica is declared dead"
+    );
+    // The suspicion records its detection latency back to the injection.
+    let suspect = r
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::ReplicaSuspected(2))
+        .expect("suspicion recorded");
+    assert_eq!(suspect.injected_at, SimTime::from_secs(25));
+    assert!(suspect.at > suspect.injected_at);
+    // Throughput returns to within 10 % of the pre-partition steady state
+    // (settle one 5 s bucket after the heal before measuring).
+    let pre = r.plateau(5.0, knobs.warmup_secs as f64, 25.0);
+    let post = r.plateau(5.0, 32.0, end as f64);
+    assert!(pre > 1.0, "pre-partition steady state too idle: {pre} tps");
+    assert!(
+        post >= 0.9 * pre,
+        "post-heal throughput {post:.1} tps did not return to within 10% \
+         of the pre-partition steady state {pre:.1} tps"
+    );
+}
+
+#[test]
+fn detection_scenario_discovers_the_crash_and_recovers_throughput() {
+    // End-to-end through the `detection` scenario: nobody tells the
+    // balancer about the crash — the detector walks the victim through
+    // Suspected to Dead on missed heartbeats, recovery replays the
+    // checkpoint-lag redo window, and trust (plus throughput) returns.
+    let knobs = detection_knobs();
+    let sched = Detection::schedule(&knobs);
+    let r = Detection::default()
+        .run(&knobs)
+        .expect("detection scenario runs to its End event");
+
+    let kinds: Vec<FaultKind> = r.faults.iter().map(|f| f.kind).collect();
+    let cv = Detection::crash_victim();
+    let pos = |k: FaultKind| {
+        kinds
+            .iter()
+            .position(|x| *x == k)
+            .unwrap_or_else(|| panic!("missing {k:?} in {kinds:?}"))
+    };
+    assert!(pos(FaultKind::ReplicaCrash(cv)) < pos(FaultKind::ReplicaSuspected(cv)));
+    assert!(pos(FaultKind::ReplicaSuspected(cv)) < pos(FaultKind::ReplicaDead(cv)));
+    assert!(pos(FaultKind::ReplicaDead(cv)) < pos(FaultKind::ReplicaRecover(cv)));
+    assert!(pos(FaultKind::ReplicaRecover(cv)) < pos(FaultKind::ReplicaTrusted(cv)));
+    // The dead verdict measures its latency from the real crash instant.
+    let dead = r
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::ReplicaDead(cv))
+        .expect("dead verdict recorded");
+    assert_eq!(dead.injected_at, SimTime::from_secs(sched.crash_at_secs));
+    assert!(dead.detection_latency_us() > 0);
+    // Checkpoint-lag recovery replayed a real redo window.
+    assert!(r.redo_bytes > 0, "redo window shipped bytes");
+    assert!(r.redo_us > 0, "redo replay took time");
+    // Throughput recovers within 10 % of the steady state between the
+    // partition heal and the crash.
+    let end = (knobs.warmup_secs + knobs.measured_secs) as f64;
+    let pre = r.plateau(
+        5.0,
+        (sched.partition_at_secs + 7) as f64,
+        sched.crash_at_secs as f64,
+    );
+    let post = r.plateau(5.0, (sched.recover_at_secs + 10) as f64, end);
+    assert!(pre > 1.0, "pre-crash steady state too idle: {pre} tps");
+    assert!(
+        post >= 0.9 * pre,
+        "post-recovery throughput {post:.1} tps did not return to within \
+         10% of the pre-crash steady state {pre:.1} tps"
+    );
+}
+
+/// Runs a two-replica cluster with the detector off and a 25 s control-link
+/// partition on replica 1, under the given client request timeout.
+fn partitioned_run(client_timeout_us: u64) -> RunResult {
+    let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+    let config = ClusterConfig {
+        replicas: 2,
+        clients: 8,
+        think_mean_us: 200_000,
+        client_timeout_us,
+        ..ClusterConfig::paper_default()
+    };
+    let mut world = World::new(config, workload, vec![mix]);
+    world.prime();
+    world.schedule(SimTime::from_secs(2), Ev::EndWarmup);
+    // Heartbeats are off, so no sweep ever rescues the victims' in-flight
+    // work — only the clients' own timers can.
+    world.schedule(
+        SimTime::from_secs(5),
+        Ev::LinkPartition {
+            a: CONTROL_NODE,
+            b: 1,
+            heal_at: SimTime::from_secs(30),
+        },
+    );
+    world.schedule(SimTime::from_secs(35), Ev::End);
+    world.run_to_end().expect("End event scheduled");
+    world.finish_result()
+}
+
+#[test]
+fn client_timeouts_rescue_updates_stranded_by_a_partition() {
+    // An update whose certification request is dropped by the partition
+    // leaves its client waiting forever: without a request timeout the
+    // client is wedged for the rest of the run, with one it abandons the
+    // request and retries elsewhere under capped exponential backoff.
+    let with_timeout = partitioned_run(2_000_000);
+    let without = partitioned_run(0);
+    assert!(
+        with_timeout.committed > without.committed,
+        "client timeouts must rescue stranded updates: {} committed with \
+         a 2 s timeout vs {} without",
+        with_timeout.committed,
+        without.committed
     );
 }
 

@@ -11,11 +11,16 @@
 //!   completes;
 //! * **dispatch safety**: whatever subset of replicas is dead (short of
 //!   all of them), no policy ever dispatches to a crashed replica, and
-//!   every replica serves again after recovery.
+//!   every replica serves again after recovery;
+//! * **transient partitions are free**: whenever a control-link partition
+//!   heals before the detector's dead threshold, the victim is re-trusted
+//!   with zero re-replication — false suspicion never moves data.
 
 use proptest::prelude::*;
 use tashkent::certifier::Certifier;
-use tashkent::cluster::{ClusterConfig, Ev, World};
+use tashkent::cluster::{
+    ClusterConfig, Ev, FaultKind, PlacementSpec, PolicySpec, ReplicaHealth, World, CONTROL_NODE,
+};
 use tashkent::core::{LardConfig, LoadBalancer, MalbConfig, ReplicaId, WorkingSet};
 use tashkent::engine::{Snapshot, TxnId, TxnTypeId, Version, Writeset, WritesetItem};
 use tashkent::replica::{ReplicaConfig, ReplicaNode};
@@ -180,5 +185,60 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// A control-link partition healed before the detector's dead
+    /// threshold never triggers re-replication: wherever and whenever it
+    /// strikes, the victim stays up, is re-trusted after the heal, and no
+    /// relation group moves. With the default 500 ms heartbeat and dead
+    /// threshold of 5 misses, any outage under 2 s covers at most 4 ticks.
+    #[test]
+    fn transient_partitions_cost_no_rereplication(
+        seed in 1u64..200,
+        partition_at_ms in 2_000u64..6_000,
+        partition_len_ms in 100u64..1_900,
+        victim in 0usize..3,
+    ) {
+        let (workload, mix) = tpcw::workload_with_mix(TpcwScale::Small, "ordering");
+        let mut config = ClusterConfig {
+            replicas: 3,
+            clients: 9,
+            think_mean_us: 200_000,
+            seed,
+            heartbeat_period_us: 500_000,
+            client_timeout_us: 1_000_000,
+            ..ClusterConfig::paper_default().with_policy(PolicySpec::malb_sc())
+        };
+        config.placement = PlacementSpec::Partial { min_copies: 2 };
+        let mut world = World::new(config, workload, vec![mix]);
+        world.prime();
+        world.schedule(SimTime::from_secs(1), Ev::EndWarmup);
+        world.schedule(
+            SimTime::from_millis(partition_at_ms),
+            Ev::LinkPartition {
+                a: CONTROL_NODE,
+                b: victim,
+                heal_at: SimTime::from_millis(partition_at_ms + partition_len_ms),
+            },
+        );
+        world.schedule(SimTime::from_secs(12), Ev::End);
+        world.run_to_end().expect("End event scheduled");
+        prop_assert!(world.node(victim).is_up(), "a partition never downs a node");
+        let r = world.finish_result();
+        let kinds: Vec<FaultKind> = r.faults.iter().map(|f| f.kind).collect();
+        prop_assert!(!kinds.contains(&FaultKind::ReplicaDead(victim)));
+        prop_assert!(
+            !kinds.iter().any(|k| matches!(
+                k,
+                FaultKind::Rereplicate { .. } | FaultKind::Migrate { .. }
+            )),
+            "a transient partition moved data, seed {}: {:?}", seed, kinds
+        );
+        prop_assert_eq!(r.migration_bytes, 0);
+        // If the detector got as far as suspicion, the heal restored trust.
+        if kinds.contains(&FaultKind::ReplicaSuspected(victim)) {
+            prop_assert!(kinds.contains(&FaultKind::ReplicaTrusted(victim)));
+        }
+        prop_assert_eq!(world.replica_health(victim), ReplicaHealth::Live);
     }
 }

@@ -113,6 +113,42 @@ fn rebalance_traces_are_byte_equal_across_drivers_and_seeds() {
 }
 
 #[test]
+fn detection_traces_are_byte_equal_across_drivers_and_seeds() {
+    // Suspicion-based detection: heartbeat misses, suspect/unsuspect
+    // verdicts, redo-replay spans, and timeout-retry arrivals all land in
+    // the trace, and heartbeat ticks are window barriers — the merged
+    // interleaving must still be byte-identical.
+    for seed in [42, 7] {
+        assert_traces_byte_equal("detection", ScenarioKnobs::smoke().with_seed(seed));
+    }
+}
+
+#[test]
+fn oracle_mode_traces_carry_no_detection_kinds() {
+    // With the detector off (every non-detection scenario), none of the
+    // detector's trace kinds may appear: default runs stay byte-compatible
+    // with the pre-detector tracer.
+    let path = tmp("oracle-kinds");
+    let knobs = ScenarioKnobs::smoke().with_trace(path.to_str().expect("temp path is valid UTF-8"));
+    run_scenario("failover", &knobs).expect("traced oracle-mode run completes");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    for kind in [
+        "\"k\":\"suspect\"",
+        "\"k\":\"unsuspect\"",
+        "\"k\":\"heartbeat_miss\"",
+        "\"k\":\"redo_start\"",
+        "\"k\":\"redo_done\"",
+    ] {
+        assert!(
+            !text.contains(kind),
+            "oracle-mode trace leaked a detector event: {kind}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("jsonl.chrome.json"));
+}
+
+#[test]
 fn untraced_runs_carry_no_summary() {
     let r = run_scenario("failover", &ScenarioKnobs::smoke()).expect("untraced run completes");
     assert!(r.trace_summary.is_none(), "tracing is off by default");
